@@ -1,0 +1,91 @@
+// Command arvisim runs a single benchmark through the timing simulator and
+// reports its statistics.
+//
+// Usage:
+//
+//	arvisim -bench m88ksim -depth 20 -mode arvi-current -n 250000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var modeNames = map[string]cpu.PredMode{
+	"baseline":      cpu.PredBaseline2Lvl,
+	"arvi-current":  cpu.PredARVICurrent,
+	"arvi-loadback": cpu.PredARVILoadBack,
+	"arvi-perfect":  cpu.PredARVIPerfect,
+}
+
+func main() {
+	bench := flag.String("bench", "m88ksim", "benchmark: gcc compress go ijpeg li m88ksim perl vortex")
+	depth := flag.Int("depth", 20, "pipeline depth in stages: 20, 40 or 60")
+	mode := flag.String("mode", "arvi-current", "predictor: baseline arvi-current arvi-loadback arvi-perfect")
+	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget")
+	cut := flag.Bool("cut-at-loads", false, "DDT chain ablation: cut chains at loads")
+	flag.Parse()
+
+	md, ok := modeNames[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "arvisim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	found := false
+	for _, w := range workload.Names {
+		if w == *bench {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "arvisim: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	res, err := sim.Simulate(sim.Spec{
+		Bench: *bench, Depth: *depth, Mode: md, MaxInsts: *n, CutAtLoads: *cut,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arvisim:", err)
+		os.Exit(1)
+	}
+	st := res.Stats
+	fmt.Printf("run            %s\n", res.Spec)
+	fmt.Printf("instructions   %d\n", st.Insts)
+	fmt.Printf("cycles         %d\n", st.Cycles)
+	fmt.Printf("IPC            %.4f\n", st.IPC())
+	fmt.Printf("cond branches  %d (taken %.1f%%)\n", st.CondBranches,
+		100*float64(st.TakenBranches)/max1(st.CondBranches))
+	fmt.Printf("accuracy       %.4f (L1 alone %.4f)\n", st.PredAccuracy(),
+		1-float64(st.L1Mispredicts)/max1(st.CondBranches))
+	fmt.Printf("overrides      %d (correct %d)\n", st.Overrides, st.OverrideGood)
+	if md.UsesARVI() {
+		fmt.Printf("branch classes calculated %d / load %d (load fraction %.3f)\n",
+			st.CalcBranches, st.LoadBranches, st.LoadBranchFraction())
+		fmt.Printf("class accuracy calc %.4f / load %.4f\n",
+			st.ClassAccuracy(cpu.ClassCalculated), st.ClassAccuracy(cpu.ClassLoad))
+		fmt.Printf("ARVI           lookups %d, hits %d, used %d\n",
+			st.ARVILookups, st.ARVIHits, st.ARVIUsed)
+		if st.ARVILookups > 0 {
+			fmt.Printf("chain profile  avg depth %.1f, avg leaf set %.1f\n",
+				float64(st.ChainDepthSum)/float64(st.ARVILookups),
+				float64(st.LeafCountSum)/float64(st.ARVILookups))
+		}
+	}
+	fmt.Printf("memory         loads %d, stores %d, forwarded %d\n",
+		st.Loads, st.Stores, st.StoreForwarded)
+	fmt.Printf("miss rates     L1D %.3f, L2 %.3f, L1I %.3f\n",
+		st.L1DMissRate, st.L2MissRate, st.L1IMissRate)
+}
+
+func max1(v int64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return float64(v)
+}

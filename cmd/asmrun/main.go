@@ -1,0 +1,122 @@
+// Command asmrun assembles a source file and executes it — functionally by
+// default, or through the timing simulator with -time. It can also record
+// the dynamic trace (-trace) or save the assembled image (-o) for later
+// runs.
+//
+// Usage:
+//
+//	asmrun prog.s                 # assemble + run functionally
+//	asmrun -time -depth 40 prog.s # run through the timing model
+//	asmrun -o prog.bin prog.s     # save the assembled program image
+//	asmrun -trace prog.trc prog.s # record the dynamic trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func main() {
+	timing := flag.Bool("time", false, "run through the out-of-order timing model")
+	depth := flag.Int("depth", 20, "pipeline depth for -time")
+	mode := flag.String("mode", "arvi-current", "predictor for -time: baseline arvi-current arvi-loadback arvi-perfect")
+	n := flag.Int64("n", 0, "instruction budget (0 = run to halt)")
+	out := flag.String("o", "", "write the assembled program image here")
+	trc := flag.String("trace", "", "record the dynamic trace here")
+	regs := flag.Bool("regs", false, "dump architectural registers after a functional run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmrun [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(flag.Arg(0), ".s")
+	p, err := asm.Assemble(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	st := p.StaticStats()
+	fmt.Printf("assembled %s: %d instructions, %d data bytes, entry %d\n",
+		p.Name, st.Insts, st.DataBytes, p.Entry)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := p.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote image to %s\n", *out)
+	}
+
+	if *trc != "" {
+		f, err := os.Create(*trc)
+		if err != nil {
+			fatal(err)
+		}
+		recorded, err := trace.Record(p, *n, f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d events to %s\n", recorded, *trc)
+		return
+	}
+
+	if *timing {
+		modes := map[string]cpu.PredMode{
+			"baseline": cpu.PredBaseline2Lvl, "arvi-current": cpu.PredARVICurrent,
+			"arvi-loadback": cpu.PredARVILoadBack, "arvi-perfect": cpu.PredARVIPerfect,
+		}
+		md, ok := modes[*mode]
+		if !ok {
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
+		cfg := cpu.DefaultConfig(*depth, md)
+		cfg.MaxInsts = *n
+		stats, err := cpu.Run(p, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timing: %d instructions, %d cycles, IPC %.4f, branch accuracy %.4f\n",
+			stats.Insts, stats.Cycles, stats.IPC(), stats.PredAccuracy())
+		return
+	}
+
+	machine := vm.New(p)
+	ran, err := machine.Run(*n, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("functional: %d instructions retired, halted=%v\n", ran, machine.Halt)
+	if *regs {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if v := machine.Regs[r]; v != 0 {
+				fmt.Printf("  r%-2d = %d\n", r, v)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asmrun:", err)
+	os.Exit(1)
+}

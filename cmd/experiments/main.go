@@ -1,0 +1,111 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables 2 and 4, Figures 5 and 6) plus the headline summary,
+// writing aligned text tables to stdout (or -out).
+//
+// Usage:
+//
+//	experiments                 # everything, default budget
+//	experiments -n 500000       # bigger per-run instruction budget
+//	experiments -only fig6      # one artifact: table2 table4 fig5a fig5b fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget per run")
+	only := flag.String("only", "", "render one artifact: table2 table4 fig5a fig5b fig6")
+	outPath := flag.String("out", "", "write to this file instead of stdout")
+	csvPath := flag.String("csv", "", "additionally export the raw matrix as CSV")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	emit := func(t sim.Table) {
+		if err := t.Render(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *only == "table2" || *only == "" {
+		emit(sim.Table2())
+	}
+	if *only == "table4" || *only == "" {
+		emit(sim.Table4())
+	}
+	if *only == "table2" || *only == "table4" {
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "experiments: running %d simulations (%d insts each)...\n",
+		len(workload.Names)*len(sim.Depths)*len(sim.Modes), *n)
+	mx, err := sim.RunMatrix(workload.Names, sim.Depths, sim.Modes, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := mx.WriteCSV(f, sim.Depths); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *only == "fig5a" || *only == "" {
+		emit(sim.Fig5a(mx))
+	}
+	if *only == "fig5b" || *only == "" {
+		emit(sim.Fig5b(mx, 20))
+	}
+	if *only == "fig6" || *only == "" {
+		for _, d := range sim.Depths {
+			emit(sim.Fig6Accuracy(mx, d))
+			t, _ := sim.Fig6IPC(mx, d)
+			emit(t)
+		}
+		head := sim.Table{
+			Title:  "Headline: average IPC improvement over the two-level 2Bc-gskew baseline",
+			Note:   "paper: +12.6% at 20 stages, +15.6% at 60 stages (ARVI current value)",
+			Header: []string{"depth", "arvi-current", "arvi-loadback", "arvi-perfect"},
+		}
+		for _, d := range sim.Depths {
+			_, s := sim.Fig6IPC(mx, d)
+			head.AddRow(fmt.Sprintf("%d", d),
+				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVICurrent]),
+				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVILoadBack]),
+				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVIPerfect]))
+		}
+		emit(head)
+	}
+}

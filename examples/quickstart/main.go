@@ -1,0 +1,74 @@
+// Quickstart: assemble a program, execute it functionally, then compare the
+// two-level baseline predictor against ARVI on the timing simulator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+// A loop whose inner trip count is determined by a value computed well in
+// advance: exactly the branch class ARVI exists for.
+const source = `
+    .data
+trips: .word 3, 1, 4, 1, 5, 2, 6, 5
+    .text
+main:
+    li  r10, 0          # outer counter
+    li  r11, 6000       # outer iterations
+outer:
+    andi r1, r10, 7
+    slli r1, r1, 3
+    lw  r2, trips(r1)   # n = trips[i & 7]
+    # ... unrelated work, so n is committed before the loop ...
+    addi r20, r20, 1
+    addi r21, r21, 2
+    addi r22, r22, 3
+    addi r23, r23, 4
+    addi r20, r20, 1
+    addi r21, r21, 2
+    addi r22, r22, 3
+    addi r23, r23, 4
+    li  r3, 0
+inner:
+    beq r3, r2, done    # exit after n iterations (value determined)
+    addi r3, r3, 1
+    j   inner
+done:
+    addi r10, r10, 1
+    bne r10, r11, outer
+    halt
+`
+
+func main() {
+	prog, err := asm.Assemble("quickstart", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Functional execution: the architectural result.
+	machine := vm.New(prog)
+	n, err := machine.Run(0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional run: %d instructions, r20 = %d\n\n", n, machine.Regs[20])
+
+	// 2. Timing simulation under both predictor configurations.
+	for _, mode := range []cpu.PredMode{cpu.PredBaseline2Lvl, cpu.PredARVICurrent} {
+		st, err := cpu.Run(prog, cpu.DefaultConfig(20, mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s IPC %.3f   branch accuracy %.4f   mispredicts %d\n",
+			mode, st.IPC(), st.PredAccuracy(), st.Mispredicts)
+	}
+	fmt.Println("\nARVI predicts the inner-loop exit from the committed trip count")
+	fmt.Println("and the dependence-chain depth; history predictors cannot.")
+}

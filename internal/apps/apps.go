@@ -1,0 +1,116 @@
+// Package apps implements the Section 3 applications of on-line data
+// dependence tracking: dependence-aware issue prioritisation, selective
+// value-prediction candidate selection, and dependence-chain extraction for
+// branch-decoupled execution. Each application consumes the DDT of package
+// core exactly as the paper sketches.
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// PriorityScheduler ranks ready instructions by the length of the dependence
+// chain *waiting on them* (the per-row counter extension of Section 3,
+// "Dynamic scheduling"): an instruction with many trailing dependents is
+// issued first because resolving it unblocks the most work.
+type PriorityScheduler struct {
+	ddt *core.DDT
+}
+
+// NewPriorityScheduler wraps a DDT configured with TrackDepCounts.
+func NewPriorityScheduler(d *core.DDT) *PriorityScheduler {
+	return &PriorityScheduler{ddt: d}
+}
+
+// Order returns the given ready entries sorted by descending dependent
+// count (ties broken by age: older first). The slice is sorted in place.
+func (s *PriorityScheduler) Order(ready []int) []int {
+	sort.SliceStable(ready, func(i, j int) bool {
+		di, dj := s.ddt.DepCount(ready[i]), s.ddt.DepCount(ready[j])
+		if di != dj {
+			return di > dj
+		}
+		return s.ddt.Age(ready[i]) > s.ddt.Age(ready[j])
+	})
+	return ready
+}
+
+// CriticalEntries returns the in-flight entries whose dependent count meets
+// the threshold — the Calder-style selective value prediction candidates of
+// Section 3 ("those instructions that exceed a threshold count may be
+// selected for value prediction").
+func (s *PriorityScheduler) CriticalEntries(threshold int) []int {
+	var out []int
+	n := s.ddt.Config().Entries
+	for e := 0; e < n; e++ {
+		if s.ddt.InFlight(e) && s.ddt.DepCount(e) >= threshold {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return s.ddt.Age(out[i]) > s.ddt.Age(out[j]) })
+	return out
+}
+
+// ChainExtractor selects the instructions feeding a branch for execution on
+// a decoupled branch-execution (BEX) unit, per Section 3 ("Dynamic branch
+// decoupled architectures: ... In the DDT table, the data dependence chain
+// is immediately available").
+type ChainExtractor struct {
+	ddt *core.DDT
+}
+
+// NewChainExtractor wraps a DDT.
+func NewChainExtractor(d *core.DDT) *ChainExtractor {
+	return &ChainExtractor{ddt: d}
+}
+
+// BranchSlice returns the in-flight instruction entries composing the
+// dependence chain of a branch with the given source registers, ordered
+// oldest first — the instruction slice a BEX unit would pre-execute.
+func (x *ChainExtractor) BranchSlice(branchSrcs ...core.PhysReg) []int {
+	chain := x.ddt.Chain(branchSrcs...)
+	var out []int
+	chain.ForEach(func(e int) { out = append(out, e) })
+	sort.Slice(out, func(i, j int) bool { return x.ddt.Age(out[i]) > x.ddt.Age(out[j]) })
+	return out
+}
+
+// SliceFraction returns |chain| / in-flight — the fraction of the window a
+// BEX unit would need to replicate for this branch. Small fractions are the
+// paper's argument for decoupled branch execution.
+func (x *ChainExtractor) SliceFraction(branchSrcs ...core.PhysReg) float64 {
+	if x.ddt.Len() == 0 {
+		return 0
+	}
+	chain := x.ddt.Chain(branchSrcs...)
+	return float64(chain.Count()) / float64(x.ddt.Len())
+}
+
+// ParallelismEstimate implements the Section 3 "optimizations driven by
+// parallelism metrics": given the DDT, it estimates the window's inherent
+// ILP as in-flight instructions divided by the depth of the longest
+// dependence chain among the given live registers (chain depth approximates
+// the critical path). Callers use it to gate resources (issue-queue sizing,
+// pipeline gating).
+func ParallelismEstimate(d *core.DDT, liveRegs []core.PhysReg) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	maxLen := 0
+	for _, r := range liveRegs {
+		c := d.Chain(r)
+		if n := chainLength(d, c); n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen == 0 {
+		return float64(d.Len())
+	}
+	return float64(d.Len()) / float64(maxLen)
+}
+
+// chainLength counts the chain's members (a proxy for serial work).
+func chainLength(_ *core.DDT, c bitvec.Vec) int { return c.Count() }

@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildChain constructs the running example: a diamond DAG plus a long
+// dependent tail on entry 0.
+//
+//	e0: p1 = ...          (3 dependents)
+//	e1: p2 = f(p1)        (2 dependents)
+//	e2: p3 = f(p2)        (1 dependent)
+//	e3: p4 = f(p3, p1)    (0 dependents)
+//	e4: p5 = ...          (independent, 0 dependents)
+func buildChain(t *testing.T) *core.DDT {
+	t.Helper()
+	d := core.MustNewDDT(core.Config{Entries: 16, PhysRegs: 16, TrackDepCounts: true})
+	ins := func(tgt core.PhysReg, srcs ...core.PhysReg) int {
+		e, err := d.Insert(tgt, srcs, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ins(1)
+	ins(2, 1)
+	ins(3, 2)
+	ins(4, 3, 1)
+	ins(5)
+	return d
+}
+
+func TestPriorityOrder(t *testing.T) {
+	d := buildChain(t)
+	s := NewPriorityScheduler(d)
+	got := s.Order([]int{4, 2, 0, 1})
+	// Dependent counts: e0=3, e1=2, e2=1, e4=0.
+	want := []int{0, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityTieBreakByAge(t *testing.T) {
+	d := core.MustNewDDT(core.Config{Entries: 8, PhysRegs: 8, TrackDepCounts: true})
+	d.Insert(1, nil, false) // e0
+	d.Insert(2, nil, false) // e1: same dep count (0)
+	s := NewPriorityScheduler(d)
+	got := s.Order([]int{1, 0})
+	if got[0] != 0 {
+		t.Errorf("tie must break toward the older entry, got %v", got)
+	}
+}
+
+func TestCriticalEntries(t *testing.T) {
+	d := buildChain(t)
+	s := NewPriorityScheduler(d)
+	crit := s.CriticalEntries(2)
+	if len(crit) != 2 || crit[0] != 0 || crit[1] != 1 {
+		t.Errorf("critical = %v, want [0 1]", crit)
+	}
+	if got := s.CriticalEntries(100); len(got) != 0 {
+		t.Errorf("impossible threshold returned %v", got)
+	}
+	// After commit of e0 the candidate set shrinks.
+	d.Commit()
+	crit = s.CriticalEntries(2)
+	if len(crit) != 1 || crit[0] != 1 {
+		t.Errorf("critical after commit = %v, want [1]", crit)
+	}
+}
+
+func TestBranchSlice(t *testing.T) {
+	d := buildChain(t)
+	x := NewChainExtractor(d)
+	// A branch on p4 depends on e3 <- {e2 <- e1 <- e0, e0}.
+	slice := x.BranchSlice(4)
+	want := []int{0, 1, 2, 3}
+	if len(slice) != len(want) {
+		t.Fatalf("slice = %v, want %v", slice, want)
+	}
+	for i := range want {
+		if slice[i] != want[i] {
+			t.Fatalf("slice = %v, want %v (oldest first)", slice, want)
+		}
+	}
+	// p5's slice is just its own producer.
+	if s := x.BranchSlice(5); len(s) != 1 || s[0] != 4 {
+		t.Errorf("independent slice = %v, want [4]", s)
+	}
+}
+
+func TestSliceFraction(t *testing.T) {
+	d := buildChain(t)
+	x := NewChainExtractor(d)
+	if f := x.SliceFraction(4); f != 4.0/5.0 {
+		t.Errorf("fraction = %v, want 0.8", f)
+	}
+	if f := x.SliceFraction(5); f != 1.0/5.0 {
+		t.Errorf("fraction = %v, want 0.2", f)
+	}
+	empty := core.MustNewDDT(core.Config{Entries: 4, PhysRegs: 4})
+	if f := NewChainExtractor(empty).SliceFraction(1); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+}
+
+func TestParallelismEstimate(t *testing.T) {
+	d := buildChain(t)
+	// Longest chain among {p4} is 4 members; 5 in flight -> ILP 1.25.
+	if got := ParallelismEstimate(d, []core.PhysReg{4}); got != 1.25 {
+		t.Errorf("ILP = %v, want 1.25", got)
+	}
+	// A wide window with no chains is fully parallel.
+	w := core.MustNewDDT(core.Config{Entries: 8, PhysRegs: 8})
+	w.Insert(1, nil, false)
+	w.Insert(2, nil, false)
+	if got := ParallelismEstimate(w, []core.PhysReg{7}); got != 2 {
+		t.Errorf("no-chain ILP = %v, want 2", got)
+	}
+	if got := ParallelismEstimate(core.MustNewDDT(core.Config{Entries: 4, PhysRegs: 4}), nil); got != 0 {
+		t.Errorf("empty ILP = %v, want 0", got)
+	}
+}

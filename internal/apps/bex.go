@@ -1,0 +1,62 @@
+package apps
+
+import (
+	"repro/internal/prog"
+	"repro/internal/wtrace"
+)
+
+// BEXResult summarises a branch-decoupled-execution coverage study: how
+// many dynamic conditional branches have dependence slices small enough to
+// replicate on a separate branch-execution engine (Section 3, "dynamic
+// branch decoupled architectures", and the Farcy/Tyagi designs of
+// Section 7 that lacked a chain-discovery mechanism — the DDT supplies it).
+type BEXResult struct {
+	Branches   int64 // dynamic conditional branches observed
+	Covered    int64 // branches whose slice fits the BEX budget
+	SliceSum   int64 // summed slice sizes (instructions)
+	MaxSlice   int
+	WindowSize int
+	Budget     int
+}
+
+// Coverage is the fraction of branches a BEX engine with the given budget
+// could pre-execute.
+func (r BEXResult) Coverage() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Branches)
+}
+
+// AvgSlice is the mean dependence-slice size per branch.
+func (r BEXResult) AvgSlice() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.SliceSum) / float64(r.Branches)
+}
+
+// EvaluateBEX measures, over the program's dynamic trace with an in-flight
+// window of windowSize, the dependence-slice size of every conditional
+// branch (read straight from the DDT, as the paper proposes) and the
+// fraction coverable by a BEX engine that can replicate at most budget
+// instructions per branch.
+func EvaluateBEX(p *prog.Program, maxInsts int64, windowSize, budget int) (BEXResult, error) {
+	res := BEXResult{WindowSize: windowSize, Budget: budget}
+	err := wtrace.Walk(p, maxInsts, windowSize, false, func(s *wtrace.Step) error {
+		if !s.Event.Inst.IsCondBranch() {
+			return nil
+		}
+		res.Branches++
+		n := s.DDT.Chain(s.SrcPregs...).Count()
+		res.SliceSum += int64(n)
+		if n > res.MaxSlice {
+			res.MaxSlice = n
+		}
+		if n <= budget {
+			res.Covered++
+		}
+		return nil
+	})
+	return res, err
+}

@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEvaluateBEXOnWorkloads(t *testing.T) {
+	for _, name := range []string{"m88ksim", "vortex"} {
+		res, err := EvaluateBEX(workload.ByName(name).Prog, 60_000, 64, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Branches == 0 {
+			t.Fatalf("%s: no branches", name)
+		}
+		if res.Coverage() <= 0 || res.Coverage() > 1 {
+			t.Errorf("%s: coverage %v out of range", name, res.Coverage())
+		}
+		if res.AvgSlice() <= 0 || res.MaxSlice <= 0 {
+			t.Errorf("%s: degenerate slices %+v", name, res)
+		}
+		if res.MaxSlice > res.WindowSize {
+			t.Errorf("%s: slice exceeds window: %d > %d", name, res.MaxSlice, res.WindowSize)
+		}
+	}
+}
+
+func TestBEXBudgetMonotonicity(t *testing.T) {
+	p := workload.ByName("li").Prog
+	small, err := EvaluateBEX(p, 40_000, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EvaluateBEX(p, 40_000, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Covered < small.Covered {
+		t.Errorf("bigger budget must cover at least as many branches: %d < %d",
+			large.Covered, small.Covered)
+	}
+	if small.Branches != large.Branches {
+		t.Errorf("branch counts differ: %d vs %d", small.Branches, large.Branches)
+	}
+}
+
+func TestBEXZeroResultHelpers(t *testing.T) {
+	var z BEXResult
+	if z.Coverage() != 0 || z.AvgSlice() != 0 {
+		t.Error("zero-result helpers wrong")
+	}
+}

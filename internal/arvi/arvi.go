@@ -1,0 +1,247 @@
+// Package arvi implements the paper's Section 4 contribution: the ARVI
+// (Available Register Value Information) branch predictor.
+//
+// ARVI predicts a branch from the *values* of the leaf registers of its
+// data-dependence chain (extracted from the DDT by the RSE, package core).
+// The Branch Value Information Table (BVIT) is indexed by an XOR hash of
+// the low 11 bits of each leaf register value together with branch PC bits,
+// and disambiguated by two tags: a 3-bit sum of the leaf registers'
+// *logical* ids (a path signature, Section 4.4) and a 5-bit
+// dependence-chain depth (loop-iteration disambiguation, Section 4.5).
+// Entries hold a 2-bit direction counter and a 3-bit performance counter
+// (Heil-style) that drives set replacement.
+//
+// The package is deliberately decoupled from the pipeline: the timing core
+// resolves each leaf physical register to (logical id, 11-bit value)
+// according to the value-availability mode (current value / load back /
+// perfect value) and passes the resolved leaves here.
+package arvi
+
+import "fmt"
+
+// Config sizes the BVIT.
+type Config struct {
+	Sets      int   // number of sets (paper: 2K, 11 index bits)
+	Ways      int   // associativity (paper: 4)
+	ValueBits uint  // low value bits hashed into the index (paper: 11)
+	IDTagBits uint  // register-id-sum tag width (paper: 3)
+	DepthBits uint  // chain-depth tag width (paper: 5)
+	PerfMax   uint8 // performance counter saturation (3 bits: 7)
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{Sets: 2048, Ways: 4, ValueBits: 11, IDTagBits: 3, DepthBits: 5, PerfMax: 7}
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("arvi: sets %d not a power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("arvi: non-positive ways")
+	}
+	if c.ValueBits == 0 || c.ValueBits > 16 {
+		return fmt.Errorf("arvi: value bits %d out of range", c.ValueBits)
+	}
+	return nil
+}
+
+// LeafValue is one resolved leaf register of a branch's dependence chain.
+type LeafValue struct {
+	Logical uint8  // architectural register id (for the ID-sum tag)
+	Value   uint16 // low ValueBits of the register value used for the hash
+}
+
+// Key identifies a BVIT entry for one dynamic branch instance. It is
+// computed at prediction time and must be retained by the caller for the
+// update at branch resolution, because register state changes in between.
+type Key struct {
+	Set      uint32
+	IDTag    uint8
+	DepthTag uint8
+}
+
+type entry struct {
+	valid    bool
+	idTag    uint8
+	depthTag uint8
+	ctr      uint8 // 2-bit direction counter
+	perf     uint8 // 3-bit Heil performance counter
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	Lookups   int64
+	Hits      int64
+	Correct   int64 // correct predictions among hits that were used
+	Wrong     int64
+	Allocs    int64
+	Evictions int64
+}
+
+// Predictor is the ARVI BVIT.
+type Predictor struct {
+	cfg     Config
+	sets    []entry // Sets × Ways
+	setMask uint32
+	stats   Stats
+}
+
+// New builds an ARVI predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		cfg:     cfg,
+		sets:    make([]entry, cfg.Sets*cfg.Ways),
+		setMask: uint32(cfg.Sets - 1),
+	}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Stats returns a copy of the event counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// MakeKey computes the BVIT set index and the two tags for a branch at pc
+// with the given resolved leaf registers and chain depth (Figure 4).
+// The index is the XOR of the low ValueBits of every leaf value and the
+// branch PC bits; the ID tag is the IDTagBits-wide sum of the leaves'
+// logical register ids; the depth tag is the chain depth truncated to
+// DepthBits.
+func (p *Predictor) MakeKey(pc uint64, leaves []LeafValue, depth int) Key {
+	vmask := uint32(1)<<p.cfg.ValueBits - 1
+	// PC[13:3]-style slice: fold two pc fields so nearby branches spread.
+	h := (uint32(pc) ^ uint32(pc>>p.cfg.ValueBits)) & vmask
+	var idSum uint32
+	for _, l := range leaves {
+		h ^= uint32(l.Value) & vmask
+		idSum += uint32(l.Logical) & (1<<p.cfg.IDTagBits - 1)
+	}
+	return Key{
+		Set:      h & p.setMask,
+		IDTag:    uint8(idSum & (1<<p.cfg.IDTagBits - 1)),
+		DepthTag: uint8(uint32(depth) & (1<<p.cfg.DepthBits - 1)),
+	}
+}
+
+func (p *Predictor) set(k Key) []entry {
+	base := int(k.Set) * p.cfg.Ways
+	return p.sets[base : base+p.cfg.Ways]
+}
+
+// Lookup probes the BVIT. On a tag match it returns the stored direction
+// and hit=true; otherwise hit=false and the caller should fall back to the
+// level-1 prediction.
+func (p *Predictor) Lookup(k Key) (pred, hit bool) {
+	pred, hit, _, _ = p.LookupEx(k)
+	return pred, hit
+}
+
+// LookupEx is Lookup but also returns the entry's Heil performance counter
+// and whether the direction counter is saturated (a "strong" entry). The
+// two-level composition uses these to decide whether the ARVI output should
+// actually steer fetch: entries that have proven ineffective, or that are
+// still oscillating, keep training but do not override the level-1
+// prediction.
+func (p *Predictor) LookupEx(k Key) (pred, hit bool, perf uint8, strong bool) {
+	p.stats.Lookups++
+	for i := range p.set(k) {
+		e := &p.set(k)[i]
+		if e.valid && e.idTag == k.IDTag && e.depthTag == k.DepthTag {
+			p.stats.Hits++
+			return e.ctr >= 2, true, e.perf, e.ctr == 0 || e.ctr == 3
+		}
+	}
+	return false, false, 0, false
+}
+
+// Update trains the entry for k with the resolved outcome, allocating a
+// replacement victim on a miss. usedForPrediction tells the predictor
+// whether its output actually steered fetch, which drives the Heil
+// performance counters.
+func (p *Predictor) Update(k Key, taken, usedForPrediction bool) {
+	s := p.set(k)
+	for i := range s {
+		e := &s[i]
+		if e.valid && e.idTag == k.IDTag && e.depthTag == k.DepthTag {
+			wasCorrect := (e.ctr >= 2) == taken
+			if taken {
+				if e.ctr < 3 {
+					e.ctr++
+				}
+			} else if e.ctr > 0 {
+				e.ctr--
+			}
+			if usedForPrediction {
+				if wasCorrect {
+					p.stats.Correct++
+					if e.perf < p.cfg.PerfMax {
+						e.perf++
+					}
+				} else {
+					p.stats.Wrong++
+					if e.perf > 0 {
+						e.perf--
+					}
+				}
+			} else if wasCorrect && e.perf < p.cfg.PerfMax {
+				// Entries that would have been right still gain standing.
+				e.perf++
+			}
+			return
+		}
+	}
+	// Miss: allocate, evicting the way with the lowest performance count.
+	victim := 0
+	for i := 1; i < len(s); i++ {
+		if !s[i].valid {
+			victim = i
+			break
+		}
+		if s[i].perf < s[victim].perf {
+			victim = i
+		}
+	}
+	if s[victim].valid {
+		p.stats.Evictions++
+	}
+	p.stats.Allocs++
+	ctr := uint8(1)
+	if taken {
+		ctr = 2
+	}
+	s[victim] = entry{valid: true, idTag: k.IDTag, depthTag: k.DepthTag, ctr: ctr, perf: 1}
+}
+
+// SizeBytes reports the BVIT hardware budget: per entry a 2-bit counter,
+// 3-bit performance counter, the two tags and a valid bit.
+func (p *Predictor) SizeBytes() int {
+	bitsPerEntry := 2 + 3 + int(p.cfg.IDTagBits) + int(p.cfg.DepthBits) + 1
+	return p.cfg.Sets * p.cfg.Ways * bitsPerEntry / 8
+}
+
+// Name identifies the predictor in reports.
+func (p *Predictor) Name() string {
+	return fmt.Sprintf("arvi-%dx%d", p.cfg.Sets, p.cfg.Ways)
+}
+
+// Reset clears table contents and statistics.
+func (p *Predictor) Reset() {
+	for i := range p.sets {
+		p.sets[i] = entry{}
+	}
+	p.stats = Stats{}
+}

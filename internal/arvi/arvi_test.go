@@ -1,0 +1,246 @@
+package arvi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newP(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 4, ValueBits: 11},
+		{Sets: 100, Ways: 4, ValueBits: 11},
+		{Sets: 64, Ways: 0, ValueBits: 11},
+		{Sets: 64, Ways: 4, ValueBits: 0},
+		{Sets: 64, Ways: 4, ValueBits: 20},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestKeyDependsOnValues(t *testing.T) {
+	p := newP(t)
+	leavesA := []LeafValue{{Logical: 3, Value: 100}, {Logical: 5, Value: 7}}
+	leavesB := []LeafValue{{Logical: 3, Value: 101}, {Logical: 5, Value: 7}}
+	kA := p.MakeKey(42, leavesA, 6)
+	kB := p.MakeKey(42, leavesB, 6)
+	if kA.Set == kB.Set {
+		t.Error("different values must generally select different sets")
+	}
+	if kA.IDTag != kB.IDTag || kA.DepthTag != kB.DepthTag {
+		t.Error("tags must not depend on values")
+	}
+}
+
+func TestKeyTagFormation(t *testing.T) {
+	p := newP(t)
+	leaves := []LeafValue{{Logical: 6, Value: 0}, {Logical: 5, Value: 0}}
+	k := p.MakeKey(0, leaves, 37)
+	// ID tag: (6&7 + 5&7) & 7 = 11 & 7 = 3.
+	if k.IDTag != 3 {
+		t.Errorf("id tag = %d, want 3", k.IDTag)
+	}
+	// Depth tag: 37 mod 32 = 5.
+	if k.DepthTag != 5 {
+		t.Errorf("depth tag = %d, want 5", k.DepthTag)
+	}
+}
+
+func TestKeyDependsOnRegisterSet(t *testing.T) {
+	p := newP(t)
+	// Same values, different logical registers: same index (values equal)
+	// but different ID tag — the paper's path differentiator.
+	kA := p.MakeKey(42, []LeafValue{{Logical: 1, Value: 9}}, 2)
+	kB := p.MakeKey(42, []LeafValue{{Logical: 2, Value: 9}}, 2)
+	if kA.IDTag == kB.IDTag {
+		t.Error("ID tag must distinguish register sets")
+	}
+}
+
+func TestLookupMissThenLearn(t *testing.T) {
+	p := newP(t)
+	k := p.MakeKey(10, []LeafValue{{Logical: 4, Value: 77}}, 3)
+	if _, hit := p.Lookup(k); hit {
+		t.Fatal("cold lookup must miss")
+	}
+	p.Update(k, true, false) // allocate
+	pred, hit := p.Lookup(k)
+	if !hit || !pred {
+		t.Fatalf("after taken alloc: pred=%v hit=%v", pred, hit)
+	}
+	// Same situation recurs: ARVI predicts taken with certainty.
+	for i := 0; i < 10; i++ {
+		p.Update(k, true, true)
+		if pred, hit := p.Lookup(k); !hit || !pred {
+			t.Fatal("stable value pattern must stay predicted taken")
+		}
+	}
+	st := p.Stats()
+	if st.Correct != 10 || st.Wrong != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestValueChangesDisambiguate(t *testing.T) {
+	// The core ARVI property: the same branch with different generating
+	// values uses different BVIT entries, so a value-determined branch is
+	// perfectly predicted even when its outcome alternates.
+	p := newP(t)
+	pc := uint64(99)
+	outcomeOf := func(v uint16) bool { return v%2 == 0 }
+	// Train on values 0..15.
+	for round := 0; round < 3; round++ {
+		for v := uint16(0); v < 16; v++ {
+			k := p.MakeKey(pc, []LeafValue{{Logical: 7, Value: v}}, 4)
+			p.Update(k, outcomeOf(v), true)
+		}
+	}
+	// Now every value must predict its own outcome.
+	for v := uint16(0); v < 16; v++ {
+		k := p.MakeKey(pc, []LeafValue{{Logical: 7, Value: v}}, 4)
+		pred, hit := p.Lookup(k)
+		if !hit {
+			t.Fatalf("value %d: miss", v)
+		}
+		if pred != outcomeOf(v) {
+			t.Errorf("value %d: pred %v, want %v", v, pred, outcomeOf(v))
+		}
+	}
+}
+
+func TestDepthDisambiguatesIterations(t *testing.T) {
+	// Loop iterations with identical register sets and values but
+	// different chain depths must map to different entries (Section 4.5).
+	p := newP(t)
+	leaves := []LeafValue{{Logical: 2, Value: 5}}
+	kExit := p.MakeKey(7, leaves, 9)
+	kLoop := p.MakeKey(7, leaves, 3)
+	if kExit == kLoop {
+		t.Fatal("depth must differentiate keys")
+	}
+	for i := 0; i < 4; i++ {
+		p.Update(kLoop, true, true)
+		p.Update(kExit, false, true)
+	}
+	if pred, hit := p.Lookup(kLoop); !hit || !pred {
+		t.Error("loop-back instance must predict taken")
+	}
+	if pred, hit := p.Lookup(kExit); !hit || pred {
+		t.Error("exit instance must predict not-taken")
+	}
+}
+
+func TestReplacementPrefersLowPerf(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sets = 1 // force all keys into one set
+	cfg.Ways = 2
+	p := MustNew(cfg)
+	// Two entries with distinct tags; give the first a high perf count.
+	kGood := Key{Set: 0, IDTag: 1, DepthTag: 1}
+	kWeak := Key{Set: 0, IDTag: 2, DepthTag: 2}
+	p.Update(kGood, true, false)
+	p.Update(kWeak, true, false)
+	for i := 0; i < 6; i++ {
+		p.Update(kGood, true, true) // perf rises
+	}
+	// A third key must evict the weak entry, not the good one.
+	kNew := Key{Set: 0, IDTag: 3, DepthTag: 3}
+	p.Update(kNew, false, false)
+	if _, hit := p.Lookup(kGood); !hit {
+		t.Error("high-performance entry was evicted")
+	}
+	if _, hit := p.Lookup(kWeak); hit {
+		t.Error("weak entry survived")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", p.Stats().Evictions)
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	p := newP(t)
+	k := p.MakeKey(3, []LeafValue{{Logical: 1, Value: 1}}, 1)
+	p.Update(k, true, false)
+	p.Update(k, true, false) // ctr = 3
+	p.Update(k, false, true) // ctr = 2, still predicts taken
+	if pred, hit := p.Lookup(k); !hit || !pred {
+		t.Error("single contrary outcome must not flip a strong entry")
+	}
+	p.Update(k, false, true)
+	if pred, _ := p.Lookup(k); pred {
+		t.Error("two contrary outcomes must flip the entry")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p := newP(t)
+	// 2048 sets x 4 ways x 14 bits = 14336 bytes: within the 32 KB L2
+	// budget once the DDT (9 KB for 256x288), RSE and shadow structures
+	// are added.
+	if got := p.SizeBytes(); got != 2048*4*14/8 {
+		t.Errorf("size = %d", got)
+	}
+	if p.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := newP(t)
+	k := p.MakeKey(1, nil, 0)
+	p.Update(k, true, false)
+	p.Reset()
+	if _, hit := p.Lookup(k); hit {
+		t.Error("reset must clear entries")
+	}
+	if p.Stats().Lookups != 1 {
+		t.Error("reset must clear stats (then count the probe above)")
+	}
+}
+
+// Property: MakeKey is order-insensitive in its leaves (XOR and sum are
+// commutative) — the hardware gathers the set from a bit vector with no
+// defined order.
+func TestQuickKeyOrderInsensitive(t *testing.T) {
+	p := newP(t)
+	f := func(pc uint64, l1, l2, l3 uint8, v1, v2, v3 uint16, depth uint8) bool {
+		a := []LeafValue{{l1, v1}, {l2, v2}, {l3, v3}}
+		b := []LeafValue{{l3, v3}, {l1, v1}, {l2, v2}}
+		return p.MakeKey(pc, a, int(depth)) == p.MakeKey(pc, b, int(depth))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lookups never mutate predictor state visible to lookups.
+func TestQuickLookupPure(t *testing.T) {
+	p := newP(t)
+	k := p.MakeKey(5, []LeafValue{{Logical: 3, Value: 3}}, 2)
+	p.Update(k, true, false)
+	f := func(n uint8) bool {
+		before, _ := p.Lookup(k)
+		for i := uint8(0); i < n%16; i++ {
+			p.Lookup(k)
+		}
+		after, _ := p.Lookup(k)
+		return before == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

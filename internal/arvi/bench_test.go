@@ -1,0 +1,29 @@
+package arvi
+
+import "testing"
+
+// BenchmarkMakeKeyLookup measures the predictor's per-branch front-end
+// cost: hashing the leaf set and probing the BVIT.
+func BenchmarkMakeKeyLookup(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	leaves := []LeafValue{{Logical: 3, Value: 101}, {Logical: 7, Value: 44}, {Logical: 9, Value: 2000}}
+	k := p.MakeKey(1234, leaves, 17)
+	p.Update(k, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := p.MakeKey(1234, leaves, 17)
+		p.Lookup(k)
+	}
+}
+
+// BenchmarkUpdate measures the training path including replacement.
+func BenchmarkUpdate(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	leaves := []LeafValue{{Logical: 3, Value: 0}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaves[0].Value = uint16(i)
+		k := p.MakeKey(uint64(i), leaves, i%32)
+		p.Update(k, i%3 == 0, true)
+	}
+}

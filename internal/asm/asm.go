@@ -1,0 +1,626 @@
+// Package asm implements a two-pass assembler for the simulator's ISA.
+//
+// Syntax overview (one statement per line, '#' and ';' start comments):
+//
+//	        .data                 # switch to data segment
+//	tab:    .word 1, 2, 3         # 8-byte little-endian words
+//	buf:    .space 64             # zeroed bytes
+//	msg:    .asciiz "hi"          # NUL-terminated bytes
+//	        .align 8              # pad data to an 8-byte boundary
+//	        .text                 # switch to text segment (default)
+//	main:   li   r1, 10
+//	loop:   addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        halt
+//
+// Registers are written r0..r31 or by alias (zero, sp, fp, ra). Branch and
+// jump targets are labels or absolute instruction indices. Memory operands
+// use the offset(base) form; the offset may be a label (data address) or an
+// integer. Pseudo-instructions: la (load address), mv, neg, not, b
+// (unconditional branch), call, ret, ble/bgt (operand-swapped blt/bge),
+// beqz/bnez, push/pop (sp-relative word).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type fixup struct {
+	instIdx int    // instruction needing patching
+	label   string // referenced label
+	line    int
+	field   int // 0 = Imm
+}
+
+type assembler struct {
+	name     string
+	text     []isa.Inst
+	data     []byte
+	dataBase uint64
+	sec      section
+	labels   map[string]uint64 // text labels: inst index; data labels: absolute byte addr
+	isText   map[string]bool
+	fixups   []fixup
+	entry    string
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.Zero, "sp": isa.SP, "fp": isa.FP, "ra": isa.RA,
+}
+
+// Assemble translates source into an executable program. name is used in
+// diagnostics and stamped on the returned program.
+func Assemble(name, src string) (*prog.Program, error) {
+	a := &assembler{
+		name:     name,
+		dataBase: prog.DefaultDataBase,
+		labels:   make(map[string]uint64),
+		isText:   make(map[string]bool),
+		entry:    "main",
+	}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		if err := a.line(ln+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	entry := 0
+	if e, ok := a.labels[a.entry]; ok && a.isText[a.entry] {
+		entry = int(e)
+	}
+	p := &prog.Program{
+		Name:     name,
+		Text:     a.text,
+		Data:     a.data,
+		DataBase: a.dataBase,
+		Entry:    entry,
+		Symbols:  a.labels,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; intended for compiled-in
+// workload sources that are validated by tests.
+func MustAssemble(name, src string) *prog.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (a *assembler) line(ln int, raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several on one line).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		lbl := strings.TrimSpace(s[:i])
+		if !isIdent(lbl) {
+			break // a ':' inside an operand (none in this syntax, but be safe)
+		}
+		if _, dup := a.labels[lbl]; dup {
+			return a.errf(ln, "duplicate label %q", lbl)
+		}
+		if a.sec == secText {
+			a.labels[lbl] = uint64(len(a.text))
+			a.isText[lbl] = true
+		} else {
+			a.labels[lbl] = a.dataBase + uint64(len(a.data))
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(ln, s)
+	}
+	return a.instruction(ln, s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(ln int, s string) error {
+	fields := strings.SplitN(s, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".entry":
+		if !isIdent(rest) {
+			return a.errf(ln, ".entry needs a label, got %q", rest)
+		}
+		a.entry = rest
+	case ".word":
+		if a.sec != secData {
+			return a.errf(ln, ".word outside .data")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return a.errf(ln, "bad .word value %q", f)
+			}
+			var b [8]byte
+			putWord(b[:], v)
+			a.data = append(a.data, b[:]...)
+		}
+	case ".byte":
+		if a.sec != secData {
+			return a.errf(ln, ".byte outside .data")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return a.errf(ln, "bad .byte value %q", f)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".space":
+		if a.sec != secData {
+			return a.errf(ln, ".space outside .data")
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return a.errf(ln, "bad .space size %q", rest)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		if a.sec != secData {
+			return a.errf(ln, ".align outside .data")
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return a.errf(ln, "bad .align %q", rest)
+		}
+		for len(a.data)%n != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".asciiz":
+		if a.sec != secData {
+			return a.errf(ln, ".asciiz outside .data")
+		}
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(ln, "bad .asciiz string %s", rest)
+		}
+		a.data = append(a.data, []byte(str)...)
+		a.data = append(a.data, 0)
+	default:
+		return a.errf(ln, "unknown directive %q", dir)
+	}
+	return nil
+}
+
+func putWord(b []byte, v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (a *assembler) reg(ln int, s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, a.errf(ln, "bad register %q", s)
+}
+
+// imm parses an integer immediate or records a label fixup for instruction
+// index idx and returns 0 in that case.
+func (a *assembler) imm(ln, idx int, s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if isIdent(s) {
+		a.fixups = append(a.fixups, fixup{instIdx: idx, label: s, line: ln})
+		return 0, nil
+	}
+	return 0, a.errf(ln, "bad immediate %q", s)
+}
+
+// memOperand parses "off(base)" where off may be an integer or a label.
+func (a *assembler) memOperand(ln, idx int, s string) (isa.Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf(ln, "bad memory operand %q (want off(base))", s)
+	}
+	base, err := a.reg(ln, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return base, 0, nil
+	}
+	off, err := a.imm(ln, idx, offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, off, nil
+}
+
+func (a *assembler) emit(in isa.Inst) int {
+	a.text = append(a.text, in)
+	return len(a.text) - 1
+}
+
+func (a *assembler) instruction(ln int, s string) error {
+	if a.sec != secText {
+		return a.errf(ln, "instruction outside .text")
+	}
+	var mn, rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn, rest = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mn = s
+	}
+	mn = strings.ToLower(mn)
+	ops := splitOperands(rest)
+	idx := len(a.text)
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf(ln, "%s needs %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	rrr := map[string]isa.Op{
+		"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+		"xor": isa.OpXor, "sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+		"slt": isa.OpSlt, "sltu": isa.OpSltu, "mul": isa.OpMul,
+		"div": isa.OpDiv, "rem": isa.OpRem,
+	}
+	rri := map[string]isa.Op{
+		"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri,
+		"xori": isa.OpXori, "slti": isa.OpSlti, "slli": isa.OpSlli,
+		"srli": isa.OpSrli, "srai": isa.OpSrai,
+	}
+	branches2 := map[string]isa.Op{
+		"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt, "bge": isa.OpBge,
+	}
+	branches1 := map[string]isa.Op{"bltz": isa.OpBltz, "bgez": isa.OpBgez}
+
+	switch {
+	case rrr[mn] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ln, ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: rrr[mn], Rd: rd, Rs1: rs1, Rs2: rs2})
+	case rri[mn] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: rri[mn], Rd: rd, Rs1: rs1, Imm: imm})
+	case mn == "li" || mn == "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpLi, Rd: rd, Imm: imm})
+	case mn == "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs})
+	case mn == "neg":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: isa.Zero, Rs2: rs})
+	case mn == "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpXori, Rd: rd, Rs1: rs, Imm: -1})
+	case mn == "lw" || mn == "lb":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := a.memOperand(ln, idx, ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.OpLw
+		if mn == "lb" {
+			op = isa.OpLb
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+	case mn == "sw" || mn == "sb":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := a.memOperand(ln, idx, ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.OpSw
+		if mn == "sb" {
+			op = isa.OpSb
+		}
+		a.emit(isa.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off})
+	case branches2[mn] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: branches2[mn], Rs1: rs1, Rs2: rs2, Imm: imm})
+	case mn == "ble" || mn == "bgt": // swapped-operand forms
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ln, ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[2])
+		if err != nil {
+			return err
+		}
+		op := isa.OpBge // ble a,b == bge b,a
+		if mn == "bgt" {
+			op = isa.OpBlt // bgt a,b == blt b,a
+		}
+		a.emit(isa.Inst{Op: op, Rs1: rs2, Rs2: rs1, Imm: imm})
+	case mn == "beqz" || mn == "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.OpBeq
+		if mn == "bnez" {
+			op = isa.OpBne
+		}
+		a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: isa.Zero, Imm: imm})
+	case branches1[mn] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: branches1[mn], Rs1: rs1, Imm: imm})
+	case mn == "j" || mn == "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpJ, Imm: imm})
+	case mn == "jal" || mn == "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := a.imm(ln, idx, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpJal, Rd: isa.RA, Imm: imm})
+	case mn == "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs1, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpJr, Rs1: rs1})
+	case mn == "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpJr, Rs1: isa.RA})
+	case mn == "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: -8})
+		a.emit(isa.Inst{Op: isa.OpSw, Rs1: isa.SP, Rs2: rs})
+	case mn == "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := a.reg(ln, ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpLw, Rd: rd, Rs1: isa.SP})
+		a.emit(isa.Inst{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: 8})
+	case mn == "nop":
+		a.emit(isa.Inst{Op: isa.OpNop})
+	case mn == "halt":
+		a.emit(isa.Inst{Op: isa.OpHalt})
+	default:
+		return a.errf(ln, "unknown mnemonic %q", mn)
+	}
+	return nil
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		v, ok := a.labels[f.label]
+		if !ok {
+			return a.errf(f.line, "undefined label %q", f.label)
+		}
+		a.text[f.instIdx].Imm = int64(v)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustAsm(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+# simple countdown
+main:
+    li   r1, 3
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+`)
+	if len(p.Text) != 4 {
+		t.Fatalf("text len = %d, want 4", len(p.Text))
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+	if p.Text[0].Op != isa.OpLi || p.Text[0].Imm != 3 {
+		t.Errorf("inst 0 = %v", p.Text[0])
+	}
+	if p.Text[2].Op != isa.OpBne || p.Text[2].Imm != 1 {
+		t.Errorf("branch = %v, want target 1", p.Text[2])
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	p := mustAsm(t, `
+main:
+    beq r0, r0, done
+    nop
+done:
+    halt
+`)
+	if p.Text[0].Imm != 2 {
+		t.Errorf("forward branch target = %d, want 2", p.Text[0].Imm)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAsm(t, `
+    .data
+tab: .word 1, 2, -3
+buf: .space 5
+    .align 8
+msg: .asciiz "ab"
+b:   .byte 7, 0x10
+    .text
+main:
+    la  r1, tab
+    lw  r2, 8(r1)
+    lw  r3, tab(r0)
+    halt
+`)
+	if p.DataBase != prog.DefaultDataBase {
+		t.Errorf("data base = %#x", p.DataBase)
+	}
+	// tab occupies 24 bytes, buf 5, aligned to 32, msg 3 bytes, b 2 bytes.
+	if len(p.Data) != 24+5+3+3+2 {
+		t.Errorf("data len = %d, want 37", len(p.Data))
+	}
+	if p.Data[8] != 2 {
+		t.Errorf("word value wrong: %v", p.Data[:24])
+	}
+	// -3 little-endian
+	if p.Data[16] != 0xfd || p.Data[23] != 0xff {
+		t.Errorf("negative word encoding wrong: %v", p.Data[16:24])
+	}
+	if got := p.Symbols["msg"]; got != p.DataBase+32 {
+		t.Errorf("msg = %#x, want %#x", got, p.DataBase+32)
+	}
+	if string(p.Data[32:34]) != "ab" || p.Data[34] != 0 {
+		t.Errorf("asciiz wrong: %v", p.Data[32:35])
+	}
+	if p.Text[0].Op != isa.OpLi || p.Text[0].Imm != int64(p.DataBase) {
+		t.Errorf("la = %v", p.Text[0])
+	}
+	if p.Text[2].Imm != int64(p.DataBase) {
+		t.Errorf("label as offset = %v", p.Text[2])
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p := mustAsm(t, `
+main:
+    mv   r1, r2
+    neg  r3, r4
+    not  r5, r6
+    beqz r1, main
+    bnez r1, main
+    ble  r1, r2, main
+    bgt  r1, r2, main
+    b    main
+    call main
+    ret
+    push r7
+    pop  r8
+    halt
+`)
+	want := []struct {
+		i  int
+		op isa.Op
+	}{
+		{0, isa.OpAddi}, {1, isa.OpSub}, {2, isa.OpXori},
+		{3, isa.OpBeq}, {4, isa.OpBne}, {5, isa.OpBge}, {6, isa.OpBlt},
+		{7, isa.OpJ}, {8, isa.OpJal}, {9, isa.OpJr},
+		{10, isa.OpAddi}, {11, isa.OpSw}, {12, isa.OpLw}, {13, isa.OpAddi},
+	}
+	for _, w := range want {
+		if p.Text[w.i].Op != w.op {
+			t.Errorf("inst %d = %v, want op %v", w.i, p.Text[w.i], w.op)
+		}
+	}
+	// ble a,b -> bge b,a: operands swapped.
+	if p.Text[5].Rs1 != 2 || p.Text[5].Rs2 != 1 {
+		t.Errorf("ble swap wrong: %v", p.Text[5])
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p := mustAsm(t, `
+    .entry start
+pre:
+    nop
+start:
+    halt
+`)
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, `
+main:
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    mv   fp, zero
+    halt
+`)
+	if p.Text[0].Rd != isa.SP || p.Text[1].Rs2 != isa.RA || p.Text[2].Rd != isa.FP {
+		t.Error("register aliases mis-parsed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"main:\n  frob r1\n  halt", "unknown mnemonic"},
+		{"main:\n  add r1, r2\n  halt", "needs 3 operands"},
+		{"main:\n  add r1, r2, r99\n  halt", "bad register"},
+		{"main:\n  beq r1, r0, nowhere\n  halt", "undefined label"},
+		{"main:\nmain:\n  halt", "duplicate label"},
+		{".word 5\nmain:\n  halt", ".word outside .data"},
+		{"main:\n  lw r1, r2\n  halt", "bad memory operand"},
+		{".data\nx: .word zzz\n.text\nmain:\n halt", "bad .word"},
+		{"main:\n  .oops\n  halt", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("src %q: expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBranchTargetValidation(t *testing.T) {
+	// A numeric out-of-range target must be caught by Validate.
+	_, err := Assemble("t", "main:\n  j 99\n  halt")
+	if err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Errorf("out-of-range jump accepted: %v", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p := mustAsm(t, "main: halt # trailing\n   \n\t\n; full line comment\n")
+	if len(p.Text) != 1 {
+		t.Errorf("text len = %d, want 1", len(p.Text))
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "main:\n  frob\n")
+}
+
+func TestStaticStats(t *testing.T) {
+	p := mustAsm(t, `
+    .data
+v: .word 0
+    .text
+main:
+    lw  r1, v(r0)
+    sw  r1, v(r0)
+    beq r1, r0, main
+    j   main
+`)
+	s := p.StaticStats()
+	if s.Loads != 1 || s.Stores != 1 || s.CondBranches != 1 || s.Jumps != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.DataBytes != 8 {
+		t.Errorf("data bytes = %d", s.DataBytes)
+	}
+}

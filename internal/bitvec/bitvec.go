@@ -1,0 +1,114 @@
+// Package bitvec provides the fixed-width bit-vector kernel underlying the
+// DDT rows, the valid vector and the RSE mark planes. Vectors are plain
+// []uint64 slices so rows of a larger matrix can alias a flat backing array
+// without copies.
+package bitvec
+
+import "math/bits"
+
+// Vec is a bit vector. Its length in bits is fixed by its creator; all
+// binary operations require operands of equal word length.
+type Vec []uint64
+
+// WordsFor returns the number of 64-bit words needed for n bits.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// New returns a zeroed vector capable of holding n bits.
+func New(n int) Vec { return make(Vec, WordsFor(n)) }
+
+// Set sets bit i.
+func (v Vec) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) { v[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (v Vec) Get(i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset zeroes the vector.
+func (v Vec) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with src.
+func (v Vec) CopyFrom(src Vec) { copy(v, src) }
+
+// Or sets v |= a.
+func (v Vec) Or(a Vec) {
+	for i := range v {
+		v[i] |= a[i]
+	}
+}
+
+// And sets v &= a.
+func (v Vec) And(a Vec) {
+	for i := range v {
+		v[i] &= a[i]
+	}
+}
+
+// AndNot sets v &^= a.
+func (v Vec) AndNot(a Vec) {
+	for i := range v {
+		v[i] &^= a[i]
+	}
+}
+
+// OrOf sets v = a | b (v may alias a or b).
+func (v Vec) OrOf(a, b Vec) {
+	for i := range v {
+		v[i] = a[i] | b[i]
+	}
+}
+
+// Any reports whether any bit is set.
+func (v Vec) Any() bool {
+	for _, w := range v {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (v Vec) Count() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for each set bit index in ascending order.
+func (v Vec) ForEach(fn func(i int)) {
+	for wi, w := range v {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Equal reports whether v and a hold identical bits.
+func (v Vec) Equal(a Vec) bool {
+	if len(v) != len(a) {
+		return false
+	}
+	for i := range v {
+		if v[i] != a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}

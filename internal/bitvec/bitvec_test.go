@@ -1,0 +1,141 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	if len(v) != 3 {
+		t.Fatalf("words = %d, want 3", len(v))
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if v.Get(i) {
+			t.Errorf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := v.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	v.Clear(64)
+	if v.Get(64) || v.Count() != 5 {
+		t.Error("clear failed")
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := [][2]int{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}
+	for _, c := range cases {
+		if got := WordsFor(c[0]); got != c[1] {
+			t.Errorf("WordsFor(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+
+	v := a.Clone()
+	v.Or(b)
+	if !(v.Get(1) && v.Get(70) && v.Get(99)) || v.Count() != 3 {
+		t.Errorf("or wrong: %v", v)
+	}
+	v = a.Clone()
+	v.And(b)
+	if !v.Get(70) || v.Count() != 1 {
+		t.Errorf("and wrong: %v", v)
+	}
+	v = a.Clone()
+	v.AndNot(b)
+	if !v.Get(1) || v.Count() != 1 {
+		t.Errorf("andnot wrong: %v", v)
+	}
+	v = New(100)
+	v.OrOf(a, b)
+	if v.Count() != 3 {
+		t.Errorf("orof wrong: %v", v)
+	}
+}
+
+func TestAnyResetEqual(t *testing.T) {
+	v := New(80)
+	if v.Any() {
+		t.Error("fresh vector must be empty")
+	}
+	v.Set(79)
+	if !v.Any() {
+		t.Error("any failed")
+	}
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Reset()
+	if c.Any() || v.Equal(c) {
+		t.Error("reset failed")
+	}
+	if v.Equal(New(144)) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	v := New(200)
+	want := []int{3, 64, 65, 190}
+	for _, i := range want {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEach order: got %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesSets(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		v := New(1 << 16)
+		seen := map[uint16]bool{}
+		for _, i := range idxs {
+			v.Set(int(i))
+			seen[i] = true
+		}
+		return v.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identity a&^b == a & (a^(a&b)) on our ops.
+func TestQuickAndNotConsistency(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, b := Vec(aw[:]).Clone(), Vec(bw[:]).Clone()
+		x := a.Clone()
+		x.AndNot(b)
+		y := a.Clone()
+		ab := a.Clone()
+		ab.And(b)
+		y.AndNot(ab)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

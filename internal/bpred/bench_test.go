@@ -1,0 +1,21 @@
+package bpred
+
+import "testing"
+
+// BenchmarkGskewPredictUpdate measures the 2Bc-gskew hot path at the
+// level-2 size (8K-entry banks).
+func BenchmarkGskewPredictUpdate(b *testing.B) {
+	p, err := NewGskew2Bc(32768)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h History
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i % 509)
+		taken := i%3 != 0
+		p.Predict(pc, h.Bits)
+		p.Update(pc, h.Bits, taken)
+		h.Push(taken)
+	}
+}

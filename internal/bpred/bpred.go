@@ -1,0 +1,338 @@
+// Package bpred implements the paper's baseline branch-prediction stack:
+// two-bit counter tables (bimodal), gshare, the Alpha EV8-style 2Bc-gskew
+// hybrid [Seznec et al., ISCA 2002] used as both the level-1 predictor and
+// the level-2 baseline, a JRS-style confidence estimator, and the
+// two-level override composition of Section 5.
+//
+// All predictors operate on the branch PC (an instruction index) and a
+// global history register maintained by the caller via Update. Because the
+// timing core replays the correct path only, speculative and committed
+// history are identical; predictors therefore update history at Update time
+// in program order.
+package bpred
+
+import "fmt"
+
+// Counter2 is a 2-bit saturating counter. Values 0..1 predict not-taken,
+// 2..3 predict taken.
+type Counter2 uint8
+
+// Predict returns the counter's direction.
+func (c Counter2) Predict() bool { return c >= 2 }
+
+// Bump moves the counter toward the outcome and returns the new value.
+func (c Counter2) Bump(taken bool) Counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// WeaklyTaken is the conventional counter initialisation.
+const WeaklyTaken = Counter2(2)
+
+// Predictor is a direction predictor for conditional branches.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc given
+	// the current global history.
+	Predict(pc uint64, hist uint64) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint64, hist uint64, taken bool)
+	// SizeBytes reports the hardware budget of the predictor state.
+	SizeBytes() int
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []Counter2
+	mask  uint64
+	name  string
+}
+
+// NewBimodal builds a bimodal predictor with the given number of entries
+// (power of two).
+func NewBimodal(entries int) (*Bimodal, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: bimodal entries %d not a power of two", entries)
+	}
+	t := make([]Counter2, entries)
+	for i := range t {
+		t[i] = WeaklyTaken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1), name: fmt.Sprintf("bimodal-%d", entries)}, nil
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64, _ uint64) bool {
+	return b.table[pc&b.mask].Predict()
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, _ uint64, taken bool) {
+	i := pc & b.mask
+	b.table[i] = b.table[i].Bump(taken)
+}
+
+// SizeBytes implements Predictor (2 bits per entry).
+func (b *Bimodal) SizeBytes() int { return len(b.table) / 4 }
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return b.name }
+
+// GShare xors global history into the table index.
+type GShare struct {
+	table    []Counter2
+	mask     uint64
+	histBits uint
+	name     string
+}
+
+// NewGShare builds a gshare predictor with the given table size (power of
+// two) folding in histBits of global history.
+func NewGShare(entries int, histBits uint) (*GShare, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: gshare entries %d not a power of two", entries)
+	}
+	t := make([]Counter2, entries)
+	for i := range t {
+		t[i] = WeaklyTaken
+	}
+	return &GShare{
+		table: t, mask: uint64(entries - 1), histBits: histBits,
+		name: fmt.Sprintf("gshare-%d", entries),
+	}, nil
+}
+
+func (g *GShare) index(pc, hist uint64) uint64 {
+	h := hist & ((1 << g.histBits) - 1)
+	return (pc ^ h) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc, hist uint64) bool {
+	return g.table[g.index(pc, hist)].Predict()
+}
+
+// Update implements Predictor.
+func (g *GShare) Update(pc, hist uint64, taken bool) {
+	i := g.index(pc, hist)
+	g.table[i] = g.table[i].Bump(taken)
+}
+
+// SizeBytes implements Predictor.
+func (g *GShare) SizeBytes() int { return len(g.table) / 4 }
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return g.name }
+
+// Gskew2Bc is the 2Bc-gskew hybrid of the Alpha EV8 [26]: a bimodal bank
+// (BIM), two history-skewed banks (G0, G1) and a meta bank choosing between
+// the bimodal prediction and the e-gskew majority vote. Each bank holds
+// 2-bit counters; the four equally sized banks match the paper's "three
+// predictor tables and one table that controls which table provides the
+// prediction", 1 KB each for the L1 (4 KB total) and 8 KB each for the L2
+// baseline (32 KB total).
+type Gskew2Bc struct {
+	bim, g0, g1, meta []Counter2
+	mask              uint64
+	h0, h1            uint // history lengths for the skewed banks
+	name              string
+}
+
+// NewGskew2Bc builds a 2Bc-gskew hybrid with the given per-bank entry count
+// (power of two).
+func NewGskew2Bc(entriesPerBank int) (*Gskew2Bc, error) {
+	if entriesPerBank <= 0 || entriesPerBank&(entriesPerBank-1) != 0 {
+		return nil, fmt.Errorf("bpred: gskew entries %d not a power of two", entriesPerBank)
+	}
+	mk := func() []Counter2 {
+		t := make([]Counter2, entriesPerBank)
+		for i := range t {
+			t[i] = WeaklyTaken
+		}
+		return t
+	}
+	bits := uint(0)
+	for e := entriesPerBank; e > 1; e >>= 1 {
+		bits++
+	}
+	h1 := bits + 2
+	if h1 > 24 {
+		h1 = 24
+	}
+	return &Gskew2Bc{
+		bim: mk(), g0: mk(), g1: mk(), meta: mk(),
+		mask: uint64(entriesPerBank - 1),
+		h0:   bits / 2, h1: h1,
+		name: fmt.Sprintf("2bc-gskew-%dx4", entriesPerBank),
+	}, nil
+}
+
+// skew implements the inter-bank skewing functions: a lightweight version
+// of the EV8 H/H^-1 functions (distinct odd multipliers per bank) that
+// decorrelates conflict aliasing between banks.
+func skew(x uint64, bank uint64) uint64 {
+	x ^= x >> 17
+	x *= 0x9e3779b97f4a7c15 + 2*bank // distinct odd constant per bank
+	x ^= x >> 29
+	return x
+}
+
+func (p *Gskew2Bc) idxBim(pc uint64) uint64 { return pc & p.mask }
+
+func (p *Gskew2Bc) idxG0(pc, hist uint64) uint64 {
+	h := hist & ((1 << p.h0) - 1)
+	return skew(pc^(h<<1), 1) & p.mask
+}
+
+func (p *Gskew2Bc) idxG1(pc, hist uint64) uint64 {
+	h := hist & ((1 << p.h1) - 1)
+	return skew(pc^(h<<1), 2) & p.mask
+}
+
+func (p *Gskew2Bc) idxMeta(pc, hist uint64) uint64 {
+	h := hist & ((1 << p.h0) - 1)
+	return skew(pc^(h<<1), 3) & p.mask
+}
+
+// Predict implements Predictor: meta chooses between the bimodal direction
+// and the majority of {BIM, G0, G1} (e-gskew vote).
+func (p *Gskew2Bc) Predict(pc, hist uint64) bool {
+	bim := p.bim[p.idxBim(pc)].Predict()
+	if !p.meta[p.idxMeta(pc, hist)].Predict() {
+		return bim
+	}
+	g0 := p.g0[p.idxG0(pc, hist)].Predict()
+	g1 := p.g1[p.idxG1(pc, hist)].Predict()
+	return majority(bim, g0, g1)
+}
+
+func majority(a, b, c bool) bool {
+	n := 0
+	if a {
+		n++
+	}
+	if b {
+		n++
+	}
+	if c {
+		n++
+	}
+	return n >= 2
+}
+
+// Update implements Predictor with the EV8 partial-update policy: the meta
+// counter trains toward whichever component was correct; the voting banks
+// update only when the overall prediction was wrong or when they
+// participated in a correct majority (strengthening).
+func (p *Gskew2Bc) Update(pc, hist uint64, taken bool) {
+	iB, i0, i1, iM := p.idxBim(pc), p.idxG0(pc, hist), p.idxG1(pc, hist), p.idxMeta(pc, hist)
+	bim := p.bim[iB].Predict()
+	g0 := p.g0[i0].Predict()
+	g1 := p.g1[i1].Predict()
+	vote := majority(bim, g0, g1)
+	useSkew := p.meta[iM].Predict()
+	overall := bim
+	if useSkew {
+		overall = vote
+	}
+
+	// Meta trains when the two components disagree.
+	if bim != vote {
+		p.meta[iM] = p.meta[iM].Bump(vote == taken)
+	}
+
+	if overall == taken {
+		// Strengthen the banks that agreed with the outcome.
+		if useSkew {
+			if bim == taken {
+				p.bim[iB] = p.bim[iB].Bump(taken)
+			}
+			if g0 == taken {
+				p.g0[i0] = p.g0[i0].Bump(taken)
+			}
+			if g1 == taken {
+				p.g1[i1] = p.g1[i1].Bump(taken)
+			}
+		} else {
+			p.bim[iB] = p.bim[iB].Bump(taken)
+		}
+		return
+	}
+	// Mispredicted: retrain everything toward the outcome.
+	p.bim[iB] = p.bim[iB].Bump(taken)
+	p.g0[i0] = p.g0[i0].Bump(taken)
+	p.g1[i1] = p.g1[i1].Bump(taken)
+}
+
+// SizeBytes implements Predictor: four banks of 2-bit counters.
+func (p *Gskew2Bc) SizeBytes() int { return len(p.bim) }
+
+// Name implements Predictor.
+func (p *Gskew2Bc) Name() string { return p.name }
+
+// Confidence is a JRS-style miss-distance confidence estimator [14]: a
+// table of resetting counters indexed by pc^history. A correct prediction
+// increments the counter; a misprediction resets it. A branch is
+// high-confidence when its counter is at or above the threshold.
+type Confidence struct {
+	table     []uint8
+	mask      uint64
+	max       uint8
+	Threshold uint8
+}
+
+// NewConfidence builds a confidence estimator with entries (power of two),
+// 4-bit counters and the given high-confidence threshold.
+func NewConfidence(entries int, threshold uint8) (*Confidence, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: confidence entries %d not a power of two", entries)
+	}
+	return &Confidence{
+		table: make([]uint8, entries), mask: uint64(entries - 1),
+		max: 15, Threshold: threshold,
+	}, nil
+}
+
+func (c *Confidence) index(pc, hist uint64) uint64 { return (pc ^ hist) & c.mask }
+
+// High reports whether the branch is currently high-confidence.
+func (c *Confidence) High(pc, hist uint64) bool {
+	return c.table[c.index(pc, hist)] >= c.Threshold
+}
+
+// Update trains the estimator with the level-1 predictor's correctness.
+func (c *Confidence) Update(pc, hist uint64, correct bool) {
+	i := c.index(pc, hist)
+	if correct {
+		if c.table[i] < c.max {
+			c.table[i]++
+		}
+	} else {
+		c.table[i] = 0
+	}
+}
+
+// SizeBytes reports the estimator's state budget (4 bits per entry).
+func (c *Confidence) SizeBytes() int { return len(c.table) / 2 }
+
+// History maintains the global branch history register.
+type History struct {
+	Bits uint64
+}
+
+// Push shifts the outcome into the history.
+func (h *History) Push(taken bool) {
+	h.Bits <<= 1
+	if taken {
+		h.Bits |= 1
+	}
+}

@@ -1,0 +1,182 @@
+package bpred
+
+import "fmt"
+
+// YAGS is the Eden/Mudge YAGS predictor [9 in the paper]: a bimodal choice
+// table backed by two small tagged direction caches that record only the
+// instances that disagree with the bias. It is included as an additional
+// aliasing-resistant baseline for predictor comparisons.
+type YAGS struct {
+	choice []Counter2
+	// Direction caches: taken-cache holds branches that are taken when
+	// the bias says not-taken, and vice versa.
+	tTags, nTags []uint16
+	tCtr, nCtr   []Counter2
+	tValid       []bool
+	nValid       []bool
+	mask         uint64
+	cacheMask    uint64
+	histBits     uint
+	name         string
+}
+
+// NewYAGS builds a YAGS predictor with the given choice-table entries and
+// direction-cache entries (both powers of two).
+func NewYAGS(choiceEntries, cacheEntries int, histBits uint) (*YAGS, error) {
+	if choiceEntries <= 0 || choiceEntries&(choiceEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: yags choice entries %d not a power of two", choiceEntries)
+	}
+	if cacheEntries <= 0 || cacheEntries&(cacheEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: yags cache entries %d not a power of two", cacheEntries)
+	}
+	y := &YAGS{
+		choice:    make([]Counter2, choiceEntries),
+		tTags:     make([]uint16, cacheEntries),
+		nTags:     make([]uint16, cacheEntries),
+		tCtr:      make([]Counter2, cacheEntries),
+		nCtr:      make([]Counter2, cacheEntries),
+		tValid:    make([]bool, cacheEntries),
+		nValid:    make([]bool, cacheEntries),
+		mask:      uint64(choiceEntries - 1),
+		cacheMask: uint64(cacheEntries - 1),
+		histBits:  histBits,
+		name:      fmt.Sprintf("yags-%d+%dx2", choiceEntries, cacheEntries),
+	}
+	for i := range y.choice {
+		y.choice[i] = WeaklyTaken
+	}
+	return y, nil
+}
+
+func (y *YAGS) cacheIndex(pc, hist uint64) uint64 {
+	h := hist & ((1 << y.histBits) - 1)
+	return (pc ^ h) & y.cacheMask
+}
+
+func (y *YAGS) tag(pc uint64) uint16 { return uint16(pc & 0xff) }
+
+// Predict implements Predictor.
+func (y *YAGS) Predict(pc, hist uint64) bool {
+	bias := y.choice[pc&y.mask].Predict()
+	i := y.cacheIndex(pc, hist)
+	if bias {
+		// Bias taken: consult the not-taken cache for exceptions.
+		if y.nValid[i] && y.nTags[i] == y.tag(pc) {
+			return y.nCtr[i].Predict()
+		}
+		return true
+	}
+	if y.tValid[i] && y.tTags[i] == y.tag(pc) {
+		return y.tCtr[i].Predict()
+	}
+	return false
+}
+
+// Update implements Predictor with the YAGS insertion policy: a direction
+// cache allocates only when the bias mispredicts.
+func (y *YAGS) Update(pc, hist uint64, taken bool) {
+	ci := pc & y.mask
+	bias := y.choice[ci].Predict()
+	i := y.cacheIndex(pc, hist)
+	tg := y.tag(pc)
+
+	if bias {
+		if y.nValid[i] && y.nTags[i] == tg {
+			y.nCtr[i] = y.nCtr[i].Bump(taken)
+		} else if !taken {
+			y.nValid[i] = true
+			y.nTags[i] = tg
+			y.nCtr[i] = 1 // weakly not-taken exception
+		}
+	} else {
+		if y.tValid[i] && y.tTags[i] == tg {
+			y.tCtr[i] = y.tCtr[i].Bump(taken)
+		} else if taken {
+			y.tValid[i] = true
+			y.tTags[i] = tg
+			y.tCtr[i] = 2 // weakly taken exception
+		}
+	}
+	// The choice table trains unless an exception entry handled the case
+	// correctly against the bias.
+	exceptionCorrect := (bias && !taken && y.nValid[i] && y.nTags[i] == tg) ||
+		(!bias && taken && y.tValid[i] && y.tTags[i] == tg)
+	if !exceptionCorrect || bias == taken {
+		y.choice[ci] = y.choice[ci].Bump(taken)
+	}
+}
+
+// SizeBytes implements Predictor.
+func (y *YAGS) SizeBytes() int {
+	choice := len(y.choice) / 4
+	cache := len(y.tTags) * (2 + 1) / 1 // tag byte + counters, per cache
+	return choice + 2*cache
+}
+
+// Name implements Predictor.
+func (y *YAGS) Name() string { return y.name }
+
+// PAg is a local-history two-level predictor [36]: a table of per-branch
+// history registers indexing a shared pattern table of 2-bit counters.
+type PAg struct {
+	local    []uint16
+	pattern  []Counter2
+	lmask    uint64
+	pmask    uint64
+	histBits uint
+	name     string
+}
+
+// NewPAg builds a PAg with the given number of local-history entries and
+// pattern-table entries (powers of two).
+func NewPAg(localEntries, patternEntries int, histBits uint) (*PAg, error) {
+	if localEntries <= 0 || localEntries&(localEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: pag local entries %d not a power of two", localEntries)
+	}
+	if patternEntries <= 0 || patternEntries&(patternEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: pag pattern entries %d not a power of two", patternEntries)
+	}
+	if histBits > 16 {
+		return nil, fmt.Errorf("bpred: pag history %d too long", histBits)
+	}
+	p := &PAg{
+		local:    make([]uint16, localEntries),
+		pattern:  make([]Counter2, patternEntries),
+		lmask:    uint64(localEntries - 1),
+		pmask:    uint64(patternEntries - 1),
+		histBits: histBits,
+		name:     fmt.Sprintf("pag-%dx%d", localEntries, patternEntries),
+	}
+	for i := range p.pattern {
+		p.pattern[i] = WeaklyTaken
+	}
+	return p, nil
+}
+
+func (p *PAg) pindex(pc uint64) uint64 {
+	h := uint64(p.local[pc&p.lmask]) & ((1 << p.histBits) - 1)
+	return (h ^ pc<<p.histBits) & p.pmask
+}
+
+// Predict implements Predictor (the global history argument is unused —
+// PAg correlates on per-branch local history).
+func (p *PAg) Predict(pc uint64, _ uint64) bool {
+	return p.pattern[p.pindex(pc)].Predict()
+}
+
+// Update implements Predictor.
+func (p *PAg) Update(pc uint64, _ uint64, taken bool) {
+	i := p.pindex(pc)
+	p.pattern[i] = p.pattern[i].Bump(taken)
+	li := pc & p.lmask
+	p.local[li] <<= 1
+	if taken {
+		p.local[li] |= 1
+	}
+}
+
+// SizeBytes implements Predictor.
+func (p *PAg) SizeBytes() int { return len(p.local)*2 + len(p.pattern)/4 }
+
+// Name implements Predictor.
+func (p *PAg) Name() string { return p.name }

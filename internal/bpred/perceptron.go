@@ -1,0 +1,99 @@
+package bpred
+
+import "fmt"
+
+// Perceptron is Jiménez's perceptron branch predictor, included as a
+// contemporary (2001) alternative baseline: a table of weight vectors dotted
+// with the global history. It captures long linear correlations that
+// counter-based schemes miss, at a higher per-entry cost — a useful foil
+// when comparing against value-based correlation (ARVI captures non-linear,
+// value-determined behaviour neither scheme can).
+type Perceptron struct {
+	weights [][]int8 // entries × (histLen + 1), index 0 is the bias
+	mask    uint64
+	histLen uint
+	theta   int32 // training threshold (1.93*h + 14, per the paper)
+	name    string
+}
+
+// NewPerceptron builds a perceptron predictor with the given table entries
+// (power of two) and history length (1..62).
+func NewPerceptron(entries int, histLen uint) (*Perceptron, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: perceptron entries %d not a power of two", entries)
+	}
+	if histLen == 0 || histLen > 62 {
+		return nil, fmt.Errorf("bpred: perceptron history %d out of range", histLen)
+	}
+	w := make([][]int8, entries)
+	for i := range w {
+		w[i] = make([]int8, histLen+1)
+	}
+	return &Perceptron{
+		weights: w,
+		mask:    uint64(entries - 1),
+		histLen: histLen,
+		theta:   int32(1.93*float64(histLen) + 14),
+		name:    fmt.Sprintf("perceptron-%dx%d", entries, histLen),
+	}, nil
+}
+
+func (p *Perceptron) output(pc, hist uint64) int32 {
+	w := p.weights[pc&p.mask]
+	y := int32(w[0])
+	for i := uint(0); i < p.histLen; i++ {
+		if hist>>i&1 != 0 {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc, hist uint64) bool { return p.output(pc, hist) >= 0 }
+
+// Update implements Predictor: train on a misprediction or when the output
+// magnitude is below theta.
+func (p *Perceptron) Update(pc, hist uint64, taken bool) {
+	y := p.output(pc, hist)
+	pred := y >= 0
+	mag := y
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred == taken && mag > p.theta {
+		return
+	}
+	w := p.weights[pc&p.mask]
+	t := int8(-1)
+	if taken {
+		t = 1
+	}
+	w[0] = satAdd8(w[0], t)
+	for i := uint(0); i < p.histLen; i++ {
+		x := int8(-1)
+		if hist>>i&1 != 0 {
+			x = 1
+		}
+		w[i+1] = satAdd8(w[i+1], t*x)
+	}
+}
+
+func satAdd8(a, b int8) int8 {
+	s := int16(a) + int16(b)
+	if s > 127 {
+		return 127
+	}
+	if s < -128 {
+		return -128
+	}
+	return int8(s)
+}
+
+// SizeBytes implements Predictor (one byte per weight).
+func (p *Perceptron) SizeBytes() int { return len(p.weights) * int(p.histLen+1) }
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return p.name }

@@ -1,0 +1,75 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerceptronConfigValidation(t *testing.T) {
+	if _, err := NewPerceptron(100, 16); err == nil {
+		t.Error("bad entries accepted")
+	}
+	if _, err := NewPerceptron(128, 0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := NewPerceptron(128, 63); err == nil {
+		t.Error("overlong history accepted")
+	}
+}
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	p, _ := NewPerceptron(512, 16)
+	acc := trainAccuracy(p, 4000, func(i int, _ uint64) (uint64, bool) { return 9, true })
+	if acc < 0.99 {
+		t.Errorf("biased accuracy = %v", acc)
+	}
+}
+
+func TestPerceptronLearnsLinearCorrelation(t *testing.T) {
+	// Outcome = XOR of two history bits: linearly inseparable for a single
+	// counter, but a perceptron handles single-bit correlations; use a
+	// plain copy correlation here (outcome = history bit 3).
+	p, _ := NewPerceptron(512, 16)
+	var outcomes []bool
+	rng := rand.New(rand.NewSource(5))
+	acc := trainAccuracy(p, 20000, func(i int, _ uint64) (uint64, bool) {
+		var taken bool
+		if len(outcomes) >= 4 {
+			taken = outcomes[len(outcomes)-4]
+		} else {
+			taken = rng.Intn(2) == 0
+		}
+		if i%2 == 0 {
+			taken = rng.Intn(2) == 0 // interleaved noise branch
+		}
+		outcomes = append(outcomes, taken)
+		return uint64(10 + i%2), taken
+	})
+	// Noise branch ~50%, correlated branch near-perfect: > 70% overall.
+	if acc < 0.7 {
+		t.Errorf("correlated accuracy = %v", acc)
+	}
+}
+
+func TestPerceptronWeightsSaturate(t *testing.T) {
+	p, _ := NewPerceptron(64, 8)
+	for i := 0; i < 10000; i++ {
+		p.Update(1, 0xff, true)
+	}
+	// No panic, still predicts taken, weights bounded by int8.
+	if !p.Predict(1, 0xff) {
+		t.Error("saturated perceptron flipped")
+	}
+	if p.SizeBytes() != 64*9 {
+		t.Errorf("size = %d", p.SizeBytes())
+	}
+}
+
+func TestSatAdd8(t *testing.T) {
+	if satAdd8(127, 1) != 127 || satAdd8(-128, -1) != -128 {
+		t.Error("saturation broken")
+	}
+	if satAdd8(5, -3) != 2 {
+		t.Error("plain add broken")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// BenchmarkInsertCommit measures the steady-state cost of the DDT's
+// per-instruction work at the paper's 256-entry, 296-register geometry.
+func BenchmarkInsertCommit(b *testing.B) {
+	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
+	srcs := []PhysReg{3, 7}
+	// Fill half the window so commits interleave with inserts.
+	for i := 0; i < 128; i++ {
+		if _, err := d.Insert(PhysReg(32+i), srcs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Insert(PhysReg(32+(i%200)), srcs, i%5 == 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeafSet measures the ARVI front-end read (chain + RSE extract +
+// depth) on a window with a long dependence chain.
+func BenchmarkLeafSet(b *testing.B) {
+	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
+	prev := PhysReg(32)
+	d.Insert(prev, nil, false)
+	for i := 1; i < 200; i++ {
+		tgt := PhysReg(32 + i)
+		if _, err := d.Insert(tgt, []PhysReg{prev}, i%7 == 0); err != nil {
+			b.Fatal(err)
+		}
+		prev = tgt
+	}
+	srcs := []PhysReg{prev}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, set, depth := d.LeafSet(srcs)
+		if depth == 0 || set == nil {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkRollback measures misprediction recovery cost.
+func BenchmarkRollback(b *testing.B) {
+	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 16; k++ {
+			if _, err := d.Insert(PhysReg(32+k), nil, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Rollback(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package core implements the paper's primary contribution: the Data
+// Dependence Table (DDT) of Section 2 and the Register Set Extractor (RSE)
+// of Section 4.2.
+//
+// The DDT is a RAM with one row per physical register and one column per
+// in-flight instruction (ROB entry). Bit (r, e) means "the current value of
+// physical register r is data dependent on the in-flight instruction in
+// entry e". On insertion of an instruction with target register t and
+// sources s1, s2 the hardware computes
+//
+//	DDT[t] = (DDT[s1] | DDT[s2]) & ValidVector | ownBit
+//
+// Entries are allocated in circular FIFO order with head/tail pointers, like
+// the ROB. Commit clears the instruction's valid bit, which removes it from
+// every chain on subsequent reads; misprediction rollback rewinds the head
+// pointer. Before an entry is reused its column is cleared in every row.
+//
+// The RSE is a parallel matrix holding a 2-bit Source/Target code per
+// (register, entry) cell. Loads leave their cells unset — they terminate
+// dependence chains for ARVI. Reading the RSE with a chain bit vector as the
+// column enable yields the branch's leaf register set: registers used as a
+// source by some enabled instruction and produced by none.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// PhysReg names a physical register (a DDT row).
+type PhysReg uint16
+
+// NoPReg marks the absence of a target register (branches, stores, NOPs).
+const NoPReg = PhysReg(0xffff)
+
+// Config sizes the DDT and selects optional behaviours.
+type Config struct {
+	// Entries is the number of instruction columns; it must equal the
+	// processor's in-flight instruction window (ROB size).
+	Entries int
+	// PhysRegs is the number of physical registers (rows).
+	PhysRegs int
+	// CutAtLoads, when set, stores only the load's own bit in its target
+	// row instead of also inheriting the address-computation chain. This
+	// is the ablation discussed in DESIGN.md: the paper's circuit ORs the
+	// address chain into the row and only stops *marking* at loads.
+	CutAtLoads bool
+	// TrackDepCounts enables the Section 3 extension: a per-entry counter
+	// of how many subsequently inserted instructions depend on the entry,
+	// usable for issue prioritisation and selective value prediction.
+	TrackDepCounts bool
+}
+
+func (c Config) validate() error {
+	if c.Entries <= 0 || c.PhysRegs <= 0 {
+		return fmt.Errorf("core: non-positive DDT dimensions %+v", c)
+	}
+	return nil
+}
+
+// DDT is the Data Dependence Table together with its companion RSE planes.
+type DDT struct {
+	cfg   Config
+	words int // words per row
+
+	rows  []uint64   // PhysRegs rows × words, flat
+	valid bitvec.Vec // over entries
+
+	// RSE mark planes, transposed for software efficiency: per entry, the
+	// set of registers it reads (srcMarks) and writes (tgtMarks). The
+	// hardware stores the same information as 2-bit cells per
+	// (register, entry); the transposition is an exact representation
+	// change, verified against the paper's worked example.
+	srcMarks []uint64 // Entries × regWords
+	tgtMarks []uint64
+	regWords int
+
+	owner  []PhysReg // entry -> target register (NoPReg if none)
+	isLoad bitvec.Vec
+
+	head, tail, count int
+
+	depCount []int32 // optional Section 3 extension
+
+	// scratch buffers reused across calls
+	chainBuf bitvec.Vec
+	setBuf   bitvec.Vec
+	tmpBuf   bitvec.Vec
+}
+
+// NewDDT allocates a DDT.
+func NewDDT(cfg Config) (*DDT, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &DDT{
+		cfg:      cfg,
+		words:    bitvec.WordsFor(cfg.Entries),
+		valid:    bitvec.New(cfg.Entries),
+		owner:    make([]PhysReg, cfg.Entries),
+		isLoad:   bitvec.New(cfg.Entries),
+		regWords: bitvec.WordsFor(cfg.PhysRegs),
+	}
+	d.rows = make([]uint64, cfg.PhysRegs*d.words)
+	d.srcMarks = make([]uint64, cfg.Entries*d.regWords)
+	d.tgtMarks = make([]uint64, cfg.Entries*d.regWords)
+	for i := range d.owner {
+		d.owner[i] = NoPReg
+	}
+	if cfg.TrackDepCounts {
+		d.depCount = make([]int32, cfg.Entries)
+	}
+	d.chainBuf = bitvec.New(cfg.Entries)
+	d.setBuf = bitvec.New(cfg.PhysRegs)
+	d.tmpBuf = bitvec.New(cfg.PhysRegs)
+	return d, nil
+}
+
+// MustNewDDT is NewDDT but panics on configuration errors.
+func MustNewDDT(cfg Config) *DDT {
+	d, err := NewDDT(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the table's configuration.
+func (d *DDT) Config() Config { return d.cfg }
+
+// Len returns the number of in-flight (valid) entries.
+func (d *DDT) Len() int { return d.count }
+
+// Full reports whether every entry is occupied.
+func (d *DDT) Full() bool { return d.count == d.cfg.Entries }
+
+// Head returns the entry index that the next Insert will use.
+func (d *DDT) Head() int { return d.head }
+
+// Tail returns the oldest in-flight entry index.
+func (d *DDT) Tail() int { return d.tail }
+
+func (d *DDT) row(r PhysReg) bitvec.Vec {
+	off := int(r) * d.words
+	return bitvec.Vec(d.rows[off : off+d.words])
+}
+
+func (d *DDT) srcRow(e int) bitvec.Vec {
+	off := e * d.regWords
+	return bitvec.Vec(d.srcMarks[off : off+d.regWords])
+}
+
+func (d *DDT) tgtRow(e int) bitvec.Vec {
+	off := e * d.regWords
+	return bitvec.Vec(d.tgtMarks[off : off+d.regWords])
+}
+
+// clearColumn removes entry e from every register row (the paper's
+// "all bits in the instruction entry must be cleared" before reuse).
+func (d *DDT) clearColumn(e int) {
+	wi := e >> 6
+	mask := ^(uint64(1) << (uint(e) & 63))
+	for off := wi; off < len(d.rows); off += d.words {
+		d.rows[off] &= mask
+	}
+}
+
+// Insert allocates the next instruction entry and updates the target row.
+// tgt is NoPReg for instructions without a register destination (branches,
+// stores); srcs are the source physical registers (duplicates allowed).
+// isLoad marks chain terminators for the RSE. It returns the allocated
+// entry index, or an error when the table is full.
+func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
+	if d.Full() {
+		return 0, fmt.Errorf("core: DDT full (%d entries)", d.cfg.Entries)
+	}
+	e := d.head
+	d.clearColumn(e)
+
+	// RSE marks: loads intentionally leave both planes unset (chain
+	// terminators, Figure 3's '*' cells).
+	sm, tm := d.srcRow(e), d.tgtRow(e)
+	sm.Reset()
+	tm.Reset()
+	if !isLoad {
+		for _, s := range srcs {
+			if s != NoPReg {
+				sm.Set(int(s))
+			}
+		}
+		if tgt != NoPReg {
+			tm.Set(int(tgt))
+		}
+	}
+
+	if tgt != NoPReg {
+		row := d.row(tgt)
+		if isLoad && d.cfg.CutAtLoads {
+			row.Reset()
+		} else {
+			d.combineInto(row, srcs)
+		}
+		row.Set(e)
+	}
+
+	if d.depCount != nil {
+		d.depCount[e] = 0
+		if tgt != NoPReg && !(isLoad && d.cfg.CutAtLoads) {
+			// Every chain entry gains one more trailing dependent.
+			d.chainInto(d.chainBuf, srcs)
+			d.chainBuf.ForEach(func(i int) { d.depCount[i]++ })
+		}
+	}
+
+	d.valid.Set(e)
+	d.owner[e] = tgt
+	if isLoad {
+		d.isLoad.Set(e)
+	} else {
+		d.isLoad.Clear(e)
+	}
+	d.head = d.next(e)
+	d.count++
+	return e, nil
+}
+
+func (d *DDT) next(e int) int {
+	e++
+	if e == d.cfg.Entries {
+		return 0
+	}
+	return e
+}
+
+func (d *DDT) prev(e int) int {
+	if e == 0 {
+		return d.cfg.Entries - 1
+	}
+	return e - 1
+}
+
+// combineInto writes (OR of source rows) & valid into dst.
+func (d *DDT) combineInto(dst bitvec.Vec, srcs []PhysReg) {
+	dst.Reset()
+	for _, s := range srcs {
+		if s != NoPReg {
+			dst.Or(d.row(s))
+		}
+	}
+	dst.And(d.valid)
+}
+
+// chainInto writes the dependence chain (valid-masked OR of source rows)
+// into dst, which must have Entries bits.
+func (d *DDT) chainInto(dst bitvec.Vec, srcs []PhysReg) {
+	d.combineInto(dst, srcs)
+}
+
+// Chain returns a copy of the dependence chain for the given source
+// registers: the set of in-flight instruction entries the registers'
+// current values transitively depend on.
+func (d *DDT) Chain(srcs ...PhysReg) bitvec.Vec {
+	out := bitvec.New(d.cfg.Entries)
+	d.chainInto(out, srcs)
+	return out
+}
+
+// Commit retires the oldest entry: its valid bit is cleared (removing it
+// from all future chain reads) and the tail pointer advances. It returns
+// the retired entry index.
+func (d *DDT) Commit() (int, error) {
+	if d.count == 0 {
+		return 0, fmt.Errorf("core: commit on empty DDT")
+	}
+	e := d.tail
+	d.valid.Clear(e)
+	d.owner[e] = NoPReg
+	if d.depCount != nil {
+		d.depCount[e] = 0
+	}
+	d.tail = d.next(e)
+	d.count--
+	return e, nil
+}
+
+// Rollback squashes all entries younger than or equal to the given count of
+// squashed instructions: it rewinds the head pointer by n entries, clearing
+// their valid bits, exactly as the ROB pointer rewind the paper describes.
+func (d *DDT) Rollback(n int) error {
+	if n < 0 || n > d.count {
+		return fmt.Errorf("core: rollback %d of %d in-flight", n, d.count)
+	}
+	for i := 0; i < n; i++ {
+		d.head = d.prev(d.head)
+		d.valid.Clear(d.head)
+		d.owner[d.head] = NoPReg
+		if d.depCount != nil {
+			d.depCount[d.head] = 0
+		}
+	}
+	d.count -= n
+	return nil
+}
+
+// InFlight reports whether entry e currently holds a live instruction.
+func (d *DDT) InFlight(e int) bool { return d.valid.Get(e) }
+
+// Owner returns the target register of the instruction at entry e
+// (NoPReg if the entry is free or targetless).
+func (d *DDT) Owner(e int) PhysReg { return d.owner[e] }
+
+// EntryIsLoad reports whether the live entry e holds a load.
+func (d *DDT) EntryIsLoad(e int) bool { return d.valid.Get(e) && d.isLoad.Get(e) }
+
+// DepCount returns the number of instructions inserted after entry e whose
+// dependence chains include e (the Section 3 counter extension). The DDT
+// must have been configured with TrackDepCounts.
+func (d *DDT) DepCount(e int) int {
+	if d.depCount == nil {
+		panic("core: DepCount requires Config.TrackDepCounts")
+	}
+	return int(d.depCount[e])
+}
+
+// Age returns how many allocations ago entry e was inserted, relative to
+// the current head (1 = the most recently inserted entry). This is the
+// circular head-to-entry distance used for the chain depth key.
+func (d *DDT) Age(e int) int {
+	diff := d.head - e
+	if diff <= 0 {
+		diff += d.cfg.Entries
+	}
+	return diff
+}
+
+// Depth returns the paper's dependence-chain depth key for a chain bit
+// vector: the maximum number of instructions spanned, i.e. the age of the
+// furthest-back member of the chain, handling circular wrap exactly like
+// the two-priority-encoder scheme in Section 4.5. An empty chain has
+// depth 0.
+func (d *DDT) Depth(chain bitvec.Vec) int {
+	max := 0
+	chain.ForEach(func(e int) {
+		if a := d.Age(e); a > max {
+			max = a
+		}
+	})
+	return max
+}
+
+// ExtractSet implements the RSE read: given a chain bit vector (the column
+// enables), plus the predicted instruction's own source marks, it returns
+// the leaf register set as a bit vector over physical registers. A register
+// is in the set iff some enabled instruction reads it and no enabled
+// instruction writes it: included = S & ^T per Section 4.2.
+//
+// extraSrcs lets the caller include the branch's own source registers as S
+// marks before the branch itself has been inserted (the branch's column is
+// part of the enable in hardware).
+func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
+	s, tmp := d.setBuf, d.tmpBuf
+	s.Reset()
+	tmp.Reset()
+	chain.ForEach(func(e int) {
+		s.Or(d.srcRow(e))
+		tmp.Or(d.tgtRow(e))
+	})
+	for _, r := range extraSrcs {
+		if r != NoPReg {
+			s.Set(int(r))
+		}
+	}
+	s.AndNot(tmp)
+	return s
+}
+
+// LeafSet is the full ARVI front-end read: the dependence chain for the
+// branch's source registers, the extracted leaf register set, and the depth
+// key, computed in one call. The returned vectors alias internal scratch
+// buffers and are valid until the next DDT mutation or LeafSet call.
+func (d *DDT) LeafSet(branchSrcs []PhysReg) (chain bitvec.Vec, set bitvec.Vec, depth int) {
+	d.chainInto(d.chainBuf, branchSrcs)
+	set = d.ExtractSet(d.chainBuf, branchSrcs)
+	return d.chainBuf, set, d.Depth(d.chainBuf)
+}
+
+// Bits returns the total storage the configured DDT would need in hardware,
+// in bits: the dependence matrix plus the valid vector (the paper's 730
+// bytes for 80x72 corresponds to the matrix alone).
+func (d *DDT) Bits() int { return d.cfg.Entries*d.cfg.PhysRegs + d.cfg.Entries }

@@ -1,0 +1,724 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arvi"
+	"repro/internal/bitvec"
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// slotLimiter enforces a per-cycle bandwidth for monotonically advancing
+// pipeline stages (fetch, commit).
+type slotLimiter struct {
+	cycle int64
+	used  int
+	width int
+}
+
+// take grants a slot at the earliest cycle >= c and returns it.
+func (s *slotLimiter) take(c int64) int64 {
+	if c > s.cycle {
+		s.cycle, s.used = c, 0
+	}
+	if s.used < s.width {
+		s.used++
+		return s.cycle
+	}
+	s.cycle++
+	s.used = 1
+	return s.cycle
+}
+
+// issueLimiter enforces a per-cycle issue width for non-monotonic issue
+// cycles using a stamped ring of counters.
+type issueLimiter struct {
+	counts []uint8
+	stamps []int64
+	width  uint8
+	mask   int64
+}
+
+func newIssueLimiter(width int) *issueLimiter {
+	const ring = 1 << 15
+	return &issueLimiter{
+		counts: make([]uint8, ring),
+		stamps: make([]int64, ring),
+		width:  uint8(width),
+		mask:   ring - 1,
+	}
+}
+
+func (l *issueLimiter) take(c int64) int64 {
+	for {
+		i := c & l.mask
+		if l.stamps[i] != c {
+			l.stamps[i] = c
+			l.counts[i] = 0
+		}
+		if l.counts[i] < l.width {
+			l.counts[i]++
+			return c
+		}
+		c++
+	}
+}
+
+// funcUnits models one class of functional units.
+type funcUnits struct {
+	nextFree  []int64
+	pipelined bool
+	occupancy int // cycles a non-pipelined unit stays busy
+}
+
+// issue finds the earliest cycle >= ready at which a unit is free, books it
+// and returns the cycle.
+func (f *funcUnits) issue(ready int64, busy int) int64 {
+	best := 0
+	for i := 1; i < len(f.nextFree); i++ {
+		if f.nextFree[i] < f.nextFree[best] {
+			best = i
+		}
+	}
+	c := ready
+	if f.nextFree[best] > c {
+		c = f.nextFree[best]
+	}
+	if f.pipelined {
+		f.nextFree[best] = c + 1
+	} else {
+		f.nextFree[best] = c + int64(busy)
+	}
+	return c
+}
+
+// pregMeta is the per-physical-register bookkeeping used for ARVI value
+// resolution (the shadow register file and shadow map table of Figure 4,
+// plus timing metadata).
+type pregMeta struct {
+	doneC      int64  // writeback cycle of the current producer
+	commitC    int64  // commit cycle of the current producer
+	hoistAvail int64  // earliest availability under load-back hoisting
+	val        uint16 // low value bits the producer writes (shadow regfile)
+	prevVal    uint16 // previous occupant's value (StalePhysical reads)
+	logical    uint8  // shadow map table: low logical-register bits
+	isLoad     bool
+}
+
+type storeRec struct {
+	seq     int64
+	addrW   uint64 // word-aligned address
+	readyC  int64  // when address + data are computed
+	commitC int64
+}
+
+// Engine runs one configuration over one program.
+type Engine struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	prog *prog.Program
+
+	l1   *bpred.Gskew2Bc
+	l2   *bpred.Gskew2Bc
+	conf *bpred.Confidence
+	av   *arvi.Predictor
+	ddt  *core.DDT
+	hist bpred.History
+
+	// Rename state.
+	mapTable [isa.NumRegs]core.PhysReg
+	freeList []core.PhysReg
+	meta     []pregMeta
+
+	// Per-seq rings.
+	commitRing  []int64        // commit cycle by seq
+	prevMapRing []core.PhysReg // displaced mapping by seq (freed at commit)
+	destRing    []uint8        // logical destination by seq (0xff = none)
+	valRing     []uint16       // low value bits written by seq
+	memRing     []int64        // commit cycle by memory-op ordinal
+	stores      []storeRec     // LSQ-window store history (ring)
+
+	// archVal is the shadow architectural register file: the low value
+	// bits of each logical register as of the commit frontier. Leaves
+	// whose values are not yet available read this committed copy
+	// (32 x 11 bits of state, cheaper than shadowing every physical
+	// register as the paper sizes it; see DESIGN.md).
+	archVal [isa.NumRegs]uint16
+
+	fetchSlots     slotLimiter
+	commitSlots    slotLimiter
+	issue          *issueLimiter
+	alu, mul, memu *funcUnits
+
+	frontier     int64 // next seq to retire from the DDT
+	nextFetchMin int64
+	lastCommitC  int64
+	memSeq       int64
+	ras          []int64
+	frontLat     int64
+	l2Lat        int64
+
+	// Per-branch pending front-end effects, set by predictBranch or
+	// predictJump and consumed by resolveControl once the resolution
+	// cycle is known.
+	pendingOverride   int64
+	pendingMispredict bool
+
+	st Stats
+
+	// Scratch.
+	srcPregs  []core.PhysReg
+	leafBuf   []arvi.LeafValue
+	srcRegBuf []isa.Reg
+}
+
+// NewEngine builds an engine for the configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	physRegs := isa.NumRegs + cfg.ROB + 8
+	ddt, err := core.NewDDT(core.Config{
+		Entries:    cfg.ROB,
+		PhysRegs:   physRegs,
+		CutAtLoads: cfg.CutAtLoads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l1, err := bpred.NewGskew2Bc(cfg.L1PredEntries)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := bpred.NewGskew2Bc(cfg.L2PredEntries)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := bpred.NewConfidence(4096, cfg.ConfThreshold)
+	if err != nil {
+		return nil, err
+	}
+	av, err := arvi.New(cfg.ARVI)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		hier: mem.NewHierarchy(mem.LatenciesForDepth(cfg.Depth)),
+		l1:   l1, l2: l2, conf: conf, av: av, ddt: ddt,
+		meta:        make([]pregMeta, physRegs),
+		commitRing:  make([]int64, cfg.ROB+1),
+		prevMapRing: make([]core.PhysReg, cfg.ROB+1),
+		destRing:    make([]uint8, cfg.ROB+1),
+		valRing:     make([]uint16, cfg.ROB+1),
+		memRing:     make([]int64, cfg.LSQ+1),
+		stores:      make([]storeRec, cfg.LSQ),
+		fetchSlots:  slotLimiter{width: cfg.FetchWidth},
+		commitSlots: slotLimiter{width: cfg.CommitWidth},
+		issue:       newIssueLimiter(cfg.FetchWidth),
+		alu:         &funcUnits{nextFree: make([]int64, cfg.IntALU), pipelined: true},
+		mul:         &funcUnits{nextFree: make([]int64, cfg.IntMul)},
+		memu:        &funcUnits{nextFree: make([]int64, cfg.MemPorts), pipelined: true},
+		frontLat:    int64(cfg.FrontLatency()),
+		l2Lat:       int64(cfg.L2Latency()),
+	}
+	for l := 0; l < isa.NumRegs; l++ {
+		e.mapTable[l] = core.PhysReg(l)
+		e.meta[l].logical = uint8(l)
+	}
+	for p := isa.NumRegs; p < physRegs; p++ {
+		e.freeList = append(e.freeList, core.PhysReg(p))
+	}
+	for i := range e.stores {
+		e.stores[i].seq = -1
+	}
+	return e, nil
+}
+
+// Hierarchy exposes the memory system for inspection after a run.
+func (e *Engine) Hierarchy() *mem.Hierarchy { return e.hier }
+
+// Run executes the program on the functional VM and replays it through the
+// timing model, returning the run statistics.
+func Run(p *prog.Program, cfg Config) (Stats, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.Run(p)
+}
+
+// EventSource streams the correct-path dynamic trace into the timing
+// model. Next fills ev and returns io.EOF at the end of the trace.
+type EventSource interface {
+	Next(ev *vm.Event) error
+}
+
+// vmSource adapts the functional VM to EventSource.
+type vmSource struct{ m *vm.VM }
+
+// Next implements EventSource over live functional execution.
+func (s *vmSource) Next(ev *vm.Event) error {
+	if s.m.Halt {
+		return io.EOF
+	}
+	if err := s.m.Step(ev); err != nil {
+		if err == vm.ErrHalted {
+			return io.EOF
+		}
+		return err
+	}
+	return nil
+}
+
+// Run executes the program on the functional VM and replays it through the
+// timing model, returning the run statistics.
+func (e *Engine) Run(p *prog.Program) (Stats, error) {
+	return e.RunSource(p, &vmSource{m: vm.New(p)})
+}
+
+// RunSource replays an externally supplied trace of the given program
+// (e.g. one recorded by package trace) through the timing model.
+func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
+	e.prog = p
+	var ev vm.Event
+	var n int64
+	for e.cfg.MaxInsts <= 0 || n < e.cfg.MaxInsts {
+		if err := src.Next(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return e.st, fmt.Errorf("cpu: trace source failed: %w", err)
+		}
+		e.process(&ev)
+		n++
+	}
+	e.st.Insts = n
+	e.st.Cycles = e.lastCommitC
+	if e.st.Cycles == 0 {
+		e.st.Cycles = 1
+	}
+	e.st.L1DMissRate = e.hier.L1D.MissRate()
+	e.st.L2MissRate = e.hier.L2.MissRate()
+	e.st.L1IMissRate = e.hier.L1I.MissRate()
+	a := e.av.Stats()
+	e.st.ARVILookups = a.Lookups
+	e.st.ARVIHits = a.Hits
+	return e.st, nil
+}
+
+// advanceFrontier retires every instruction whose commit cycle has passed
+// now: its DDT entry is freed and the physical register it displaced
+// returns to the free list — exactly the in-order commit the hardware
+// performs.
+func (e *Engine) advanceFrontier(seq, now int64) {
+	for e.frontier < seq {
+		idx := e.frontier % int64(len(e.commitRing))
+		if e.commitRing[idx] > now {
+			return
+		}
+		if _, err := e.ddt.Commit(); err != nil {
+			panic("cpu: DDT/frontier desync: " + err.Error())
+		}
+		if old := e.prevMapRing[idx]; old != core.NoPReg {
+			e.freeList = append(e.freeList, old)
+		}
+		if d := e.destRing[idx]; d != 0xff {
+			e.archVal[d] = e.valRing[idx] // shadow architectural file
+		}
+		e.frontier++
+	}
+}
+
+// process replays one trace event through the timing model.
+func (e *Engine) process(ev *vm.Event) {
+	in := ev.Inst
+	seq := ev.Seq
+
+	// ---- Fetch ----------------------------------------------------------
+	c := e.nextFetchMin
+	// ROB occupancy: rename (at fetch, per Section 4.1's early rename)
+	// needs a free entry.
+	if seq >= int64(e.cfg.ROB) {
+		if t := e.commitRing[(seq-int64(e.cfg.ROB))%int64(len(e.commitRing))] + 1; t > c {
+			c = t
+		}
+	}
+	// LSQ occupancy for memory operations.
+	if in.IsMem() && e.memSeq >= int64(e.cfg.LSQ) {
+		if t := e.memRing[(e.memSeq-int64(e.cfg.LSQ))%int64(len(e.memRing))] + 1; t > c {
+			c = t
+		}
+	}
+	// Instruction cache.
+	if lat := e.hier.FetchAccess(ev.PC); lat > 0 {
+		c += int64(lat)
+	}
+	fetchC := e.fetchSlots.take(c)
+	if fetchC > e.nextFetchMin {
+		e.nextFetchMin = fetchC
+	}
+
+	// ---- In-order retirement up to this fetch point ---------------------
+	e.advanceFrontier(seq, fetchC)
+
+	// ---- Branch prediction ----------------------------------------------
+	if in.IsCondBranch() {
+		e.predictBranch(ev, fetchC)
+	} else if in.IsJump() {
+		e.predictJump(ev, fetchC)
+	}
+
+	// ---- Source operands (old mappings, before renaming the dest) -------
+	e.srcRegBuf = in.SrcRegs(e.srcRegBuf[:0])
+	e.srcPregs = e.srcPregs[:0]
+	readyC := fetchC + e.frontLat
+	addrReady := int64(0) // readiness of the address operand (loads)
+	for k, r := range e.srcRegBuf {
+		p := e.mapTable[r]
+		e.srcPregs = append(e.srcPregs, p)
+		if t := e.meta[p].doneC + 1; t > readyC {
+			readyC = t
+		}
+		if in.IsLoad() && k == 0 {
+			addrReady = e.meta[p].doneC + 1
+		}
+	}
+
+	// ---- Rename + DDT insert --------------------------------------------
+	var dest = core.NoPReg
+	var displaced = core.NoPReg
+	if in.HasDest() {
+		if len(e.freeList) == 0 {
+			panic("cpu: free list exhausted (rename invariant violated)")
+		}
+		dest = e.freeList[0]
+		e.freeList = e.freeList[1:]
+		displaced = e.mapTable[in.Rd]
+		e.mapTable[in.Rd] = dest
+	}
+	if _, err := e.ddt.Insert(dest, e.srcPregs, in.IsLoad()); err != nil {
+		panic("cpu: DDT insert failed: " + err.Error())
+	}
+	ri := seq % int64(len(e.prevMapRing))
+	e.prevMapRing[ri] = displaced
+	if dest != core.NoPReg {
+		e.destRing[ri] = uint8(in.Rd)
+		e.valRing[ri] = uint16(uint64(ev.Val)) & (1<<e.cfg.ARVI.ValueBits - 1)
+	} else {
+		e.destRing[ri] = 0xff
+	}
+
+	// ---- Issue and execute ----------------------------------------------
+	var issueC, doneC int64
+	switch in.FU() {
+	case isa.FUIntMul:
+		lat := int64(in.ExecLatency())
+		issueC = e.issue.take(e.mul.issue(readyC, in.ExecLatency()))
+		doneC = issueC + lat
+	case isa.FUMem:
+		issueC = e.issue.take(e.memu.issue(readyC, 1))
+		if in.IsLoad() {
+			doneC = e.executeLoad(ev, seq, issueC)
+		} else {
+			doneC = issueC + 1
+			e.st.Stores++
+		}
+	default:
+		issueC = e.issue.take(e.alu.issue(readyC, 1))
+		doneC = issueC + int64(in.ExecLatency())
+	}
+
+	// ---- Branch resolution penalties ------------------------------------
+	if in.IsCondBranch() || in.IsJump() {
+		e.resolveControl(ev, fetchC, doneC)
+	}
+
+	// ---- Commit ----------------------------------------------------------
+	cc := doneC + 1
+	if cc < e.lastCommitC {
+		cc = e.lastCommitC
+	}
+	commitC := e.commitSlots.take(cc)
+	e.lastCommitC = commitC
+	e.commitRing[seq%int64(len(e.commitRing))] = commitC
+	if in.IsMem() {
+		e.memRing[e.memSeq%int64(len(e.memRing))] = commitC
+		if in.IsStore() {
+			s := &e.stores[e.memSeq%int64(len(e.stores))]
+			*s = storeRec{seq: seq, addrW: ev.Addr &^ 7, readyC: doneC, commitC: commitC}
+		}
+		e.memSeq++
+	}
+
+	// ---- Wrong-path exercise (optional) ----------------------------------
+	if e.cfg.WrongPathInject && e.pendingMispredict && in.IsCondBranch() {
+		e.injectWrongPath(ev)
+	}
+
+	// ---- Destination metadata (shadow register file update) --------------
+	if dest != core.NoPReg {
+		m := &e.meta[dest]
+		m.prevVal = m.val
+		m.val = uint16(uint64(ev.Val)) & (1<<e.cfg.ARVI.ValueBits - 1)
+		m.doneC = doneC
+		m.commitC = commitC
+		m.logical = uint8(in.Rd)
+		m.isLoad = in.IsLoad()
+		if in.IsLoad() {
+			m.hoistAvail = e.hoistAvailability(ev, seq, addrReady, doneC, issueC)
+		} else {
+			m.hoistAvail = doneC + 1
+		}
+	}
+}
+
+// executeLoad computes a load's completion cycle: store-to-load forwarding
+// from the LSQ when an older in-flight store matches the word address,
+// otherwise a cache hierarchy access.
+func (e *Engine) executeLoad(ev *vm.Event, seq, issueC int64) int64 {
+	e.st.Loads++
+	addrW := ev.Addr &^ 7
+	if st := e.findForwardingStore(seq, addrW, issueC); st != nil {
+		e.st.StoreForwarded++
+		d := issueC
+		if st.readyC > d {
+			d = st.readyC
+		}
+		return d + 1
+	}
+	return issueC + int64(e.hier.DataAccess(ev.Addr))
+}
+
+// findForwardingStore returns the youngest older store to the same word
+// still in the store queue at cycle at, or nil.
+func (e *Engine) findForwardingStore(seq int64, addrW uint64, at int64) *storeRec {
+	var best *storeRec
+	for i := range e.stores {
+		st := &e.stores[i]
+		if st.seq < 0 || st.seq >= seq || st.addrW != addrW {
+			continue
+		}
+		if st.commitC <= at { // already drained to the cache
+			continue
+		}
+		if best == nil || st.seq > best.seq {
+			best = st
+		}
+	}
+	return best
+}
+
+// hoistAvailability implements the load-back model: the earliest cycle at
+// which the loaded value would have been available had the load been moved
+// back as far as its address operands (and conflicting older stores,
+// resolved by run-time disambiguation) allow.
+func (e *Engine) hoistAvailability(ev *vm.Event, seq, addrReady, doneC, issueC int64) int64 {
+	start := addrReady
+	addrW := ev.Addr &^ 7
+	for i := range e.stores {
+		st := &e.stores[i]
+		if st.seq < 0 || st.seq >= seq || st.addrW != addrW {
+			continue
+		}
+		if st.readyC > start {
+			start = st.readyC // must wait for the forwarding data
+		}
+	}
+	// The hoisted load takes the same memory latency the real one saw.
+	lat := doneC - issueC
+	if lat < 1 {
+		lat = 1
+	}
+	avail := start + lat
+	if avail > doneC {
+		avail = doneC
+	}
+	return avail + 1
+}
+
+// predictBranch performs the full two-level prediction for a conditional
+// branch fetched at fetchC and applies training updates.
+func (e *Engine) predictBranch(ev *vm.Event, fetchC int64) {
+	in := ev.Inst
+	pc := uint64(ev.PC)
+	taken := ev.Taken
+	hist := e.hist.Bits
+	e.st.CondBranches++
+	if taken {
+		e.st.TakenBranches++
+	}
+
+	l1 := e.l1.Predict(pc, hist)
+	final := l1
+	overrode := false
+
+	if e.cfg.Mode == PredBaseline2Lvl {
+		l2 := e.l2.Predict(pc, hist)
+		if l2 != l1 {
+			final = l2
+			overrode = true
+		}
+		e.l2.Update(pc, hist, taken)
+	} else {
+		highConf := e.conf.High(pc, hist)
+		// DDT read: dependence chain and leaf set for the branch sources.
+		e.srcRegBuf = in.SrcRegs(e.srcRegBuf[:0])
+		e.srcPregs = e.srcPregs[:0]
+		for _, r := range e.srcRegBuf {
+			e.srcPregs = append(e.srcPregs, e.mapTable[r])
+		}
+		_, set, depth := e.ddt.LeafSet(e.srcPregs)
+		leaves, class := e.resolveLeaves(set, fetchC)
+		e.st.ChainDepthSum += int64(depth)
+		e.st.LeafCountSum += int64(len(leaves))
+		if class == ClassLoad {
+			e.st.LoadBranches++
+		} else {
+			e.st.CalcBranches++
+		}
+
+		if !highConf {
+			key := e.av.MakeKey(pc, leaves, depth)
+			apred, hit, perf, strong := e.av.LookupEx(key)
+			var used bool
+			switch e.cfg.ARVIGateMode {
+			case 1:
+				used = hit && (strong || perf >= 3)
+			case 2:
+				used = hit && (strong || perf >= 2)
+			default:
+				used = hit && perf >= e.cfg.ARVIUseThreshold &&
+					(!e.cfg.ARVIRequireStrong || strong)
+			}
+			if used {
+				final = apred
+				e.st.ARVIUsed++
+				if final != l1 {
+					overrode = true
+				}
+			}
+			e.av.Update(key, taken, used)
+		}
+		if final != taken {
+			if class == ClassLoad {
+				e.st.LoadMispreds++
+			} else {
+				e.st.CalcMispreds++
+			}
+		}
+	}
+
+	if l1 != taken {
+		e.st.L1Mispredicts++
+	}
+	if overrode {
+		e.st.Overrides++
+		if final == taken {
+			e.st.OverrideGood++
+		}
+	}
+	if final != taken {
+		e.st.Mispredicts++
+	}
+
+	// Train the shared structures in program order.
+	e.l1.Update(pc, hist, taken)
+	e.conf.Update(pc, hist, l1 == taken)
+	e.hist.Push(taken)
+
+	// Front-end effects other than full misprediction are applied here;
+	// the misprediction redirect needs the resolution cycle and is applied
+	// in resolveControl.
+	e.pendingOverride = 0
+	if final == taken {
+		if overrode {
+			// The override restarted fetch at the L2 latency.
+			e.pendingOverride = e.l2Lat
+		} else if taken {
+			e.pendingOverride = 1 // taken-branch fetch break
+		}
+	}
+	e.pendingMispredict = final != taken
+}
+
+// predictJump models unconditional control flow: direct jumps are fully
+// predicted (1-cycle taken bubble); JR uses a return-address stack pushed
+// by JAL, with a misprediction redirect on a wrong target.
+func (e *Engine) predictJump(ev *vm.Event, fetchC int64) {
+	in := ev.Inst
+	e.pendingOverride = 1 // taken redirect bubble
+	e.pendingMispredict = false
+	switch in.Op {
+	case isa.OpJal:
+		e.ras = append(e.ras, int64(ev.PC+1))
+		if len(e.ras) > 64 {
+			e.ras = e.ras[1:]
+		}
+	case isa.OpJr:
+		predicted := int64(-1)
+		if n := len(e.ras); n > 0 {
+			predicted = e.ras[n-1]
+			e.ras = e.ras[:n-1]
+		}
+		if predicted != int64(ev.NextPC) {
+			e.st.JumpMispreds++
+			e.pendingMispredict = true
+		}
+	}
+}
+
+// resolveControl applies the front-end redirect cost decided during
+// prediction, now that the resolution cycle is known.
+func (e *Engine) resolveControl(ev *vm.Event, fetchC, doneC int64) {
+	if e.pendingMispredict {
+		if t := doneC + 1; t > e.nextFetchMin {
+			e.nextFetchMin = t
+		}
+		return
+	}
+	if e.pendingOverride > 0 {
+		if t := fetchC + e.pendingOverride; t > e.nextFetchMin {
+			e.nextFetchMin = t
+		}
+	}
+}
+
+// resolveLeaves turns the RSE leaf register set into (logical id, value)
+// pairs according to the configured value-availability mode, and classifies
+// the branch instance as calculated or load.
+func (e *Engine) resolveLeaves(set bitvec.Vec, fetchC int64) ([]arvi.LeafValue, BranchClass) {
+	e.leafBuf = e.leafBuf[:0]
+	class := ClassCalculated
+	set.ForEach(func(p int) {
+		m := &e.meta[p]
+		avail := m.commitC <= fetchC || m.doneC+1 <= fetchC
+		if !avail && e.cfg.Mode == PredARVILoadBack && m.isLoad && m.hoistAvail <= fetchC {
+			avail = true
+		}
+		if !avail {
+			class = ClassLoad
+		}
+		val := m.val
+		if !avail && e.cfg.Mode != PredARVIPerfect {
+			switch e.cfg.StalePolicy {
+			case StaleArchValue:
+				// Committed architectural value of the leaf's logical
+				// register (shadow architectural register file).
+				val = e.archVal[m.logical]
+			case StaleMask:
+				val = 0
+			default: // StalePhysical: the paper's shadow regfile read
+				val = m.prevVal
+			}
+		}
+		e.leafBuf = append(e.leafBuf, arvi.LeafValue{Logical: m.logical, Value: val})
+	})
+	return e.leafBuf, class
+}

@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRandomConfigsRobust sweeps randomized machine configurations through
+// a short run to shake out structural-size edge cases (tiny ROBs, single
+// ports, narrow widths) in the timing model.
+func TestRandomConfigsRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := workload.ByName("gcc").Prog
+	depths := []int{20, 40, 60}
+	modes := []PredMode{PredBaseline2Lvl, PredARVICurrent, PredARVILoadBack, PredARVIPerfect}
+	for i := 0; i < 24; i++ {
+		cfg := DefaultConfig(depths[rng.Intn(3)], modes[rng.Intn(4)])
+		cfg.ROB = 8 << rng.Intn(6)        // 8..256
+		cfg.LSQ = 4 << rng.Intn(4)        // 4..32
+		cfg.FetchWidth = 1 + rng.Intn(4)  // 1..4
+		cfg.CommitWidth = 1 + rng.Intn(4) // 1..4
+		cfg.IntALU = 1 + rng.Intn(4)      // 1..4
+		cfg.MemPorts = 1 + rng.Intn(2)    // 1..2
+		cfg.StalePolicy = StalePolicy(rng.Intn(3))
+		cfg.ARVIGateMode = rng.Intn(3)
+		cfg.CutAtLoads = rng.Intn(2) == 0
+		cfg.WrongPathInject = rng.Intn(2) == 0
+		cfg.MaxInsts = 3000
+
+		st, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("config %d (%+v): %v", i, cfg, err)
+		}
+		if st.Insts != 3000 {
+			t.Fatalf("config %d: insts = %d", i, st.Insts)
+		}
+		if st.Cycles < st.Insts/int64(cfg.FetchWidth) {
+			t.Errorf("config %d: cycles %d below the fetch bound", i, st.Cycles)
+		}
+		if st.IPC() <= 0 || st.IPC() > float64(cfg.FetchWidth) {
+			t.Errorf("config %d: IPC %v outside (0,%d]", i, st.IPC(), cfg.FetchWidth)
+		}
+	}
+}
+
+// TestNarrowMachineSlower checks that width actually constrains throughput.
+func TestNarrowMachineSlower(t *testing.T) {
+	p := workload.ByName("ijpeg").Prog
+	wide := DefaultConfig(20, PredBaseline2Lvl)
+	wide.MaxInsts = 30_000
+	narrow := wide
+	narrow.FetchWidth = 1
+	narrow.CommitWidth = 1
+	narrow.IntALU = 1
+	sWide, err := Run(p, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNarrow, err := Run(p, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sNarrow.IPC() >= sWide.IPC() {
+		t.Errorf("narrow IPC %.3f must trail wide IPC %.3f", sNarrow.IPC(), sWide.IPC())
+	}
+	if sNarrow.IPC() > 1.0 {
+		t.Errorf("single-wide machine cannot exceed IPC 1, got %.3f", sNarrow.IPC())
+	}
+}

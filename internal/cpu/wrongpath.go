@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// wrongPathBurst is how many wrong-path instructions a misprediction
+// injects: roughly the front end's runahead before resolution.
+const wrongPathBurst = 12
+
+// injectWrongPath renames a burst of wrong-path instructions into the DDT
+// after a mispredicted conditional branch, then recovers exactly as the
+// hardware would: the DDT head pointer rewinds (core.DDT.Rollback) and the
+// rename map, free list and shadow state are restored from the checkpoint.
+// The net effect on simulation state is nil; the value is exercising the
+// recovery machinery under the full pipeline.
+func (e *Engine) injectWrongPath(ev *vm.Event) {
+	in := ev.Inst
+	// The wrong path is the direction fetch actually followed: the target
+	// when the branch was really not taken, the fall-through otherwise.
+	wpc := ev.PC + 1
+	if !ev.Taken {
+		wpc = int(in.Imm)
+	}
+	text := e.prog.Text
+
+	type undo struct {
+		rd        isa.Reg
+		newP      core.PhysReg
+		oldP      core.PhysReg
+		savedMeta pregMeta
+	}
+	var undos []undo
+	inserted := 0
+
+	for k := 0; k < wrongPathBurst && wpc >= 0 && wpc < len(text); k++ {
+		win := text[wpc]
+		if win.Op == isa.OpHalt || e.ddt.Full() {
+			break
+		}
+		e.srcRegBuf = win.SrcRegs(e.srcRegBuf[:0])
+		e.srcPregs = e.srcPregs[:0]
+		for _, r := range e.srcRegBuf {
+			e.srcPregs = append(e.srcPregs, e.mapTable[r])
+		}
+		dest := core.NoPReg
+		if win.HasDest() {
+			if len(e.freeList) == 0 {
+				break
+			}
+			dest = e.freeList[0]
+			e.freeList = e.freeList[1:]
+			undos = append(undos, undo{
+				rd: win.Rd, newP: dest, oldP: e.mapTable[win.Rd],
+				savedMeta: e.meta[dest],
+			})
+			e.mapTable[win.Rd] = dest
+			// A real rename would start tracking the new producer; give
+			// the recovery something to undo.
+			e.meta[dest].logical = uint8(win.Rd)
+			e.meta[dest].isLoad = win.IsLoad()
+		}
+		if _, err := e.ddt.Insert(dest, e.srcPregs, win.IsLoad()); err != nil {
+			panic("cpu: wrong-path DDT insert failed: " + err.Error())
+		}
+		inserted++
+
+		// Follow the wrong path through unconditional direct jumps; stop
+		// at anything whose target we cannot know statically.
+		switch {
+		case win.Op == isa.OpJ || win.Op == isa.OpJal:
+			wpc = int(win.Imm)
+		case win.Op == isa.OpJr:
+			wpc = len(text) // terminate
+		default:
+			wpc++
+		}
+	}
+
+	// Recovery: the paper's Section 2 rollback plus rename checkpoint
+	// restore, applied youngest-first.
+	if err := e.ddt.Rollback(inserted); err != nil {
+		panic("cpu: wrong-path rollback failed: " + err.Error())
+	}
+	for i := len(undos) - 1; i >= 0; i-- {
+		u := undos[i]
+		e.mapTable[u.rd] = u.oldP
+		e.meta[u.newP] = u.savedMeta
+		e.freeList = append(e.freeList, 0)
+		copy(e.freeList[1:], e.freeList)
+		e.freeList[0] = u.newP
+	}
+}

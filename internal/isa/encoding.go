@@ -1,0 +1,70 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding. Each instruction encodes to a fixed 16-byte
+// pair of words: a header word carrying the opcode and register fields, and
+// a full 64-bit immediate word (the ISA allows 64-bit literals in LI, so
+// immediates are not squeezed into the header). The timing model's
+// instruction-cache geometry treats instructions as 8-byte units — the
+// header word — which matches RISC fetch behaviour; the immediate word is
+// considered part of the decode stream.
+//
+// Header layout (LSB first):
+//
+//	bits  0..7   opcode
+//	bits  8..15  Rd
+//	bits 16..23  Rs1
+//	bits 24..31  Rs2
+//	bits 32..63  reserved (must be zero)
+
+// Encode packs the instruction into its two-word binary form.
+func (i Inst) Encode() (header, imm uint64) {
+	header = uint64(i.Op) | uint64(i.Rd)<<8 | uint64(i.Rs1)<<16 | uint64(i.Rs2)<<24
+	return header, uint64(i.Imm)
+}
+
+// Decode unpacks a two-word binary instruction, validating every field.
+func Decode(header, imm uint64) (Inst, error) {
+	if header>>32 != 0 {
+		return Inst{}, fmt.Errorf("isa: reserved header bits set: %#x", header)
+	}
+	in := Inst{
+		Op:  Op(header & 0xff),
+		Rd:  Reg(header >> 8 & 0xff),
+		Rs1: Reg(header >> 16 & 0xff),
+		Rs2: Reg(header >> 24 & 0xff),
+		Imm: int64(imm),
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// EncodeText packs a whole text segment into a flat word slice
+// (2 words per instruction).
+func EncodeText(text []Inst) []uint64 {
+	out := make([]uint64, 0, 2*len(text))
+	for _, in := range text {
+		h, m := in.Encode()
+		out = append(out, h, m)
+	}
+	return out
+}
+
+// DecodeText unpacks a flat word slice produced by EncodeText.
+func DecodeText(words []uint64) ([]Inst, error) {
+	if len(words)%2 != 0 {
+		return nil, fmt.Errorf("isa: odd word count %d in text image", len(words))
+	}
+	out := make([]Inst, 0, len(words)/2)
+	for i := 0; i < len(words); i += 2 {
+		in, err := Decode(words[i], words[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i/2, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpLi, Rd: 9, Imm: -6364136223846793005},
+		{Op: OpLw, Rd: 4, Rs1: 5, Imm: 1 << 40},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 77},
+		{Op: OpHalt},
+	}
+	for _, in := range cases {
+		h, m := in.Encode()
+		got, err := Decode(h, m)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	if _, err := Decode(1<<40, 0); err == nil {
+		t.Error("reserved bits accepted")
+	}
+	if _, err := Decode(uint64(200), 0); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+	if _, err := Decode(uint64(OpAdd)|77<<8, 0); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func TestEncodeDecodeText(t *testing.T) {
+	text := []Inst{
+		{Op: OpLi, Rd: 1, Imm: 5},
+		{Op: OpAddi, Rd: 1, Rs1: 1, Imm: -1},
+		{Op: OpBne, Rs1: 1, Rs2: 0, Imm: 1},
+		{Op: OpHalt},
+	}
+	words := EncodeText(text)
+	if len(words) != 8 {
+		t.Fatalf("words = %d", len(words))
+	}
+	got, err := DecodeText(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range text {
+		if got[i] != text[i] {
+			t.Errorf("inst %d: %v != %v", i, got[i], text[i])
+		}
+	}
+	if _, err := DecodeText(words[:3]); err == nil {
+		t.Error("odd word count accepted")
+	}
+	if _, err := DecodeText([]uint64{1 << 40, 0}); err == nil {
+		t.Error("corrupt text accepted")
+	}
+}
+
+// Property: every structurally valid instruction round-trips.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(op, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{
+			Op: Op(op % uint8(NumOps)), Rd: Reg(rd % 32),
+			Rs1: Reg(rs1 % 32), Rs2: Reg(rs2 % 32), Imm: imm,
+		}
+		h, m := in.Encode()
+		got, err := Decode(h, m)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

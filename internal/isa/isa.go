@@ -1,0 +1,255 @@
+// Package isa defines the instruction set architecture used throughout the
+// simulator: a small 64-bit RISC with 32 integer registers, in the spirit of
+// the PISA/Alpha ISAs used by the paper. Instructions are fixed-width
+// (one word of the text segment each); values are 64-bit two's complement.
+//
+// Register r0 is hardwired to zero. r31 doubles as the link register for JAL.
+package isa
+
+import "fmt"
+
+// Reg is a logical (architectural) register number, 0..31.
+type Reg uint8
+
+// NumRegs is the number of logical integer registers defined by the ISA.
+const NumRegs = 32
+
+// Conventional register aliases.
+const (
+	Zero Reg = 0  // hardwired zero
+	SP   Reg = 29 // stack pointer (convention only)
+	FP   Reg = 30 // frame pointer (convention only)
+	RA   Reg = 31 // link register written by JAL
+)
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// ALU register-register.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll // shift left logical (by register, low 6 bits)
+	OpSrl // shift right logical
+	OpSra // shift right arithmetic
+	OpSlt // set if less than (signed)
+	OpSltu
+	OpMul
+	OpDiv // signed divide; division by zero yields 0
+	OpRem // signed remainder; remainder by zero yields the dividend
+
+	// ALU register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSlli
+	OpSrli
+	OpSrai
+	OpLi // load (sign-extended) immediate into Rd; Rs1 unused
+
+	// Memory. Addresses are byte addresses; LW/SW move 8-byte words,
+	// LB/SB move single bytes (LB sign-extends). Effective address is
+	// Rs1 + Imm.
+	OpLw
+	OpLb
+	OpSw // stores Rs2 to [Rs1+Imm]
+	OpSb
+
+	// Control transfer. Conditional branches compare Rs1 against Rs2 (or
+	// zero for the -z forms) and, if taken, transfer to the absolute
+	// instruction index Imm. J jumps unconditionally; JAL also writes the
+	// return index to Rd (conventionally RA); JR jumps to the instruction
+	// index held in Rs1.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltz
+	OpBgez
+	OpJ
+	OpJal
+	OpJr
+
+	OpHalt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt",
+	OpSltu: "sltu", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlti: "slti", OpSlli: "slli", OpSrli: "srli", OpSrai: "srai",
+	OpLi: "li", OpLw: "lw", OpLb: "lb", OpSw: "sw", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltz: "bltz", OpBgez: "bgez", OpJ: "j", OpJal: "jal", OpJr: "jr",
+	OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Inst is one decoded instruction. PC values and branch targets are
+// instruction indices into the text segment, not byte addresses.
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination register (if any)
+	Rs1 Reg   // first source
+	Rs2 Reg   // second source (also the store-data register)
+	Imm int64 // immediate / branch target / jump target
+}
+
+// HasDest reports whether the instruction writes a destination register.
+func (i Inst) HasDest() bool {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli, OpSrai, OpLi,
+		OpLw, OpLb, OpJal:
+		return i.Rd != Zero
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool { return i.Op == OpLw || i.Op == OpLb }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return i.Op == OpSw || i.Op == OpSb }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltz, OpBgez:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the instruction is an unconditional control
+// transfer (J, JAL, JR).
+func (i Inst) IsJump() bool {
+	return i.Op == OpJ || i.Op == OpJal || i.Op == OpJr
+}
+
+// IsControl reports whether the instruction can redirect the PC.
+func (i Inst) IsControl() bool { return i.IsCondBranch() || i.IsJump() }
+
+// SrcRegs appends the logical source registers the instruction reads to dst
+// and returns the extended slice. r0 is included when named (it still renames
+// to the canonical zero physical register). Immediate forms read only Rs1.
+func (i Inst) SrcRegs(dst []Reg) []Reg {
+	switch i.Op {
+	case OpNop, OpLi, OpJ, OpJal, OpHalt:
+		return dst
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem, OpBeq, OpBne, OpBlt, OpBge:
+		return append(dst, i.Rs1, i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli, OpSrai,
+		OpLw, OpLb, OpBltz, OpBgez, OpJr:
+		return append(dst, i.Rs1)
+	case OpSw, OpSb:
+		return append(dst, i.Rs1, i.Rs2)
+	}
+	return dst
+}
+
+// FUClass identifies the functional-unit class an instruction issues to.
+type FUClass uint8
+
+const (
+	FUIntALU FUClass = iota // single-cycle integer ops, branches, jumps
+	FUIntMul                // multiply/divide/remainder
+	FUMem                   // loads and stores (address generation + access)
+	NumFUClasses
+)
+
+// FU returns the functional-unit class for the instruction.
+func (i Inst) FU() FUClass {
+	switch {
+	case i.Op == OpMul || i.Op == OpDiv || i.Op == OpRem:
+		return FUIntMul
+	case i.IsMem():
+		return FUMem
+	default:
+		return FUIntALU
+	}
+}
+
+// ExecLatency returns the execution latency in cycles, excluding any memory
+// hierarchy latency for loads (the timing core adds cache latency).
+func (i Inst) ExecLatency() int {
+	switch i.Op {
+	case OpMul:
+		return 3
+	case OpDiv, OpRem:
+		return 12
+	case OpLw, OpLb, OpSw, OpSb:
+		return 1 // address generation; memory latency added by the core
+	default:
+		return 1
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	r := func(x Reg) string { return fmt.Sprintf("r%d", x) }
+	switch i.Op {
+	case OpNop, OpHalt:
+		return i.Op.String()
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs1), r(i.Rs2))
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli, OpSrai:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", r(i.Rd), i.Imm)
+	case OpLw, OpLb:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.Imm, r(i.Rs1))
+	case OpSw, OpSb:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rs2), i.Imm, r(i.Rs1))
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rs1), r(i.Rs2), i.Imm)
+	case OpBltz, OpBgez:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rs1), i.Imm)
+	case OpJ:
+		return fmt.Sprintf("j %d", i.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal %s, %d", r(i.Rd), i.Imm)
+	case OpJr:
+		return fmt.Sprintf("jr %s", r(i.Rs1))
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Validate checks structural well-formedness of the instruction (register
+// numbers in range, opcode defined). It does not validate branch targets,
+// which depend on program length; see prog.Program.Validate.
+func (i Inst) Validate() error {
+	if int(i.Op) >= NumOps {
+		return fmt.Errorf("isa: undefined opcode %d", i.Op)
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %v", i)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "nop", OpAdd: "add", OpLw: "lw", OpHalt: "halt",
+		OpBgez: "bgez", OpJal: "jal", OpSltu: "sltu", OpRem: "rem",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want to contain 200", got)
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Op: OpAdd, Rd: 3}, true},
+		{Inst{Op: OpAdd, Rd: 0}, false}, // writes to r0 are discarded
+		{Inst{Op: OpLw, Rd: 5}, true},
+		{Inst{Op: OpSw, Rs1: 1, Rs2: 2}, false},
+		{Inst{Op: OpBeq}, false},
+		{Inst{Op: OpJ}, false},
+		{Inst{Op: OpJal, Rd: 31}, true},
+		{Inst{Op: OpJr, Rs1: 31}, false},
+		{Inst{Op: OpHalt}, false},
+		{Inst{Op: OpLi, Rd: 9}, true},
+		{Inst{Op: OpNop}, false},
+	}
+	for _, c := range cases {
+		if got := c.in.HasDest(); got != c.want {
+			t.Errorf("%v.HasDest() = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !(Inst{Op: OpLw}).IsLoad() || !(Inst{Op: OpLb}).IsLoad() {
+		t.Error("lw/lb must be loads")
+	}
+	if (Inst{Op: OpSw}).IsLoad() {
+		t.Error("sw is not a load")
+	}
+	if !(Inst{Op: OpSw}).IsStore() || !(Inst{Op: OpSb}).IsStore() {
+		t.Error("sw/sb must be stores")
+	}
+	if !(Inst{Op: OpLw}).IsMem() || !(Inst{Op: OpSb}).IsMem() {
+		t.Error("mem predicate broken")
+	}
+	for _, op := range []Op{OpBeq, OpBne, OpBlt, OpBge, OpBltz, OpBgez} {
+		if !(Inst{Op: op}).IsCondBranch() {
+			t.Errorf("%v must be a conditional branch", op)
+		}
+		if (Inst{Op: op}).IsJump() {
+			t.Errorf("%v must not be a jump", op)
+		}
+	}
+	for _, op := range []Op{OpJ, OpJal, OpJr} {
+		if !(Inst{Op: op}).IsJump() || !(Inst{Op: op}).IsControl() {
+			t.Errorf("%v must be jump/control", op)
+		}
+	}
+	if (Inst{Op: OpAdd}).IsControl() {
+		t.Error("add is not control")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: OpLi, Rd: 1}, nil},
+		{Inst{Op: OpLw, Rd: 1, Rs1: 7}, []Reg{7}},
+		{Inst{Op: OpSw, Rs1: 7, Rs2: 8}, []Reg{7, 8}},
+		{Inst{Op: OpBeq, Rs1: 4, Rs2: 5}, []Reg{4, 5}},
+		{Inst{Op: OpBltz, Rs1: 4}, []Reg{4}},
+		{Inst{Op: OpJ}, nil},
+		{Inst{Op: OpJr, Rs1: 31}, []Reg{31}},
+		{Inst{Op: OpHalt}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v.SrcRegs() = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for k := range got {
+			if got[k] != c.want[k] {
+				t.Errorf("%v.SrcRegs() = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSrcRegsAppends(t *testing.T) {
+	buf := []Reg{9}
+	got := (Inst{Op: OpAdd, Rs1: 1, Rs2: 2}).SrcRegs(buf)
+	if len(got) != 3 || got[0] != 9 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("SrcRegs should append, got %v", got)
+	}
+}
+
+func TestFUClass(t *testing.T) {
+	if (Inst{Op: OpMul}).FU() != FUIntMul || (Inst{Op: OpDiv}).FU() != FUIntMul {
+		t.Error("mul/div must use FUIntMul")
+	}
+	if (Inst{Op: OpLw}).FU() != FUMem || (Inst{Op: OpSw}).FU() != FUMem {
+		t.Error("mem ops must use FUMem")
+	}
+	if (Inst{Op: OpAdd}).FU() != FUIntALU || (Inst{Op: OpBeq}).FU() != FUIntALU {
+		t.Error("alu/branch must use FUIntALU")
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	if (Inst{Op: OpMul}).ExecLatency() <= 1 {
+		t.Error("mul must be multi-cycle")
+	}
+	if (Inst{Op: OpDiv}).ExecLatency() <= (Inst{Op: OpMul}).ExecLatency() {
+		t.Error("div must be slower than mul")
+	}
+	if (Inst{Op: OpAdd}).ExecLatency() != 1 {
+		t.Error("add must be single-cycle")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLi, Rd: 4, Imm: 100}, "li r4, 100"},
+		{Inst{Op: OpLw, Rd: 1, Rs1: 2, Imm: 16}, "lw r1, 16(r2)"},
+		{Inst{Op: OpSw, Rs1: 2, Rs2: 3, Imm: 8}, "sw r3, 8(r2)"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 0, Imm: 42}, "beq r1, r0, 42"},
+		{Inst{Op: OpBltz, Rs1: 6, Imm: 7}, "bltz r6, 7"},
+		{Inst{Op: OpJ, Imm: 3}, "j 3"},
+		{Inst{Op: OpJal, Rd: 31, Imm: 3}, "jal r31, 3"},
+		{Inst{Op: OpJr, Rs1: 31}, "jr r31"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}).Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	if err := (Inst{Op: Op(250)}).Validate(); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+	if err := (Inst{Op: OpAdd, Rd: 40}).Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+// Property: every defined opcode has a non-placeholder mnemonic and every
+// instruction built from defined parts validates.
+func TestQuickAllOpsWellFormed(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	f := func(op uint8, rd, rs1, rs2 uint8) bool {
+		in := Inst{Op: Op(op % uint8(NumOps)), Rd: Reg(rd % 32), Rs1: Reg(rs1 % 32), Rs2: Reg(rs2 % 32)}
+		return in.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: source registers never exceed two, and stores/branches never
+// claim a destination.
+func TestQuickSrcDestInvariants(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{Op: Op(op % uint8(NumOps)), Rd: Reg(rd % 32), Rs1: Reg(rs1 % 32), Rs2: Reg(rs2 % 32), Imm: imm}
+		srcs := in.SrcRegs(nil)
+		if len(srcs) > 2 {
+			return false
+		}
+		if (in.IsStore() || in.IsCondBranch()) && in.HasDest() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometryErrors(t *testing.T) {
+	if _, err := NewCache("bad", 0, 4, 32, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewCache("bad", 100, 4, 32, 1); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+	if _, err := NewCache("bad", 3*32*4, 4, 32, 1); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := NewCache("ok", 1<<10, 4, 32, 1); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := MustNewCache("t", 1<<10, 2, 32, 1) // 16 sets
+	if c.Access(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0) || !c.Access(31) {
+		t.Error("same line must hit")
+	}
+	if c.Access(32) {
+		t.Error("next line must miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := MustNewCache("t", 2*32*2, 2, 32, 1) // 2 sets, 2 ways
+	// Three lines mapping to set 0: addresses 0, 128, 256 (set stride 64).
+	c.Access(0)
+	c.Access(128)
+	c.Access(0)   // 0 is MRU, 128 LRU
+	c.Access(256) // evicts 128
+	if !c.Access(0) {
+		t.Error("0 must survive")
+	}
+	if c.Access(128) {
+		t.Error("128 must have been evicted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := MustNewCache("t", 1<<10, 2, 32, 1)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 {
+		t.Error("stats not reset")
+	}
+	if c.Access(0) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tl := MustNewTLB("t", 4, 2, 8<<10, 30)
+	if got := tl.Access(0); got != 30 {
+		t.Errorf("cold tlb = %d, want 30", got)
+	}
+	if got := tl.Access(8191); got != 0 {
+		t.Errorf("same page = %d, want 0", got)
+	}
+	if got := tl.Access(8192); got != 30 {
+		t.Errorf("next page = %d, want 30", got)
+	}
+	if tl.Hits() != 1 || tl.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d", tl.Hits(), tl.Misses())
+	}
+}
+
+func TestLatenciesForDepth(t *testing.T) {
+	l20, l40, l60 := LatenciesForDepth(20), LatenciesForDepth(40), LatenciesForDepth(60)
+	if !(l20.L1Hit < l40.L1Hit && l40.L1Hit < l60.L1Hit) {
+		t.Error("L1 latency must grow with depth")
+	}
+	if !(l20.Mem < l40.Mem && l40.Mem < l60.Mem) {
+		t.Error("memory latency must grow with depth")
+	}
+}
+
+func TestHierarchyDataAccess(t *testing.T) {
+	h := NewHierarchy(Latencies{L1Hit: 2, L2Hit: 12, Mem: 80, TLBMis: 30})
+	// Cold: TLB miss + L1 miss + L2 miss + memory.
+	if got := h.DataAccess(1 << 20); got != 30+2+12+80 {
+		t.Errorf("cold access = %d, want 124", got)
+	}
+	// Warm: L1 hit, TLB hit.
+	if got := h.DataAccess(1 << 20); got != 2 {
+		t.Errorf("warm access = %d, want 2", got)
+	}
+	// Same page, different L1 line, L2 now holds it? No: a new line is
+	// cold everywhere except TLB.
+	if got := h.DataAccess(1<<20 + 64); got != 2+12+80 {
+		t.Errorf("new-line access = %d, want 94", got)
+	}
+}
+
+func TestHierarchyFetch(t *testing.T) {
+	h := NewHierarchy(Latencies{L1Hit: 2, L2Hit: 12, Mem: 80, TLBMis: 30})
+	if got := h.FetchAccess(0); got != 30+12+80 {
+		t.Errorf("cold fetch = %d, want 122", got)
+	}
+	if got := h.FetchAccess(1); got != 0 {
+		t.Errorf("warm fetch = %d, want 0", got)
+	}
+	h.Reset()
+	if h.L1I.Accesses() != 0 || h.ITLB.Misses() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// Property: hits + misses == accesses and a second access to the same
+// address always hits (with a cache big enough not to self-evict within
+// one pair).
+func TestQuickCacheCoherentCounts(t *testing.T) {
+	c := MustNewCache("q", 1<<14, 4, 32, 1)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) {
+				return false
+			}
+		}
+		return c.Accesses() == c.Hits+c.Misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package prog defines the executable program image produced by the
+// assembler and consumed by the functional VM and the timing simulator.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DefaultDataBase is the byte address at which the data segment is loaded
+// when the assembler is not told otherwise. Program text lives in its own
+// index space (instruction indices), so the data segment may start anywhere
+// above address 0; a non-zero base catches null-pointer style bugs in
+// workloads.
+const DefaultDataBase = 0x10000
+
+// DefaultStackTop is the conventional initial stack pointer. Stacks grow
+// down from here; the region is backed lazily by the sparse memory.
+const DefaultStackTop = 0x7ff000
+
+// Program is a fully assembled executable image.
+type Program struct {
+	Name     string     // human-readable name (workload id)
+	Text     []isa.Inst // instruction memory, indexed by instruction index
+	Data     []byte     // initialised data segment
+	DataBase uint64     // load address of Data
+	Entry    int        // instruction index where execution starts
+	Symbols  map[string]uint64
+}
+
+// Validate checks that every control-flow target lands inside the text
+// segment and that every instruction is structurally well formed.
+func (p *Program) Validate() error {
+	n := int64(len(p.Text))
+	if n == 0 {
+		return fmt.Errorf("prog %q: empty text segment", p.Name)
+	}
+	if p.Entry < 0 || int64(p.Entry) >= n {
+		return fmt.Errorf("prog %q: entry %d outside text [0,%d)", p.Name, p.Entry, n)
+	}
+	for idx, in := range p.Text {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("prog %q: inst %d: %w", p.Name, idx, err)
+		}
+		switch in.Op {
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltz, isa.OpBgez,
+			isa.OpJ, isa.OpJal:
+			if in.Imm < 0 || in.Imm >= n {
+				return fmt.Errorf("prog %q: inst %d (%v): target %d outside text [0,%d)",
+					p.Name, idx, in, in.Imm, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises the static composition of the program.
+type Stats struct {
+	Insts        int
+	CondBranches int
+	Jumps        int
+	Loads        int
+	Stores       int
+	DataBytes    int
+}
+
+// StaticStats computes the static instruction-mix summary.
+func (p *Program) StaticStats() Stats {
+	s := Stats{Insts: len(p.Text), DataBytes: len(p.Data)}
+	for _, in := range p.Text {
+		switch {
+		case in.IsCondBranch():
+			s.CondBranches++
+		case in.IsJump():
+			s.Jumps++
+		case in.IsLoad():
+			s.Loads++
+		case in.IsStore():
+			s.Stores++
+		}
+	}
+	return s
+}

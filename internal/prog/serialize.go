@@ -1,0 +1,177 @@
+package prog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// progMagic identifies the serialized program format (version 1).
+const progMagic = "DDTPROG1"
+
+// WriteTo serializes the program in a stable little-endian binary format:
+// magic, name, entry, data base, text (2 words per instruction), data
+// bytes, and the symbol table.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(s string) error {
+		if err := write(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if _, err := bw.WriteString(progMagic); err != nil {
+		return cw.n, err
+	}
+	if err := writeStr(p.Name); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(p.Entry)); err != nil {
+		return cw.n, err
+	}
+	if err := write(p.DataBase); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(p.Text))); err != nil {
+		return cw.n, err
+	}
+	for _, in := range p.Text {
+		h, m := in.Encode()
+		if err := write(h); err != nil {
+			return cw.n, err
+		}
+		if err := write(m); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(len(p.Data))); err != nil {
+		return cw.n, err
+	}
+	if _, err := bw.Write(p.Data); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(p.Symbols))); err != nil {
+		return cw.n, err
+	}
+	for name, val := range p.Symbols {
+		if err := writeStr(name); err != nil {
+			return cw.n, err
+		}
+		if err := write(val); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserializes a program written by WriteTo and validates it.
+func Read(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	readStr := func() (string, error) {
+		var n uint32
+		if err := read(&n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("prog: unreasonable string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	magic := make([]byte, len(progMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("prog: reading magic: %w", err)
+	}
+	if string(magic) != progMagic {
+		return nil, fmt.Errorf("prog: bad magic %q", magic)
+	}
+	p := &Program{Symbols: map[string]uint64{}}
+	var err error
+	if p.Name, err = readStr(); err != nil {
+		return nil, err
+	}
+	var entry, nText, nData, nSyms uint32
+	if err := read(&entry); err != nil {
+		return nil, err
+	}
+	if err := read(&p.DataBase); err != nil {
+		return nil, err
+	}
+	p.Entry = int(entry)
+	if err := read(&nText); err != nil {
+		return nil, err
+	}
+	if nText > 1<<24 {
+		return nil, fmt.Errorf("prog: unreasonable text size %d", nText)
+	}
+	p.Text = make([]isa.Inst, nText)
+	for i := range p.Text {
+		var h, m uint64
+		if err := read(&h); err != nil {
+			return nil, err
+		}
+		if err := read(&m); err != nil {
+			return nil, err
+		}
+		if p.Text[i], err = isa.Decode(h, m); err != nil {
+			return nil, fmt.Errorf("prog: instruction %d: %w", i, err)
+		}
+	}
+	if err := read(&nData); err != nil {
+		return nil, err
+	}
+	if nData > 1<<28 {
+		return nil, fmt.Errorf("prog: unreasonable data size %d", nData)
+	}
+	p.Data = make([]byte, nData)
+	if _, err := io.ReadFull(br, p.Data); err != nil {
+		return nil, err
+	}
+	if err := read(&nSyms); err != nil {
+		return nil, err
+	}
+	if nSyms > 1<<20 {
+		return nil, fmt.Errorf("prog: unreasonable symbol count %d", nSyms)
+	}
+	for i := uint32(0); i < nSyms; i++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		var val uint64
+		if err := read(&val); err != nil {
+			return nil, err
+		}
+		p.Symbols[name] = val
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,78 @@
+package prog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sample() *Program {
+	return &Program{
+		Name:     "sample",
+		Text:     []isa.Inst{{Op: isa.OpLi, Rd: 1, Imm: -5}, {Op: isa.OpHalt}},
+		Data:     []byte{1, 2, 3, 4, 5},
+		DataBase: DefaultDataBase,
+		Entry:    0,
+		Symbols:  map[string]uint64{"main": 0, "tab": DefaultDataBase},
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo count = %d, buffer has %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Entry != p.Entry || got.DataBase != p.DataBase {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Text) != len(p.Text) || got.Text[0] != p.Text[0] {
+		t.Errorf("text mismatch: %v", got.Text)
+	}
+	if !bytes.Equal(got.Data, p.Data) {
+		t.Errorf("data mismatch: %v", got.Data)
+	}
+	if got.Symbols["tab"] != DefaultDataBase {
+		t.Errorf("symbols mismatch: %v", got.Symbols)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTAPROG????????")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated stream: valid header then EOF.
+	var buf bytes.Buffer
+	if _, err := sample().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestValidateCatchesCorruptTargets(t *testing.T) {
+	p := sample()
+	p.Text[0] = isa.Inst{Op: isa.OpJ, Imm: 99}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("out-of-range jump target accepted on read")
+	}
+}

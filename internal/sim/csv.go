@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// WriteCSV exports the full result matrix as tidy CSV (one row per
+// benchmark × depth × mode) for external plotting: IPC, normalized IPC,
+// accuracy, class accuracies and load-branch fraction.
+func (m *Matrix) WriteCSV(w io.Writer, depths []int) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"bench", "depth", "mode", "ipc", "norm_ipc", "accuracy",
+		"calc_acc", "load_acc", "load_frac", "mispredicts", "cond_branches",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range workload.Names {
+		for _, d := range depths {
+			base := m.Get(b, d, Modes[0]).IPC()
+			for _, md := range Modes {
+				st := m.Get(b, d, md)
+				rec := []string{
+					b,
+					fmt.Sprintf("%d", d),
+					md.String(),
+					fmt.Sprintf("%.4f", st.IPC()),
+					fmt.Sprintf("%.4f", st.IPC()/base),
+					fmt.Sprintf("%.4f", st.PredAccuracy()),
+					fmt.Sprintf("%.4f", st.ClassAccuracy(0)),
+					fmt.Sprintf("%.4f", st.ClassAccuracy(1)),
+					fmt.Sprintf("%.4f", st.LoadBranchFraction()),
+					fmt.Sprintf("%d", st.Mispredicts),
+					fmt.Sprintf("%d", st.CondBranches),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

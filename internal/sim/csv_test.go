@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWriteCSV(t *testing.T) {
+	mx := smallMatrix(t, workload.Names, []int{20}, Modes)
+	var sb strings.Builder
+	if err := mx.WriteCSV(&sb, []int{20}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(workload.Names)*len(Modes)
+	if len(recs) != want {
+		t.Fatalf("rows = %d, want %d", len(recs), want)
+	}
+	if recs[0][0] != "bench" || len(recs[0]) != 11 {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Baseline rows must have norm_ipc exactly 1.0000.
+	for _, r := range recs[1:] {
+		if r[2] == "2lvl-2bc-gskew" && r[4] != "1.0000" {
+			t.Errorf("baseline norm = %s", r[4])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package sim is the experiment harness: it runs (benchmark × pipeline
+// depth × predictor mode) simulations, in parallel, and renders the paper's
+// tables and figures from the results.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// DefaultMaxInsts is the per-run dynamic instruction budget used by the
+// experiment drivers. The workloads reach steady state well within it.
+const DefaultMaxInsts = 250_000
+
+// Spec identifies one simulation run.
+type Spec struct {
+	Bench    string
+	Depth    int
+	Mode     cpu.PredMode
+	MaxInsts int64
+	// CutAtLoads selects the DDT chain-semantics ablation.
+	CutAtLoads bool
+	// ConfThreshold overrides the JRS threshold when non-zero.
+	ConfThreshold uint8
+}
+
+// String names the run.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%dstage/%s", s.Bench, s.Depth, s.Mode)
+}
+
+// Result pairs a spec with its statistics.
+type Result struct {
+	Spec  Spec
+	Stats cpu.Stats
+}
+
+// Simulate executes one run.
+func Simulate(spec Spec) (Result, error) {
+	b := workload.ByName(spec.Bench)
+	cfg := cpu.DefaultConfig(spec.Depth, spec.Mode)
+	cfg.MaxInsts = spec.MaxInsts
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = DefaultMaxInsts
+	}
+	cfg.CutAtLoads = spec.CutAtLoads
+	if spec.ConfThreshold != 0 {
+		cfg.ConfThreshold = spec.ConfThreshold
+	}
+	st, err := cpu.Run(b.Prog, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+	}
+	return Result{Spec: spec, Stats: st}, nil
+}
+
+// RunAll executes the given specs concurrently (bounded by GOMAXPROCS) and
+// returns results in spec order.
+func RunAll(specs []Spec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Simulate(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Modes lists the four Section 5 configurations in presentation order.
+var Modes = []cpu.PredMode{
+	cpu.PredBaseline2Lvl,
+	cpu.PredARVICurrent,
+	cpu.PredARVILoadBack,
+	cpu.PredARVIPerfect,
+}
+
+// Depths lists the evaluated pipeline depths.
+var Depths = []int{20, 40, 60}
+
+// matrixKey indexes a result grid.
+type matrixKey struct {
+	bench string
+	depth int
+	mode  cpu.PredMode
+}
+
+// Matrix holds a grid of results addressable by (bench, depth, mode).
+type Matrix struct {
+	m        map[matrixKey]cpu.Stats
+	MaxInsts int64
+}
+
+// RunMatrix runs every (bench × depth × mode) combination requested.
+func RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+	var specs []Spec
+	for _, b := range benches {
+		for _, d := range depths {
+			for _, md := range modes {
+				specs = append(specs, Spec{Bench: b, Depth: d, Mode: md, MaxInsts: maxInsts})
+			}
+		}
+	}
+	res, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	mx := &Matrix{m: make(map[matrixKey]cpu.Stats, len(res)), MaxInsts: maxInsts}
+	for _, r := range res {
+		mx.m[matrixKey{r.Spec.Bench, r.Spec.Depth, r.Spec.Mode}] = r.Stats
+	}
+	return mx, nil
+}
+
+// Get returns the stats for one cell; it panics on a missing cell (caller
+// bug: the cell was not part of the requested grid).
+func (m *Matrix) Get(bench string, depth int, mode cpu.PredMode) cpu.Stats {
+	st, ok := m.m[matrixKey{bench, depth, mode}]
+	if !ok {
+		panic(fmt.Sprintf("sim: no result for %s/%d/%v", bench, depth, mode))
+	}
+	return st
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func smallMatrix(t *testing.T, benches []string, depths []int, modes []cpu.PredMode) *Matrix {
+	t.Helper()
+	mx, err := RunMatrix(benches, depths, modes, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mx
+}
+
+func TestSimulateSingle(t *testing.T) {
+	r, err := Simulate(Spec{Bench: "compress", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Insts != 5000 {
+		t.Errorf("insts = %d", r.Stats.Insts)
+	}
+	if r.Stats.Cycles <= 0 || r.Stats.CondBranches == 0 {
+		t.Errorf("degenerate stats: %+v", r.Stats)
+	}
+	if got := r.Spec.String(); !strings.Contains(got, "compress") || !strings.Contains(got, "20") {
+		t.Errorf("spec string = %q", got)
+	}
+}
+
+func TestRunAllOrderAndParallel(t *testing.T) {
+	specs := []Spec{
+		{Bench: "gcc", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 4000},
+		{Bench: "li", Depth: 40, Mode: cpu.PredARVICurrent, MaxInsts: 4000},
+		{Bench: "perl", Depth: 60, Mode: cpu.PredARVIPerfect, MaxInsts: 4000},
+	}
+	res, err := RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if res[i].Spec != specs[i] {
+			t.Errorf("result %d out of order: %v", i, res[i].Spec)
+		}
+		if res[i].Stats.Insts == 0 {
+			t.Errorf("result %d empty", i)
+		}
+	}
+}
+
+func TestMatrixGetPanicsOnMissing(t *testing.T) {
+	mx := smallMatrix(t, []string{"gcc"}, []int{20}, []cpu.PredMode{cpu.PredBaseline2Lvl})
+	defer func() {
+		if recover() == nil {
+			t.Error("Get on missing cell must panic")
+		}
+	}()
+	mx.Get("li", 20, cpu.PredBaseline2Lvl)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	s := Spec{Bench: "vortex", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 6000}
+	a, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("same spec produced different stats:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+func TestFigureTables(t *testing.T) {
+	mx := smallMatrix(t, workload.Names, Depths, Modes)
+
+	f5a := Fig5a(mx)
+	if len(f5a.Rows) != len(workload.Names) || len(f5a.Header) != 4 {
+		t.Errorf("fig5a shape: %d rows, %d cols", len(f5a.Rows), len(f5a.Header))
+	}
+	f5b := Fig5b(mx, 20)
+	if len(f5b.Rows) != len(workload.Names) {
+		t.Errorf("fig5b rows = %d", len(f5b.Rows))
+	}
+	f6a := Fig6Accuracy(mx, 20)
+	if len(f6a.Rows) != len(workload.Names) || len(f6a.Header) != 5 {
+		t.Errorf("fig6 accuracy shape wrong")
+	}
+	f6b, summ := Fig6IPC(mx, 20)
+	if len(f6b.Rows) != len(workload.Names)+1 { // + average row
+		t.Errorf("fig6 ipc rows = %d", len(f6b.Rows))
+	}
+	// The baseline column must be exactly 1.000 for every benchmark.
+	for _, b := range workload.Names {
+		if n := summ.Normalized[cpu.PredBaseline2Lvl][b]; n != 1 {
+			t.Errorf("baseline normalised IPC for %s = %v", b, n)
+		}
+	}
+	var sb strings.Builder
+	if err := f6b.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "average") || !strings.Contains(out, "m88ksim") {
+		t.Errorf("rendered table missing rows:\n%s", out)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) < 8 {
+		t.Errorf("table2 rows = %d", len(t2.Rows))
+	}
+	t4 := Table4()
+	if len(t4.Rows) != 3 {
+		t.Errorf("table4 rows = %d", len(t4.Rows))
+	}
+	// Table 4 ARVI row must show 6/12/18.
+	got := strings.Join(t4.Rows[2], " ")
+	for _, want := range []string{"6", "12", "18"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ARVI latency row %q missing %s", got, want)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{Title: "T", Note: "n", Header: []string{"a", "bb"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// Title, note, header, rule, two rows.
+	if len(lines) != 6 {
+		t.Errorf("rendered %d lines:\n%s", len(lines), sb.String())
+	}
+}
+
+// TestHeadlineShape verifies the paper's headline claims on a reduced
+// budget: ARVI current-value beats the two-level baseline on average, and
+// the advantage does not shrink from 20 to 60 stages.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape needs a non-trivial instruction budget")
+	}
+	mx, err := RunMatrix(workload.Names, []int{20, 60}, Modes, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s20 := Fig6IPC(mx, 20)
+	_, s60 := Fig6IPC(mx, 60)
+	if s20.AvgImprovement[cpu.PredARVICurrent] < 0.03 {
+		t.Errorf("20-stage ARVI improvement = %+.3f, want >= +3%%",
+			s20.AvgImprovement[cpu.PredARVICurrent])
+	}
+	if s60.AvgImprovement[cpu.PredARVICurrent] <= s20.AvgImprovement[cpu.PredARVICurrent] {
+		t.Errorf("improvement must grow with depth: 20-stage %+.3f vs 60-stage %+.3f",
+			s20.AvgImprovement[cpu.PredARVICurrent],
+			s60.AvgImprovement[cpu.PredARVICurrent])
+	}
+	// m88ksim is the outlier winner at 20 stages.
+	m, base := mx.Get("m88ksim", 20, cpu.PredARVICurrent), mx.Get("m88ksim", 20, cpu.PredBaseline2Lvl)
+	if m.IPC() <= base.IPC()*1.05 {
+		t.Errorf("m88ksim ARVI IPC %.3f must clearly beat baseline %.3f", m.IPC(), base.IPC())
+	}
+	// Perfect value is an upper bound on current value, on average.
+	if s20.AvgImprovement[cpu.PredARVIPerfect] < s20.AvgImprovement[cpu.PredARVICurrent]-0.02 {
+		t.Errorf("perfect (%+.3f) must not trail current (%+.3f)",
+			s20.AvgImprovement[cpu.PredARVIPerfect], s20.AvgImprovement[cpu.PredARVICurrent])
+	}
+}

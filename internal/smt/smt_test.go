@@ -1,0 +1,155 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/prog"
+)
+
+// parallelProg: independent single-cycle work (a "fast" thread).
+func parallelProg(t *testing.T, n int) *prog.Program {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("main:\n  li r9, 0\n  li r8, " + itoa(n) + "\nloop:\n")
+	for i := 0; i < 8; i++ {
+		b.WriteString("  addi r" + itoa(11+i) + ", r0, 1\n")
+	}
+	b.WriteString("  addi r9, r9, 1\n  bne r9, r8, loop\n  halt\n")
+	p, err := asm.Assemble("par", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// serialProg: one long dependence chain with loads (a "slow" thread).
+func serialProg(t *testing.T, n int) *prog.Program {
+	t.Helper()
+	src := `
+    .data
+cell: .word 1
+    .text
+main:
+  li r9, 0
+  li r8, ` + itoa(n) + `
+loop:
+  lw  r1, cell(r0)
+  add r2, r2, r1
+  mul r2, r2, r1
+  sw  r2, cell(r0)
+  addi r9, r9, 1
+  bne r9, r8, loop
+  halt
+`
+	p, err := asm.Assemble("ser", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(nil, ICOUNT, DefaultConfig()); err == nil {
+		t.Error("no threads accepted")
+	}
+	bad := DefaultConfig()
+	bad.Window = 0
+	if _, err := Run([]*prog.Program{parallelProg(t, 10)}, ICOUNT, bad); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestSingleThreadRunsToCompletion(t *testing.T) {
+	p := parallelProg(t, 200)
+	res, err := Run([]*prog.Program{p}, RoundRobin, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerThread[0] == 0 || res.Throughput() <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	// All fetched instructions eventually retire.
+	if res.TotalInsts != res.PerThread[0] {
+		t.Errorf("totals disagree: %+v", res)
+	}
+}
+
+func TestPoliciesAreDeterministic(t *testing.T) {
+	progs := []*prog.Program{parallelProg(t, 300), serialProg(t, 300)}
+	for _, pol := range []Policy{RoundRobin, ICOUNT, DepLength} {
+		a, err := Run(progs, pol, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(progs, pol, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Throughput() != b.Throughput() || a.Cycles != b.Cycles {
+			t.Errorf("%v: nondeterministic", pol)
+		}
+	}
+}
+
+func TestSmartPoliciesBeatRoundRobinOnMixedThreads(t *testing.T) {
+	// A fast parallel thread paired with a slow serial thread: both
+	// ICOUNT and the dependence policy should outperform blind
+	// round-robin in combined throughput over a fixed horizon.
+	progs := []*prog.Program{parallelProg(t, 4000), serialProg(t, 4000)}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3000
+
+	through := map[Policy]float64{}
+	for _, pol := range []Policy{RoundRobin, ICOUNT, DepLength} {
+		res, err := Run(progs, pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through[pol] = res.Throughput()
+	}
+	if through[ICOUNT] <= through[RoundRobin] {
+		t.Errorf("icount (%.3f) must beat round-robin (%.3f)",
+			through[ICOUNT], through[RoundRobin])
+	}
+	if through[DepLength] <= through[RoundRobin] {
+		t.Errorf("dep-length (%.3f) must beat round-robin (%.3f)",
+			through[DepLength], through[RoundRobin])
+	}
+}
+
+func TestDepLengthStarvationFree(t *testing.T) {
+	// The dependence policy must still advance the serial thread.
+	progs := []*prog.Program{parallelProg(t, 2000), serialProg(t, 500)}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 4000
+	res, err := Run(progs, DepLength, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerThread[1] == 0 {
+		t.Error("serial thread starved under dep-length policy")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RoundRobin.String() == "" || ICOUNT.String() == "" || DepLength.String() == "" {
+		t.Error("policy names missing")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Error("unknown policy string")
+	}
+}

@@ -1,0 +1,135 @@
+// Package trace records and replays the correct-path dynamic instruction
+// stream consumed by the timing model. A trace file stores, per retired
+// instruction, the PC, the architectural next PC, the branch outcome, the
+// effective address and the result value — everything cpu.EventSource
+// needs; the static instruction is recovered from the program text at read
+// time, so traces stay compact and a trace is only valid together with the
+// program that produced it.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// magic identifies the trace format (version 1).
+const magic = "DDTTRC01"
+
+// recordSize is the fixed on-disk size of one event record.
+const recordSize = 4 + 4 + 1 + 8 + 8
+
+// Writer streams events into a trace.
+type Writer struct {
+	bw    *bufio.Writer
+	n     int64
+	wrote bool
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Append records one event.
+func (t *Writer) Append(ev *vm.Event) error {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ev.PC))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ev.NextPC))
+	if ev.Taken {
+		rec[8] = 1
+	}
+	binary.LittleEndian.PutUint64(rec[9:], ev.Addr)
+	binary.LittleEndian.PutUint64(rec[17:], uint64(ev.Val))
+	if _, err := t.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Len returns the number of events appended so far.
+func (t *Writer) Len() int64 { return t.n }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.bw.Flush() }
+
+// Record runs the program on a fresh VM for up to max instructions
+// (0 = to halt), streaming the trace into w. It returns the number of
+// instructions recorded.
+func Record(p *prog.Program, max int64, w io.Writer) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	machine := vm.New(p)
+	var werr error
+	n, err := machine.Run(max, func(ev *vm.Event) {
+		if werr == nil {
+			werr = tw.Append(ev)
+		}
+	})
+	if err != nil {
+		return n, err
+	}
+	if werr != nil {
+		return n, werr
+	}
+	return n, tw.Flush()
+}
+
+// Reader replays a recorded trace as a cpu.EventSource.
+type Reader struct {
+	br   *bufio.Reader
+	prog *prog.Program
+	seq  int64
+}
+
+// NewReader opens a trace over r; p must be the program the trace was
+// recorded from (its text supplies the static instructions).
+func NewReader(p *prog.Program, r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	return &Reader{br: br, prog: p}, nil
+}
+
+// Next fills ev with the next trace record, returning io.EOF at the end.
+// It implements cpu.EventSource.
+func (t *Reader) Next(ev *vm.Event) error {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(t.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: record %d: %w", t.seq, err)
+	}
+	pc := int(binary.LittleEndian.Uint32(rec[0:]))
+	if pc < 0 || pc >= len(t.prog.Text) {
+		return fmt.Errorf("trace: record %d: pc %d outside program text", t.seq, pc)
+	}
+	*ev = vm.Event{
+		Seq:    t.seq,
+		PC:     pc,
+		Inst:   t.prog.Text[pc],
+		NextPC: int(binary.LittleEndian.Uint32(rec[4:])),
+		Taken:  rec[8] != 0,
+		Addr:   binary.LittleEndian.Uint64(rec[9:]),
+		Val:    int64(binary.LittleEndian.Uint64(rec[17:])),
+	}
+	t.seq++
+	return nil
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+const loopSrc = `
+    .data
+tab: .word 5, 3, 9
+    .text
+main:
+    li  r1, 0
+    li  r2, 200
+loop:
+    andi r3, r1, 1
+    slli r3, r3, 3
+    lw  r4, tab(r3)
+    add r5, r5, r4
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+`
+
+func TestRecordReplayMatchesLive(t *testing.T) {
+	p := asm.MustAssemble("loop", loopSrc)
+	var buf bytes.Buffer
+	n, err := Record(p, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Replaying the trace must yield event-for-event identity with a live
+	// functional run.
+	rd, err := NewReader(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.New(p)
+	var live, replay vm.Event
+	for i := int64(0); ; i++ {
+		rerr := rd.Next(&replay)
+		lerr := machine.Step(&live)
+		if rerr == io.EOF {
+			if lerr == nil && !machine.Halt {
+				// Step after halt should error; the trace ends with halt.
+				t.Fatalf("trace ended early at %d", i)
+			}
+			break
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		if replay.PC != live.PC || replay.NextPC != live.NextPC ||
+			replay.Taken != live.Taken || replay.Addr != live.Addr ||
+			replay.Val != live.Val || replay.Seq != live.Seq {
+			t.Fatalf("event %d mismatch:\nreplay %+v\nlive   %+v", i, replay, live)
+		}
+		if machine.Halt {
+			if err := rd.Next(&replay); err != io.EOF {
+				t.Fatalf("expected EOF after halt, got %v", err)
+			}
+			break
+		}
+	}
+}
+
+func TestTimingFromTraceMatchesLive(t *testing.T) {
+	// The whole point of the trace: feeding it to the timing model must
+	// reproduce the live run's statistics exactly.
+	b := workload.ByName("perl")
+	var buf bytes.Buffer
+	if _, err := Record(b.Prog, 30_000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig(20, cpu.PredARVICurrent)
+	cfg.MaxInsts = 30_000
+
+	live, err := cpu.Run(b.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cpu.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(b.Prog, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := eng.RunSource(b.Prog, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != replayed {
+		t.Errorf("trace replay diverged:\nlive   %+v\nreplay %+v", live, replayed)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	p := asm.MustAssemble("x", "main:\n  halt\n")
+	if _, err := NewReader(p, strings.NewReader("BADMAGIC")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// A record pointing outside the text segment.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&vm.Event{PC: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev vm.Event
+	if err := rd.Next(&ev); err == nil {
+		t.Error("out-of-range pc accepted")
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(&vm.Event{PC: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 5 {
+		t.Errorf("len = %d", w.Len())
+	}
+}

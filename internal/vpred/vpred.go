@@ -1,0 +1,263 @@
+// Package vpred implements the value-prediction substrate for the paper's
+// Section 3 "selected value prediction" application: last-value and stride
+// predictors with confidence counters, and a selective driver that uses the
+// DDT's dependent-count extension to restrict prediction to instructions
+// with long dependence chains waiting on them (Calder's criticality
+// heuristic, for which the paper's DDT supplies the missing mechanism).
+package vpred
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Predictor predicts the result value of an instruction at a PC.
+type Predictor interface {
+	// Predict returns the predicted value and whether the predictor is
+	// confident enough to use it.
+	Predict(pc uint64) (int64, bool)
+	// Update trains the predictor with the actual result.
+	Update(pc uint64, value int64)
+	// Name identifies the predictor.
+	Name() string
+}
+
+// LastValue predicts that an instruction produces the same value as last
+// time, guarded by a saturating confidence counter.
+type LastValue struct {
+	vals []int64
+	conf []uint8
+	mask uint64
+	min  uint8
+}
+
+// NewLastValue builds a last-value predictor with entries (power of two)
+// and the given confidence threshold.
+func NewLastValue(entries int, confMin uint8) (*LastValue, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("vpred: entries %d not a power of two", entries)
+	}
+	return &LastValue{
+		vals: make([]int64, entries),
+		conf: make([]uint8, entries),
+		mask: uint64(entries - 1),
+		min:  confMin,
+	}, nil
+}
+
+// Predict implements Predictor.
+func (p *LastValue) Predict(pc uint64) (int64, bool) {
+	i := pc & p.mask
+	return p.vals[i], p.conf[i] >= p.min
+}
+
+// Update implements Predictor.
+func (p *LastValue) Update(pc uint64, value int64) {
+	i := pc & p.mask
+	if p.vals[i] == value {
+		if p.conf[i] < 15 {
+			p.conf[i]++
+		}
+		return
+	}
+	p.vals[i] = value
+	p.conf[i] = 0
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// Stride predicts v + stride, learning the stride from consecutive values.
+type Stride struct {
+	vals    []int64
+	strides []int64
+	conf    []uint8
+	mask    uint64
+	min     uint8
+}
+
+// NewStride builds a stride predictor.
+func NewStride(entries int, confMin uint8) (*Stride, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("vpred: entries %d not a power of two", entries)
+	}
+	return &Stride{
+		vals:    make([]int64, entries),
+		strides: make([]int64, entries),
+		conf:    make([]uint8, entries),
+		mask:    uint64(entries - 1),
+		min:     confMin,
+	}, nil
+}
+
+// Predict implements Predictor.
+func (p *Stride) Predict(pc uint64) (int64, bool) {
+	i := pc & p.mask
+	return p.vals[i] + p.strides[i], p.conf[i] >= p.min
+}
+
+// Update implements Predictor.
+func (p *Stride) Update(pc uint64, value int64) {
+	i := pc & p.mask
+	stride := value - p.vals[i]
+	if stride == p.strides[i] {
+		if p.conf[i] < 15 {
+			p.conf[i]++
+		}
+	} else {
+		p.strides[i] = stride
+		p.conf[i] = 0
+	}
+	p.vals[i] = value
+}
+
+// Name implements Predictor.
+func (p *Stride) Name() string { return "stride" }
+
+// Result summarises a selective value-prediction evaluation.
+type Result struct {
+	Insts       int64 // dynamic value-producing instructions observed
+	Candidates  int64 // instructions selected by the criticality filter
+	Predictions int64 // confident predictions issued
+	Correct     int64
+}
+
+// Coverage is predictions / value-producing instructions.
+func (r Result) Coverage() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.Predictions) / float64(r.Insts)
+}
+
+// Accuracy is correct / predictions.
+func (r Result) Accuracy() float64 {
+	if r.Predictions == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Predictions)
+}
+
+// EvaluateSelective runs the program functionally for up to maxInsts and
+// measures the value predictor restricted to DDT-critical instructions:
+// only instructions whose entry has accumulated at least depThreshold
+// trailing dependents by the time the window retires them are candidates.
+// A depThreshold of 0 disables selection (predict everything).
+//
+// The DDT is maintained over a sliding window of windowSize instructions
+// (the in-flight set of an idealized machine); predictions are scored when
+// the window retires an instruction, at which point its final dependent
+// count is known.
+func EvaluateSelective(p *prog.Program, pred Predictor, maxInsts int64,
+	windowSize, depThreshold int) (Result, error) {
+	ddt, err := core.NewDDT(core.Config{
+		Entries:        windowSize,
+		PhysRegs:       isa.NumRegs + windowSize + 1,
+		TrackDepCounts: true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var mapTable [isa.NumRegs]core.PhysReg
+	for i := range mapTable {
+		mapTable[i] = core.PhysReg(i)
+	}
+	freeList := make([]core.PhysReg, 0, windowSize+1)
+	for i := isa.NumRegs; i < isa.NumRegs+windowSize+1; i++ {
+		freeList = append(freeList, core.PhysReg(i))
+	}
+
+	type slot struct {
+		pc        uint64
+		val       int64
+		displaced core.PhysReg
+		hasDest   bool
+	}
+	window := make([]slot, 0, windowSize)
+	var res Result
+
+	retire := func() {
+		s := window[0]
+		window = window[1:]
+		e, err2 := ddt.Commit()
+		if err2 != nil {
+			panic("vpred: window desync: " + err2.Error())
+		}
+		_ = e
+		if s.displaced != core.NoPReg {
+			freeList = append(freeList, s.displaced)
+		}
+	}
+
+	machine := vm.New(p)
+	var ev vm.Event
+	var srcBuf [2]isa.Reg
+	var srcPregs []core.PhysReg
+	var executed int64
+	for maxInsts <= 0 || executed < maxInsts {
+		executed++
+		if err := machine.Step(&ev); err != nil {
+			if err == vm.ErrHalted {
+				break
+			}
+			return res, err
+		}
+		in := ev.Inst
+		if ddt.Full() {
+			retire()
+		}
+		srcs := in.SrcRegs(srcBuf[:0])
+		srcPregs = srcPregs[:0]
+		for _, r := range srcs {
+			srcPregs = append(srcPregs, mapTable[r])
+		}
+		dest := core.NoPReg
+		displaced := core.NoPReg
+		if in.HasDest() {
+			dest = freeList[0]
+			freeList = freeList[1:]
+			displaced = mapTable[in.Rd]
+			mapTable[in.Rd] = dest
+		}
+		entry, err := ddt.Insert(dest, srcPregs, in.IsLoad())
+		if err != nil {
+			return res, err
+		}
+		window = append(window, slot{
+			pc: uint64(ev.PC), val: ev.Val,
+			displaced: displaced, hasDest: in.HasDest(),
+		})
+
+		// Score the instruction once its dependent count has matured
+		// (window half full keeps counts meaningful without draining).
+		if len(window) == windowSize {
+			s := window[0]
+			if s.hasDest {
+				res.Insts++
+				// The retiring instruction sits at the tail entry.
+				dc := ddt.DepCount(ddt.Tail())
+				if dc >= depThreshold {
+					res.Candidates++
+					if v, confident := pred.Predict(s.pc); confident {
+						res.Predictions++
+						if v == s.val {
+							res.Correct++
+						}
+					}
+					pred.Update(s.pc, s.val)
+				}
+			}
+			retire()
+		}
+		_ = entry
+		if machine.Halt {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package vpred
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewLastValue(1000, 4); err == nil {
+		t.Error("bad last-value size accepted")
+	}
+	if _, err := NewStride(0, 4); err == nil {
+		t.Error("bad stride size accepted")
+	}
+}
+
+func TestLastValueLearnsConstants(t *testing.T) {
+	p, _ := NewLastValue(256, 2)
+	pc := uint64(10)
+	if _, conf := p.Predict(pc); conf {
+		t.Error("cold predictor must not be confident")
+	}
+	for i := 0; i < 3; i++ {
+		p.Update(pc, 42)
+	}
+	v, conf := p.Predict(pc)
+	if !conf || v != 42 {
+		t.Errorf("predict = %d, %v", v, conf)
+	}
+	// A value change resets confidence.
+	p.Update(pc, 7)
+	if _, conf := p.Predict(pc); conf {
+		t.Error("confidence must reset on a change")
+	}
+}
+
+func TestStrideLearnsSequences(t *testing.T) {
+	p, _ := NewStride(256, 2)
+	pc := uint64(20)
+	for v := int64(0); v < 5; v++ {
+		p.Update(pc, v*8)
+	}
+	v, conf := p.Predict(pc)
+	if !conf || v != 40 {
+		t.Errorf("stride predict = %d, %v; want 40, true", v, conf)
+	}
+	// Stride predictors also capture constants (stride 0).
+	pc2 := uint64(21)
+	for i := 0; i < 4; i++ {
+		p.Update(pc2, 99)
+	}
+	if v, conf := p.Predict(pc2); !conf || v != 99 {
+		t.Errorf("constant via stride = %d, %v", v, conf)
+	}
+	if p.Name() == "" || (&LastValue{}).Name() == "" {
+		t.Error("names missing")
+	}
+}
+
+func TestEvaluateSelectiveOnStridedLoop(t *testing.T) {
+	// An induction variable is perfectly stride predictable; selection at
+	// threshold 0 predicts everything.
+	src := `
+main:
+    li  r1, 0
+    li  r2, 4000
+loop:
+    addi r1, r1, 1
+    add  r3, r1, r1
+    bne  r1, r2, loop
+    halt
+`
+	prog := asm.MustAssemble("loop", src)
+	pred, _ := NewStride(1024, 2)
+	res, err := EvaluateSelective(prog, pred, 0, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 || res.Predictions == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Accuracy() < 0.95 {
+		t.Errorf("stride accuracy on induction loop = %.3f", res.Accuracy())
+	}
+}
+
+func TestSelectionReducesPredictionsRaisesCriticality(t *testing.T) {
+	b := workload.ByName("m88ksim")
+	all, err := EvaluateSelective(b.Prog, mustStride(t), 60_000, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := EvaluateSelective(b.Prog, mustStride(t), 60_000, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Candidates >= all.Candidates {
+		t.Errorf("selection did not filter: %d vs %d candidates", sel.Candidates, all.Candidates)
+	}
+	if sel.Candidates == 0 {
+		t.Error("selection filtered everything")
+	}
+	if sel.Predictions > all.Predictions {
+		t.Error("selected predictions exceed unrestricted predictions")
+	}
+	if all.Coverage() <= 0 || all.Coverage() > 1 {
+		t.Errorf("coverage out of range: %v", all.Coverage())
+	}
+}
+
+func mustStride(t *testing.T) *Stride {
+	t.Helper()
+	p, err := NewStride(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestResultHelpers(t *testing.T) {
+	var z Result
+	if z.Coverage() != 0 || z.Accuracy() != 0 {
+		t.Error("zero-result helpers wrong")
+	}
+	r := Result{Insts: 10, Predictions: 5, Correct: 4}
+	if r.Coverage() != 0.5 || r.Accuracy() != 0.8 {
+		t.Errorf("helpers: %v %v", r.Coverage(), r.Accuracy())
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compress is an LZW-style dictionary kernel: for each input byte it probes
+// an open-addressed hash table for the (prefix, char) pair, extending the
+// match on a hit and inserting a new code on a miss. The hit/miss branch
+// and the probe-collision branch are data dependent on loaded table state —
+// the load-evaluate-branch pattern that dominates compress95.
+func Compress() Benchmark {
+	const (
+		inputLen = 2048
+		tabSize  = 4096
+		passes   = 14
+	)
+	// Skewed pseudo-text input: English-like letter frequencies collapse
+	// to a 32-symbol alphabet with repeating digraphs.
+	g := &lcg{s: 0xc0ffee}
+	input := make([]byte, inputLen)
+	prev := 0
+	for i := range input {
+		var c int
+		switch g.intn(10) {
+		case 0, 1, 2, 3:
+			c = g.intn(6) // very common symbols
+		case 4, 5, 6:
+			c = 6 + g.intn(10)
+		case 7, 8:
+			c = (prev + 1) % 32 // digraph structure
+		default:
+			c = 16 + g.intn(16)
+		}
+		input[i] = byte(c)
+		prev = c
+	}
+
+	var src strings.Builder
+	src.WriteString("    .data\ninput:\n")
+	src.WriteString(byteList(input))
+	src.WriteString("    .align 8\n")
+	fmt.Fprintf(&src, "htab:  .space %d\n", tabSize*8)
+	fmt.Fprintf(&src, "codes: .space %d\n", tabSize*8)
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0          # pass counter
+    li  r21, %d         # passes
+pass:
+    # clear the dictionary
+    li  r1, 0
+    li  r2, %d
+    la  r3, htab
+clear:
+    sw  r0, 0(r3)
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne r1, r2, clear
+
+    li  r10, 0          # input index
+    li  r11, %d         # input length
+    li  r15, 0          # prefix code
+    li  r16, 256        # next free code
+loop:
+    la  r1, input
+    add r1, r1, r10
+    lb  r2, 0(r1)       # ch
+    andi r2, r2, 255
+    slli r3, r15, 4     # h = (prefix << 4) ^ ch
+    xor r3, r3, r2
+    andi r3, r3, 4095
+    slli r4, r15, 9     # key = prefix<<9 | ch | marker
+    or  r4, r4, r2
+    ori r4, r4, 1048576
+probe:
+    slli r5, r3, 3
+    lw  r6, htab(r5)
+    beq r6, r0, insert  # empty slot: miss
+    beq r6, r4, found   # dictionary hit
+    addi r3, r3, 1      # linear probe on collision
+    andi r3, r3, 4095
+    j   probe
+found:
+    lw  r15, codes(r5)  # prefix = stored code
+    addi r17, r17, 1    # matches
+    j   next
+insert:
+    sw  r4, htab(r5)
+    sw  r16, codes(r5)
+    addi r16, r16, 1
+    add r15, r2, r0     # restart match with ch
+    addi r18, r18, 1    # emitted codes
+next:
+    addi r10, r10, 1
+    bne r10, r11, loop
+
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes, tabSize, inputLen)
+	return mustBench("compress", "LZW-style dictionary probe", src.String())
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GCC models the compiler's front-end dispatch: a Markov-generated token
+// stream is classified through a compare ladder (the dense switch statements
+// of cc1), with per-class actions. Branch outcomes are biased by token
+// frequency and correlated through the token bigram structure — a mix that
+// history predictors handle moderately well, as with gcc95.
+func GCC() Benchmark {
+	const (
+		tokens = 6144
+		passes = 24
+	)
+	// Markov chain over 8 token classes with skewed transitions.
+	g := &lcg{s: 0x6cc}
+	trans := [8][8]int{}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			trans[i][j] = g.intn(10)
+		}
+		trans[i][(i+1)%8] += 18 // strong bigram signal
+		trans[i][0] += 8        // class 0 (identifiers) is common
+	}
+	stream := make([]byte, tokens)
+	cur := 0
+	for i := range stream {
+		total := 0
+		for j := 0; j < 8; j++ {
+			total += trans[cur][j]
+		}
+		r := g.intn(total)
+		for j := 0; j < 8; j++ {
+			r -= trans[cur][j]
+			if r < 0 {
+				cur = j
+				break
+			}
+		}
+		stream[i] = byte(cur)
+	}
+
+	var src strings.Builder
+	src.WriteString("    .data\nstream:\n")
+	src.WriteString(byteList(stream))
+	src.WriteString("    .align 8\ncounts: .space 64\n")
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0
+    li  r21, %d          # passes
+pass:
+    li  r10, 0
+    li  r11, %d          # tokens
+loop:
+    la  r1, stream
+    add r1, r1, r10
+    lb  r2, 0(r1)        # token class
+    # compare ladder (switch dispatch)
+    beq r2, r0, tok0
+    li  r3, 1
+    beq r2, r3, tok1
+    li  r3, 2
+    beq r2, r3, tok2
+    li  r3, 3
+    beq r2, r3, tok3
+    li  r3, 4
+    beq r2, r3, tok4
+    li  r3, 5
+    beq r2, r3, tok5
+    li  r3, 6
+    beq r2, r3, tok6
+    # class 7: punctuation
+    addi r15, r15, 7
+    j   bump
+tok0:
+    addi r15, r15, 1     # identifier: symbol-table touch
+    slli r4, r2, 3
+    lw  r5, counts(r4)
+    addi r5, r5, 1
+    sw  r5, counts(r4)
+    j   bump
+tok1:
+    addi r16, r16, 1
+    j   bump
+tok2:
+    add r16, r16, r15
+    j   bump
+tok3:
+    xor r15, r15, r16
+    j   bump
+tok4:
+    addi r17, r17, 1
+    j   bump
+tok5:
+    sub r17, r17, r16
+    j   bump
+tok6:
+    addi r18, r18, 1
+bump:
+    addi r10, r10, 1
+    bne r10, r11, loop
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes, tokens)
+	return mustBench("gcc", "Markov token-stream switch dispatch", src.String())
+}

@@ -1,0 +1,72 @@
+package workload
+
+import "fmt"
+
+// Go models go95's notorious branch behaviour: positional evaluation over a
+// 19x19 board whose cell values are refreshed from a PRNG every pass, so
+// the comparison branches carry almost no history signal. A fraction of the
+// branches compare freshly stored/loaded values (load branches); the rest
+// are register-register comparisons along short arithmetic chains.
+func Go() Benchmark {
+	const (
+		cells  = 361 // 19x19
+		passes = 90
+	)
+	src := fmt.Sprintf(`
+    .data
+board: .space %d
+    .text
+main:
+    li  r20, 0          # pass
+    li  r21, %d         # passes
+    li  r12, 6364136223846793005
+    li  r13, 1442695040888963407
+    li  r14, 424243     # lcg state
+pass:
+    # refresh the board with fresh pseudo-random stone strengths
+    li  r1, 0
+    li  r2, %d
+    la  r3, board
+fill:
+    mul r14, r14, r12
+    add r14, r14, r13
+    srli r4, r14, 40
+    andi r4, r4, 1023
+    sw  r4, 0(r3)
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne r1, r2, fill
+
+    # evaluate: compare each cell with its right neighbour and a noise
+    # threshold; the outcomes are essentially random per pass.
+    li  r1, 0
+    li  r2, %d          # cells - 1
+    la  r3, board
+eval:
+    lw  r4, 0(r3)
+    lw  r5, 8(r3)
+    blt r4, r5, weaker      # ~50/50, value dependent
+    addi r15, r15, 1
+    j   e1
+weaker:
+    addi r16, r16, 1
+e1:
+    andi r6, r4, 3
+    bne r6, r0, e2          # 25/75 value branch
+    add r17, r17, r4
+e2:
+    add r7, r4, r5
+    slti r8, r7, 1024
+    beq r8, r0, e3          # sum threshold branch
+    addi r18, r18, 1
+e3:
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne r1, r2, eval
+
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, cells*8, passes, cells, cells-1)
+	return mustBench("go", "board evaluation with value-noise branches", src)
+}

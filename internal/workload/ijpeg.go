@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IJPEG is a DSP-style kernel: 8x8 blocks of an image are scaled by a
+// quantisation table with saturating clamps, then accumulated. Loop
+// branches are highly regular; the clamp branches depend on loaded pixel
+// data (the load-back candidate the paper highlights for ijpeg).
+func IJPEG() Benchmark {
+	const (
+		dim    = 64 // 64x64 image
+		passes = 26
+	)
+	g := &lcg{s: 0xbeef}
+	img := make([]byte, dim*dim)
+	for i := range img {
+		// Smooth gradient plus noise: clamps trigger on a data-dependent
+		// minority of pixels.
+		v := (i%dim)*3 + g.intn(64)
+		if v > 255 {
+			v = 255
+		}
+		img[i] = byte(v)
+	}
+	quant := make([]int64, 64)
+	for i := range quant {
+		quant[i] = int64(1 + (i*7)%5)
+	}
+
+	var src strings.Builder
+	src.WriteString("    .data\nimage:\n")
+	src.WriteString(byteList(img))
+	src.WriteString("    .align 8\nquant:\n")
+	src.WriteString(wordList(quant))
+	fmt.Fprintf(&src, "out: .space %d\n", dim*dim*8)
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0
+    li  r21, %d         # passes
+pass:
+    li  r10, 0          # pixel index
+    li  r11, %d         # pixels
+loop:
+    la  r1, image
+    add r1, r1, r10
+    lb  r2, 0(r1)       # pixel
+    andi r2, r2, 255
+    andi r3, r10, 63    # position within 8x8 block
+    slli r4, r3, 3
+    lw  r5, quant(r4)   # quantiser
+    mul r6, r2, r5
+    addi r6, r6, -384   # centre
+    # clamp to [0, 255]
+    bgez r6, noneg      # clamp-low branch (data dependent)
+    li  r6, 0
+noneg:
+    slti r7, r6, 256
+    bne r7, r0, nohigh  # clamp-high branch (data dependent)
+    li  r6, 255
+nohigh:
+    add r22, r22, r6    # accumulate
+    slli r8, r10, 3
+    la  r9, out
+    add r9, r9, r8
+    sw  r6, 0(r9)
+    addi r10, r10, 1
+    bne r10, r11, loop
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes, dim*dim)
+	return mustBench("ijpeg", "block quantisation with saturating clamps", src.String())
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prog"
+)
+
+// Li models the Lisp interpreter: traversal of cons-cell lists with a
+// type-tag dispatch per cell. The tag branch depends on a value loaded one
+// instruction earlier (pointer-chase load branches), and list lengths vary
+// so loop exits carry little history signal.
+func Li() Benchmark {
+	const (
+		lists  = 64
+		maxLen = 24
+		passes = 110
+	)
+	// Cell layout: {tag, val, next} = 24 bytes. Cells for all lists are
+	// interleaved to defeat trivial spatial locality.
+	base := int64(prog.DefaultDataBase)
+	headsAddr := base
+	cellBase := base + lists*8
+
+	g := &lcg{s: 0x11557}
+	type cell struct{ tag, val, next int64 }
+	var cells []cell
+	heads := make([]int64, lists)
+	addrOf := func(i int) int64 { return cellBase + int64(i)*24 }
+	for l := 0; l < lists; l++ {
+		n := 1 + g.intn(maxLen)
+		head := int64(0)
+		for j := 0; j < n; j++ {
+			tag := int64(0)
+			if g.intn(3) == 0 {
+				tag = 1 // "pair" tag on a third of the cells
+			}
+			cells = append(cells, cell{tag: tag, val: int64(g.intn(1000)), next: head})
+			head = addrOf(len(cells) - 1)
+		}
+		heads[l] = head
+	}
+	words := make([]int64, 0, len(cells)*3)
+	for _, c := range cells {
+		words = append(words, c.tag, c.val, c.next)
+	}
+	_ = headsAddr
+
+	var src strings.Builder
+	src.WriteString("    .data\nheads:\n")
+	src.WriteString(wordList(heads))
+	src.WriteString("cells:\n")
+	src.WriteString(wordList(words))
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0
+    li  r21, %d          # passes
+pass:
+    li  r10, 0           # list index
+    li  r11, %d          # lists
+lists:
+    slli r1, r10, 3
+    lw  r2, heads(r1)    # ptr = heads[i]
+walk:
+    beq r2, r0, endlist  # NULL: end of list (length varies per list)
+    lw  r3, 0(r2)        # tag
+    lw  r4, 8(r2)        # val
+    bne r3, r0, pair     # type dispatch on loaded tag
+    add r15, r15, r4     # atom: accumulate
+    j   step
+pair:
+    xor r16, r16, r4     # pair: fold
+step:
+    lw  r2, 16(r2)       # ptr = ptr->next
+    j   walk
+endlist:
+    addi r10, r10, 1
+    bne r10, r11, lists
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes, lists)
+	return mustBench("li", "cons-cell traversal with type-tag dispatch", src.String())
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Perl models the interpreter's string scanner: classify each character of
+// a synthetic text (letters/digits/spaces/punctuation), accumulate word
+// lengths and hash completed words into a bucket table. Character-class
+// branches are value dependent on loaded bytes with moderate bias.
+func Perl() Benchmark {
+	const (
+		textLen = 5120
+		passes  = 22
+	)
+	g := &lcg{s: 0x9e71}
+	text := make([]byte, textLen)
+	for i := 0; i < textLen; {
+		// Emit a word of random length, then a separator.
+		wl := 1 + g.intn(9)
+		for j := 0; j < wl && i < textLen; j++ {
+			if g.intn(8) == 0 {
+				text[i] = byte('0' + g.intn(10))
+			} else {
+				text[i] = byte('a' + g.intn(26))
+			}
+			i++
+		}
+		if i < textLen {
+			if g.intn(5) == 0 {
+				text[i] = ','
+			} else {
+				text[i] = ' '
+			}
+			i++
+		}
+	}
+
+	var src strings.Builder
+	src.WriteString("    .data\ntext:\n")
+	src.WriteString(byteList(text))
+	src.WriteString("    .align 8\nbuckets: .space 512\n")
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0
+    li  r21, %d          # passes
+pass:
+    li  r10, 0
+    li  r11, %d          # text length
+    li  r15, 0           # current word hash
+    li  r16, 0           # current word length
+loop:
+    la  r1, text
+    add r1, r1, r10
+    lb  r2, 0(r1)        # ch
+    andi r2, r2, 255
+    # is lowercase letter?
+    slti r3, r2, 97
+    bne r3, r0, notlower # ch < 'a'
+    slti r3, r2, 123
+    beq r3, r0, notlower # ch > 'z'
+    # letter: extend word
+    slli r15, r15, 1
+    add r15, r15, r2
+    addi r16, r16, 1
+    j   next
+notlower:
+    slti r3, r2, 48
+    bne r3, r0, sep      # below '0': separator/punct
+    slti r3, r2, 58
+    beq r3, r0, sep      # above '9'
+    # digit: numeric token
+    addi r17, r17, 1
+    addi r16, r16, 1
+    j   next
+sep:
+    beq r16, r0, next    # empty word: consecutive separators
+    # hash completed word into a bucket
+    andi r4, r15, 63
+    slli r4, r4, 3
+    lw  r5, buckets(r4)
+    addi r5, r5, 1
+    sw  r5, buckets(r4)
+    # long-word branch: value dependent on word length
+    slti r6, r16, 6
+    bne r6, r0, short
+    addi r18, r18, 1
+short:
+    li  r15, 0
+    li  r16, 0
+next:
+    addi r10, r10, 1
+    bne r10, r11, loop
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes, textLen)
+	return mustBench("perl", "character-class scanning and word hashing", src.String())
+}

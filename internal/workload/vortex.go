@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prog"
+)
+
+// Vortex models the object database: chains of records are traversed and
+// validated. Nearly every record is well-formed, so the validation branches
+// are highly biased (vortex95 is among the most predictable SPEC95int
+// codes), with occasional data-dependent exceptions.
+func Vortex() Benchmark {
+	const (
+		records = 512
+		passes  = 55
+	)
+	// Record layout: {type, status, value, link} = 32 bytes.
+	base := int64(prog.DefaultDataBase)
+	recAddr := func(i int) int64 { return base + int64(i)*32 }
+
+	g := &lcg{s: 0x707e}
+	words := make([]int64, 0, records*4)
+	for i := 0; i < records; i++ {
+		typ := int64(1)
+		if g.intn(16) == 0 {
+			typ = int64(g.intn(4))
+		}
+		status := int64(1)
+		if g.intn(32) == 0 {
+			status = 0 // rare invalid record
+		}
+		val := int64(g.intn(4096))
+		// Mostly-sequential chain with occasional skips; last record
+		// links to 0 (NULL).
+		var link int64
+		if i < records-1 {
+			nxt := i + 1
+			if g.intn(8) == 0 {
+				nxt = i + 1 + g.intn(4)
+				if nxt >= records {
+					nxt = records - 1
+				}
+			}
+			link = recAddr(nxt)
+		}
+		words = append(words, typ, status, val, link)
+	}
+
+	var src strings.Builder
+	src.WriteString("    .data\nrecs:\n")
+	src.WriteString(wordList(words))
+	fmt.Fprintf(&src, `
+    .text
+main:
+    li  r20, 0
+    li  r21, %d          # passes
+pass:
+    la  r2, recs         # ptr = first record
+walk:
+    beq r2, r0, done     # end of chain
+    lw  r3, 8(r2)        # status
+    beq r3, r0, invalid  # rare: invalid record
+    lw  r4, 0(r2)        # type
+    li  r5, 1
+    bne r4, r5, special  # rare: non-default type
+    lw  r6, 16(r2)       # value
+    add r15, r15, r6
+    j   step
+special:
+    addi r16, r16, 1
+    j   step
+invalid:
+    addi r17, r17, 1
+step:
+    lw  r2, 24(r2)       # ptr = ptr->link
+    j   walk
+done:
+    addi r20, r20, 1
+    bne r20, r21, pass
+    halt
+`, passes)
+	return mustBench("vortex", "record-chain validation, highly biased", src.String())
+}

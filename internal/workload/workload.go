@@ -1,0 +1,124 @@
+// Package workload provides the eight benchmark programs standing in for
+// the SPEC95 integer suite of Table 3. Each program is written in the
+// simulator's assembly language with Go-side generators for its data
+// segment, and is designed to reproduce the *branch character* of its
+// SPEC95 counterpart (see DESIGN.md for the substitution argument):
+//
+//	gcc      — Markov token-stream dispatch through a compare ladder
+//	compress — LZW-style dictionary probe with data-dependent hit/miss
+//	go       — board evaluation with value-noise branches, hard for history
+//	ijpeg    — 8x8 block transform with clamp branches, load heavy
+//	li       — cons-cell traversal with type-tag dispatch
+//	m88ksim  — hash-table linked-list lookup (Figure 7's lookupdisasm)
+//	perl     — character-class scanning and word hashing
+//	vortex   — record-chain validation with highly biased branches
+//
+// All generators are deterministic; programs halt on their own after a
+// bounded amount of work and are sized so that a few hundred thousand
+// dynamic instructions exercise their steady state.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/prog"
+)
+
+// Benchmark pairs a program with its provenance.
+type Benchmark struct {
+	Name string
+	Desc string
+	Prog *prog.Program
+}
+
+// Names lists the suite in the paper's presentation order.
+var Names = []string{"gcc", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+
+// ByName builds the named benchmark. It panics on an unknown name (the set
+// is closed and compiled in).
+func ByName(name string) Benchmark {
+	switch name {
+	case "gcc":
+		return GCC()
+	case "compress":
+		return Compress()
+	case "go":
+		return Go()
+	case "ijpeg":
+		return IJPEG()
+	case "li":
+		return Li()
+	case "m88ksim":
+		return M88ksim()
+	case "perl":
+		return Perl()
+	case "vortex":
+		return Vortex()
+	}
+	panic("workload: unknown benchmark " + name)
+}
+
+// All builds the full suite in paper order.
+func All() []Benchmark {
+	out := make([]Benchmark, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, ByName(n))
+	}
+	return out
+}
+
+// lcg is the deterministic generator used by the Go-side data builders.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// wordList renders values as .word directives, 8 per line.
+func wordList(vals []int64) string {
+	var b strings.Builder
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		b.WriteString("    .word ")
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", vals[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// byteList renders values as .byte directives, 16 per line.
+func byteList(vals []byte) string {
+	var b strings.Builder
+	for i := 0; i < len(vals); i += 16 {
+		end := i + 16
+		if end > len(vals) {
+			end = len(vals)
+		}
+		b.WriteString("    .byte ")
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", vals[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func mustBench(name, desc, src string) Benchmark {
+	return Benchmark{Name: name, Desc: desc, Prog: asm.MustAssemble(name, src)}
+}

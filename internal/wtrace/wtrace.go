@@ -1,0 +1,106 @@
+// Package wtrace walks a program's dynamic trace while maintaining the
+// idealized in-flight window the paper's analyses assume: a sliding window
+// of the last W instructions, renamed onto physical registers, with a DDT
+// tracking their dependence chains. Analyses (branch-slice studies,
+// criticality measurements) subscribe via a callback that sees the DDT
+// state exactly as the hardware would at that instruction's rename.
+package wtrace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Step is the per-instruction view handed to the callback, valid only for
+// the duration of the call.
+type Step struct {
+	Event *vm.Event
+	// DDT is the window's dependence table *before* this instruction is
+	// inserted (the state a predictor reading at rename would see).
+	DDT *core.DDT
+	// SrcPregs are the instruction's renamed source registers.
+	SrcPregs []core.PhysReg
+	// Window is the current number of in-flight instructions.
+	Window int
+}
+
+// Walk runs the program functionally for up to maxInsts instructions
+// (0 = to halt) with an in-flight window of size window, invoking fn before
+// each instruction is inserted. TrackDepCounts controls the DDT extension.
+func Walk(p *prog.Program, maxInsts int64, window int, trackDeps bool,
+	fn func(*Step) error) error {
+	if window <= 0 {
+		return fmt.Errorf("wtrace: non-positive window %d", window)
+	}
+	physRegs := isa.NumRegs + window + 1
+	ddt, err := core.NewDDT(core.Config{
+		Entries: window, PhysRegs: physRegs, TrackDepCounts: trackDeps,
+	})
+	if err != nil {
+		return err
+	}
+	var mapTable [isa.NumRegs]core.PhysReg
+	for i := range mapTable {
+		mapTable[i] = core.PhysReg(i)
+	}
+	freeList := make([]core.PhysReg, 0, window+1)
+	for i := isa.NumRegs; i < physRegs; i++ {
+		freeList = append(freeList, core.PhysReg(i))
+	}
+	displacedRing := make([]core.PhysReg, window)
+
+	machine := vm.New(p)
+	var ev vm.Event
+	var srcBuf [2]isa.Reg
+	step := Step{Event: &ev, DDT: ddt}
+	var n int64
+	for maxInsts <= 0 || n < maxInsts {
+		if err := machine.Step(&ev); err != nil {
+			if err == vm.ErrHalted {
+				return nil
+			}
+			return err
+		}
+		n++
+		if ddt.Full() {
+			e, err := ddt.Commit()
+			if err != nil {
+				return err
+			}
+			if old := displacedRing[e]; old != core.NoPReg {
+				freeList = append(freeList, old)
+			}
+		}
+		in := ev.Inst
+		srcs := in.SrcRegs(srcBuf[:0])
+		step.SrcPregs = step.SrcPregs[:0]
+		for _, r := range srcs {
+			step.SrcPregs = append(step.SrcPregs, mapTable[r])
+		}
+		step.Window = ddt.Len()
+		if err := fn(&step); err != nil {
+			return err
+		}
+		dest := core.NoPReg
+		displaced := core.NoPReg
+		if in.HasDest() {
+			dest = freeList[0]
+			freeList = freeList[1:]
+			displaced = mapTable[in.Rd]
+			mapTable[in.Rd] = dest
+		}
+		e, err := ddt.Insert(dest, step.SrcPregs, in.IsLoad())
+		if err != nil {
+			return err
+		}
+		displacedRing[e] = displaced
+		if machine.Halt {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package wtrace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+func TestWalkBasics(t *testing.T) {
+	p := asm.MustAssemble("w", `
+main:
+    li   r1, 0
+    li   r2, 100
+loop:
+    addi r1, r1, 1
+    add  r3, r1, r1
+    bne  r1, r2, loop
+    halt
+`)
+	var steps, branches int
+	err := Walk(p, 0, 16, false, func(s *Step) error {
+		steps++
+		if s.Event.Inst.IsCondBranch() {
+			branches++
+			// The branch's sources must rename to live registers whose
+			// chains are visible.
+			if len(s.SrcPregs) != 2 {
+				t.Fatalf("branch srcs = %v", s.SrcPregs)
+			}
+			if !s.DDT.Chain(s.SrcPregs[0]).Any() {
+				t.Fatal("counter chain empty at branch")
+			}
+		}
+		if s.Window >= 16 {
+			t.Fatalf("window exceeded: %d", s.Window)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branches != 100 || steps < 300 {
+		t.Errorf("steps=%d branches=%d", steps, branches)
+	}
+}
+
+func TestWalkRespectsMaxInsts(t *testing.T) {
+	p := asm.MustAssemble("inf", "main:\n  j main\n")
+	var n int
+	if err := Walk(p, 500, 8, false, func(*Step) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("steps = %d, want 500", n)
+	}
+}
+
+func TestWalkPropagatesCallbackError(t *testing.T) {
+	p := workload.ByName("gcc").Prog
+	sentinel := errors.New("stop")
+	err := Walk(p, 0, 32, false, func(*Step) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWalkValidatesWindow(t *testing.T) {
+	p := workload.ByName("gcc").Prog
+	if err := Walk(p, 10, 0, false, func(*Step) error { return nil }); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestWalkLongRunOverWorkload(t *testing.T) {
+	// Window management (commit, free list, reuse) must survive a real
+	// workload for many times the window size.
+	p := workload.ByName("compress").Prog
+	var n int
+	if err := Walk(p, 50_000, 64, true, func(s *Step) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50_000 {
+		t.Errorf("steps = %d", n)
+	}
+}
