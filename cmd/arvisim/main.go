@@ -4,9 +4,13 @@
 // Usage:
 //
 //	arvisim -bench m88ksim -depth 20 -mode arvi-current -n 250000
+//	arvisim -bench li -conf-threshold 12      # JRS threshold ablation
+//	arvisim -bench gcc -json                  # machine-readable stats
+//	arvisim -bench gcc -cache .simcache       # reuse cached results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +33,9 @@ func main() {
 	mode := flag.String("mode", "arvi-current", "predictor: baseline arvi-current arvi-loadback arvi-perfect")
 	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget")
 	cut := flag.Bool("cut-at-loads", false, "DDT chain ablation: cut chains at loads")
+	confTh := flag.Uint("conf-threshold", 0, "JRS confidence threshold override (0 = paper default)")
+	jsonOut := flag.Bool("json", false, "emit the spec and raw stats as JSON instead of text")
+	cacheDir := flag.String("cache", "", "result cache directory shared with cmd/experiments (empty = no cache)")
 	flag.Parse()
 
 	md, ok := modeNames[*mode]
@@ -36,25 +43,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arvisim: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	found := false
-	for _, w := range workload.Names {
-		if w == *bench {
-			found = true
-		}
-	}
-	if !found {
+	if _, ok := workload.Lookup(*bench); !ok {
 		fmt.Fprintf(os.Stderr, "arvisim: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+	if *confTh > 255 {
+		fmt.Fprintf(os.Stderr, "arvisim: conf-threshold %d out of range\n", *confTh)
+		os.Exit(2)
+	}
 
-	res, err := sim.Simulate(sim.Spec{
-		Bench: *bench, Depth: *depth, Mode: md, MaxInsts: *n, CutAtLoads: *cut,
-	})
+	eng := &sim.Engine{}
+	if *cacheDir != "" {
+		c, err := sim.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arvisim:", err)
+			os.Exit(1)
+		}
+		eng.Cache = c
+	}
+
+	spec := sim.Spec{
+		Bench: *bench, Depth: *depth, Mode: md, MaxInsts: *n,
+		CutAtLoads: *cut, ConfThreshold: uint8(*confTh),
+	}
+	results, err := eng.Run([]sim.Spec{spec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arvisim:", err)
 		os.Exit(1)
 	}
+	res := results[0]
 	st := res.Stats
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "arvisim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("run            %s\n", res.Spec)
 	fmt.Printf("instructions   %d\n", st.Insts)
 	fmt.Printf("cycles         %d\n", st.Cycles)

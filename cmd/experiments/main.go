@@ -1,12 +1,20 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (Tables 2 and 4, Figures 5 and 6) plus the headline summary,
-// writing aligned text tables to stdout (or -out).
+// evaluation (Tables 2 and 4, Figures 5 and 6), the ablation sweeps
+// (confidence threshold, cut-at-loads) and the headline summary, writing
+// aligned text tables to stdout (or -out).
+//
+// Runs are resumable: results are cached on disk keyed by a content hash
+// of each cell's spec and machine configuration, so a second invocation —
+// after a crash, or with a larger grid — only simulates missing cells.
 //
 // Usage:
 //
-//	experiments                 # everything, default budget
+//	experiments                 # everything, default budget, cache in .simcache
 //	experiments -n 500000       # bigger per-run instruction budget
 //	experiments -only fig6      # one artifact: table2 table4 fig5a fig5b fig6
+//	                            #   sweep-conf sweep-cut
+//	experiments -cache ""       # disable the result cache
+//	experiments -json out.json  # raw matrix export (also -csv out.csv)
 package main
 
 import (
@@ -21,19 +29,27 @@ import (
 	"repro/internal/workload"
 )
 
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
 func main() {
 	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget per run")
-	only := flag.String("only", "", "render one artifact: table2 table4 fig5a fig5b fig6")
+	only := flag.String("only", "", "render one artifact: table2 table4 fig5a fig5b fig6 sweep-conf sweep-cut")
 	outPath := flag.String("out", "", "write to this file instead of stdout")
 	csvPath := flag.String("csv", "", "additionally export the raw matrix as CSV")
+	jsonPath := flag.String("json", "", "additionally export the raw matrix (full stats) as JSON")
+	cacheDir := flag.String("cache", ".simcache", "result cache directory (empty = no cache)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	sweepDepth := flag.Int("sweep-depth", 20, "pipeline depth for the ablation sweeps")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		out = f
@@ -41,8 +57,7 @@ func main() {
 
 	emit := func(t sim.Table) {
 		if err := t.Render(out); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 
@@ -56,29 +71,62 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	fmt.Fprintf(os.Stderr, "experiments: running %d simulations (%d insts each)...\n",
-		len(workload.Names)*len(sim.Depths)*len(sim.Modes), *n)
-	mx, err := sim.RunMatrix(workload.Names, sim.Depths, sim.Modes, *n)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
-
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	eng := &sim.Engine{Workers: *workers}
+	if *cacheDir != "" {
+		c, err := sim.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		if err := mx.WriteCSV(f, sim.Depths); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		eng.Cache = c
+	}
+
+	start := time.Now()
+	wantSweeps := *only == "" || *only == "sweep-conf" || *only == "sweep-cut"
+	wantMatrix := !wantSweeps || *only == ""
+	if !wantMatrix && (*csvPath != "" || *jsonPath != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -csv/-json export the full matrix; ignored with -only", *only)
+	}
+
+	var mx *sim.Matrix
+	if wantMatrix {
+		fmt.Fprintf(os.Stderr, "experiments: running %d matrix cells (%d insts each)...\n",
+			len(workload.Names)*len(sim.Depths)*len(sim.Modes), *n)
+		var err error
+		mx, err = eng.RunMatrix(workload.Names, sim.Depths, sim.Modes, *n)
+		if err != nil {
+			// Partial grids still render (missing cells show n/a); report
+			// the failures and degrade rather than discarding the run.
+			fmt.Fprintln(os.Stderr, "experiments: some cells failed:", err)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	}
+
+	var confSweep, cutSweep *sim.SweepResult
+	if *only == "" || *only == "sweep-conf" {
+		s, err := eng.RunConfThresholdSweep(workload.Names, *sweepDepth, sim.DefaultConfThresholds, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
+		}
+		confSweep = s
+	}
+	if *only == "" || *only == "sweep-cut" {
+		s, err := eng.RunCutAtLoadsSweep(workload.Names, *sweepDepth, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
+		}
+		cutSweep = s
+	}
+
+	fmt.Fprintf(os.Stderr, "experiments: done in %v (%d simulated, %d from cache)\n",
+		time.Since(start).Round(time.Millisecond), eng.Simulated(), eng.CacheHits())
+
+	if mx != nil && *csvPath != "" {
+		if err := writeFile(*csvPath, func(w io.Writer) error { return mx.WriteCSV(w, sim.Depths) }); err != nil {
+			fail(err)
+		}
+	}
+	if mx != nil && *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(w io.Writer) error { return mx.WriteJSON(w, sim.Depths) }); err != nil {
+			fail(err)
 		}
 	}
 
@@ -99,13 +147,41 @@ func main() {
 			Note:   "paper: +12.6% at 20 stages, +15.6% at 60 stages (ARVI current value)",
 			Header: []string{"depth", "arvi-current", "arvi-loadback", "arvi-perfect"},
 		}
+		improvement := func(s sim.IPCSummary, md cpu.PredMode) string {
+			v, ok := s.AvgImprovement[md]
+			if !ok {
+				return "n/a" // every cell of this mode is missing at this depth
+			}
+			return fmt.Sprintf("%+.1f%%", 100*v)
+		}
 		for _, d := range sim.Depths {
 			_, s := sim.Fig6IPC(mx, d)
 			head.AddRow(fmt.Sprintf("%d", d),
-				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVICurrent]),
-				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVILoadBack]),
-				fmt.Sprintf("%+.1f%%", 100*s.AvgImprovement[cpu.PredARVIPerfect]))
+				improvement(s, cpu.PredARVICurrent),
+				improvement(s, cpu.PredARVILoadBack),
+				improvement(s, cpu.PredARVIPerfect))
 		}
 		emit(head)
 	}
+	if confSweep != nil {
+		emit(sim.SweepAccuracyTable(confSweep))
+		emit(sim.SweepARVIUseTable(confSweep))
+		emit(sim.SweepIPCTable(confSweep))
+	}
+	if cutSweep != nil {
+		emit(sim.SweepAccuracyTable(cutSweep))
+		emit(sim.SweepIPCTable(cutSweep))
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

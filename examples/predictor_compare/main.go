@@ -3,12 +3,18 @@
 // the predictors of internal/bpred.
 //
 // Run with: go run ./examples/predictor_compare
+//
+//	-n 50000      branches per stream
+//	-csv out.csv  additionally export the accuracy grid as CSV
 package main
 
 import (
+	"encoding/csv"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/bpred"
 )
@@ -19,6 +25,10 @@ type stream struct {
 }
 
 func main() {
+	n := flag.Int("n", 20000, "branches per stream")
+	csvPath := flag.String("csv", "", "export the accuracy grid as CSV")
+	flag.Parse()
+
 	rng := rand.New(rand.NewSource(7))
 	var corr bool
 	streams := []stream{
@@ -63,17 +73,21 @@ func main() {
 		return []bpred.Predictor{bim, gsh, skew, yags, pag, perc}
 	}
 
-	const n = 20000
-	fmt.Printf("%-16s", "stream")
+	names := []string{"stream"}
 	for _, p := range mk() {
-		fmt.Printf("  %-14s", p.Name())
+		names = append(names, p.Name())
+	}
+	fmt.Printf("%-16s", names[0])
+	for _, name := range names[1:] {
+		fmt.Printf("  %-14s", name)
 	}
 	fmt.Println()
+	grid := [][]string{names}
 	for _, s := range streams {
 		preds := mk()
 		correct := make([]int, len(preds))
 		var hist bpred.History
-		for i := 0; i < n; i++ {
+		for i := 0; i < *n; i++ {
 			pc, taken := s.gen(i)
 			for k, p := range preds {
 				if p.Predict(pc, hist.Bits) == taken {
@@ -84,10 +98,27 @@ func main() {
 			hist.Push(taken)
 		}
 		fmt.Printf("%-16s", s.name)
+		row := []string{s.name}
 		for _, c := range correct {
-			fmt.Printf("  %-14s", fmt.Sprintf("%.1f%%", 100*float64(c)/n))
+			acc := 100 * float64(c) / float64(*n)
+			fmt.Printf("  %-14s", fmt.Sprintf("%.1f%%", acc))
+			row = append(row, fmt.Sprintf("%.4f", acc/100))
 		}
+		grid = append(grid, row)
 		fmt.Println()
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(grid); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println("\n2Bc-gskew matches the best component on every stream: the meta")
 	fmt.Println("table chooses bimodal for biased branches and the skewed history")

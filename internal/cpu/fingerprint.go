@@ -1,0 +1,22 @@
+package cpu
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the configuration, suitable
+// for keying persistent result caches: two configs produce the same
+// fingerprint iff every timing-relevant field (including the nested ARVI
+// sizing) is identical. The hash covers the JSON encoding of the struct,
+// so adding a field to Config changes every fingerprint — which is the
+// safe direction for a cache key.
+func (c Config) Fingerprint() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain value struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("cpu: fingerprint config: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}

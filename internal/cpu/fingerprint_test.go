@@ -1,0 +1,37 @@
+package cpu
+
+import "testing"
+
+func TestFingerprintStability(t *testing.T) {
+	a := DefaultConfig(20, PredARVICurrent)
+	b := DefaultConfig(20, PredARVICurrent)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical configs must share a fingerprint")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Errorf("fingerprint %q not a sha256 hex digest", a.Fingerprint())
+	}
+}
+
+func TestFingerprintCoversEveryKnob(t *testing.T) {
+	base := DefaultConfig(20, PredARVICurrent)
+	mutations := map[string]func(*Config){
+		"depth":          func(c *Config) { c.Depth = 40 },
+		"mode":           func(c *Config) { c.Mode = PredBaseline2Lvl },
+		"max insts":      func(c *Config) { c.MaxInsts = 123 },
+		"conf threshold": func(c *Config) { c.ConfThreshold = 3 },
+		"cut at loads":   func(c *Config) { c.CutAtLoads = true },
+		"stale policy":   func(c *Config) { c.StalePolicy = StaleMask },
+		"gate mode":      func(c *Config) { c.ARVIGateMode = 2 },
+		"require strong": func(c *Config) { c.ARVIRequireStrong = true },
+		"arvi sets":      func(c *Config) { c.ARVI.Sets = 1024 },
+		"rob":            func(c *Config) { c.ROB = 128 },
+	}
+	for name, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}

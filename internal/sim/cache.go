@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cpu"
+)
+
+// cacheVersion invalidates every existing entry when the on-disk format
+// (not the simulated configuration — that is covered by the fingerprint)
+// changes.
+const cacheVersion = 1
+
+// Cache is a persistent, concurrency-safe store of simulation results,
+// one JSON file per cell under a directory. Entries are keyed by a
+// SHA-256 content hash of the Spec together with the fingerprint of the
+// full cpu.Config the spec derives, so any change to the simulated
+// machine — a new default, an ablation knob, a different instruction
+// budget — misses cleanly instead of serving stale statistics.
+//
+// Corrupt or unreadable entries (truncated writes, hand-edited files,
+// format drift) are treated as misses and removed, so a damaged cache
+// heals itself on the next run.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sim: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sim: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key returns the cache key for a spec: a hex SHA-256 over the spec's
+// identity and the fingerprint of its derived configuration.
+func (c *Cache) Key(spec Spec) string { return CacheKey(spec, spec.Config()) }
+
+// CacheKey computes the content-hash key for an explicit (spec, config)
+// pair. The hash covers the benchmark name and the config fingerprint —
+// every other Spec field flows into the derived cpu.Config, so two specs
+// that describe the same run (e.g. ConfThreshold 0 versus an explicit
+// paper-default 8) share one entry instead of simulating twice. Exposed
+// for tests and external tooling that wants to locate or invalidate
+// specific cells.
+func CacheKey(spec Spec, cfg cpu.Config) string {
+	id := struct {
+		Version     int
+		Bench       string
+		Fingerprint string
+	}{cacheVersion, spec.Bench, cfg.Fingerprint()}
+	b, err := json.Marshal(id)
+	if err != nil {
+		panic(fmt.Sprintf("sim: cache key: %v", err)) // plain value struct
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// entry is the on-disk record. Spec and Key are stored redundantly so a
+// cache directory is self-describing (and auditable with jq), and so Get
+// can reject a file whose content does not match its name.
+type entry struct {
+	Version int       `json:"version"`
+	Key     string    `json:"key"`
+	Spec    Spec      `json:"spec"`
+	Stats   cpu.Stats `json:"stats"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached stats for spec, if present and intact.
+func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
+	key := c.Key(spec)
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return cpu.Stats{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Version != cacheVersion || e.Key != key {
+		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
+		os.Remove(c.path(key))
+		return cpu.Stats{}, false
+	}
+	return e.Stats, true
+}
+
+// Put stores the stats for spec. The write is atomic (temp file + rename)
+// so a crash mid-write leaves either the old entry or none — never a
+// torn file that a later Get would half-trust.
+func (c *Cache) Put(spec Spec, st cpu.Stats) error {
+	key := c.Key(spec)
+	b, err := json.MarshalIndent(entry{Version: cacheVersion, Key: key, Spec: spec, Stats: st}, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sim: cache put: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries currently on disk.
+func (c *Cache) Len() (int, error) {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(matches), nil
+}

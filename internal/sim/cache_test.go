@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+var cacheSpec = Spec{Bench: "compress", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 5000}
+
+func openCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := OpenCache(filepath.Join(t.TempDir(), "simcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := openCache(t)
+	if _, ok := c.Get(cacheSpec); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	eng := &Engine{Cache: c}
+	first, err := eng.Run([]Spec{cacheSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Simulated() != 1 || eng.CacheHits() != 0 {
+		t.Errorf("cold run: simulated %d, hits %d", eng.Simulated(), eng.CacheHits())
+	}
+	second, err := eng.Run([]Spec{cacheSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Simulated() != 1 || eng.CacheHits() != 1 {
+		t.Errorf("warm run: simulated %d, hits %d", eng.Simulated(), eng.CacheHits())
+	}
+	if first[0].Stats != second[0].Stats {
+		t.Errorf("cache returned different stats:\n%+v\n%+v", first[0].Stats, second[0].Stats)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("cache entries = %d, err %v", n, err)
+	}
+}
+
+func TestCacheCorruptEntryRecovers(t *testing.T) {
+	c := openCache(t)
+	eng := &Engine{Cache: c}
+	if _, err := eng.Run([]Spec{cacheSpec}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), c.Key(cacheSpec)+".json")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(cacheSpec); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry not removed")
+	}
+	// The engine heals the cache: re-simulates, re-persists, then hits.
+	if _, err := eng.Run([]Spec{cacheSpec}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Simulated() != 2 {
+		t.Errorf("corrupt entry should force a re-simulation, simulated = %d", eng.Simulated())
+	}
+	if _, ok := c.Get(cacheSpec); !ok {
+		t.Error("cache not repaired after corrupt entry")
+	}
+}
+
+func TestCacheRejectsMismatchedContent(t *testing.T) {
+	c := openCache(t)
+	eng := &Engine{Cache: c}
+	other := cacheSpec
+	other.ConfThreshold = 12
+	if _, err := eng.Run([]Spec{other}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the other spec's entry over cacheSpec's slot: the embedded key
+	// no longer matches the file name, so Get must refuse it.
+	b, err := os.ReadFile(filepath.Join(c.Dir(), c.Key(other)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), c.Key(cacheSpec)+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(cacheSpec); ok {
+		t.Error("entry with mismatched key served as a hit")
+	}
+}
+
+func TestResumedRunSimulatesOnlyMissingCells(t *testing.T) {
+	c := openCache(t)
+	cold := &Engine{Cache: c}
+	if _, err := cold.RunMatrix([]string{"gcc"}, []int{20}, Modes[:2], 5000); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Simulated() != 2 {
+		t.Fatalf("cold run simulated %d cells, want 2", cold.Simulated())
+	}
+	// A fresh engine over the same cache, asked for an enlarged grid,
+	// must only simulate the cells the cold run never produced.
+	warm := &Engine{Cache: c}
+	mx, err := warm.RunMatrix([]string{"gcc"}, []int{20}, Modes, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated() != 2 || warm.CacheHits() != 2 {
+		t.Errorf("resumed run: simulated %d (want 2), hits %d (want 2)",
+			warm.Simulated(), warm.CacheHits())
+	}
+	if mx.Len() != 4 {
+		t.Errorf("resumed matrix holds %d cells, want 4", mx.Len())
+	}
+}
+
+func TestCacheKeySeparatesConfigurations(t *testing.T) {
+	base := cacheSpec
+	variants := []Spec{
+		{Bench: "gcc", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 5000},
+		{Bench: "compress", Depth: 40, Mode: cpu.PredARVICurrent, MaxInsts: 5000},
+		{Bench: "compress", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 5000},
+		{Bench: "compress", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 9000},
+		{Bench: "compress", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 5000, CutAtLoads: true},
+		{Bench: "compress", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 5000, ConfThreshold: 3},
+	}
+	baseKey := CacheKey(base, base.Config())
+	if baseKey != CacheKey(base, base.Config()) {
+		t.Fatal("cache key not deterministic")
+	}
+	seen := map[string]Spec{baseKey: base}
+	for _, v := range variants {
+		k := CacheKey(v, v.Config())
+		if k == baseKey {
+			t.Errorf("spec %+v collides with base key", v)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %+v and %+v share a key", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestCacheKeyUnifiesSpecAliases(t *testing.T) {
+	// ConfThreshold 0 means "paper default", which is 8: the two specs
+	// derive identical configs and must share one cache entry.
+	implicit := cacheSpec
+	explicit := cacheSpec
+	explicit.ConfThreshold = 8
+	if implicit.Config() != explicit.Config() {
+		t.Fatal("test premise broken: default ConfThreshold is no longer 8")
+	}
+	if CacheKey(implicit, implicit.Config()) != CacheKey(explicit, explicit.Config()) {
+		t.Error("spec aliases with identical configs must share a cache key")
+	}
+}
+
+func TestCachePutFailureKeepsResult(t *testing.T) {
+	c := openCache(t)
+	// Break the cache between open and put (as a vanished mount or
+	// deleted directory would): Put's temp-file creation must fail while
+	// the simulation itself succeeds. A regular file in the directory's
+	// place fails for root too, unlike permission bits.
+	if err := os.Remove(c.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.Dir(), []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Cache: c}
+	res, err := eng.Run([]Spec{cacheSpec})
+	if err == nil {
+		t.Error("cache persistence failure must surface in the joined error")
+	}
+	if len(res) != 1 || res[0].Stats.Insts == 0 {
+		t.Fatalf("completed simulation discarded on cache failure: %v", res)
+	}
+	if eng.Simulated() != 1 {
+		t.Errorf("simulated = %d", eng.Simulated())
+	}
+}
+
+func TestOpenCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Error("OpenCache(\"\") must fail")
+	}
+}

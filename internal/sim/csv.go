@@ -2,13 +2,71 @@ package sim
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 
+	"repro/internal/cpu"
 	"repro/internal/workload"
 )
 
-// WriteCSV exports the full result matrix as tidy CSV (one row per
+// Record is one exported matrix cell with its derived metrics and the
+// full raw stats. NormIPC is nil when the cell's baseline sibling is
+// missing (partial grid): JSON consumers see null, CSV an empty field.
+type Record struct {
+	Bench        string    `json:"bench"`
+	Depth        int       `json:"depth"`
+	Mode         string    `json:"mode"`
+	IPC          float64   `json:"ipc"`
+	NormIPC      *float64  `json:"norm_ipc"`
+	Accuracy     float64   `json:"accuracy"`
+	CalcAcc      float64   `json:"calc_acc"`
+	LoadAcc      float64   `json:"load_acc"`
+	LoadFrac     float64   `json:"load_frac"`
+	Mispredicts  int64     `json:"mispredicts"`
+	CondBranches int64     `json:"cond_branches"`
+	Stats        cpu.Stats `json:"stats"`
+}
+
+// Records flattens the populated cells of the matrix into tidy rows (one
+// per benchmark × depth × mode, suite order). Missing cells are skipped,
+// so a partial grid exports exactly what completed.
+func (m *Matrix) Records(depths []int) []Record {
+	var out []Record
+	for _, b := range workload.Names {
+		for _, d := range depths {
+			base, baseOK := m.Lookup(b, d, Modes[0])
+			for _, md := range Modes {
+				st, ok := m.Lookup(b, d, md)
+				if !ok {
+					continue
+				}
+				var norm *float64
+				if baseOK && base.IPC() != 0 {
+					n := st.IPC() / base.IPC()
+					norm = &n
+				}
+				out = append(out, Record{
+					Bench:        b,
+					Depth:        d,
+					Mode:         md.String(),
+					IPC:          st.IPC(),
+					NormIPC:      norm,
+					Accuracy:     st.PredAccuracy(),
+					CalcAcc:      st.ClassAccuracy(cpu.ClassCalculated),
+					LoadAcc:      st.ClassAccuracy(cpu.ClassLoad),
+					LoadFrac:     st.LoadBranchFraction(),
+					Mispredicts:  st.Mispredicts,
+					CondBranches: st.CondBranches,
+					Stats:        st,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the populated result matrix as tidy CSV (one row per
 // benchmark × depth × mode) for external plotting: IPC, normalized IPC,
 // accuracy, class accuracies and load-branch fraction.
 func (m *Matrix) WriteCSV(w io.Writer, depths []int) error {
@@ -20,30 +78,49 @@ func (m *Matrix) WriteCSV(w io.Writer, depths []int) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, b := range workload.Names {
-		for _, d := range depths {
-			base := m.Get(b, d, Modes[0]).IPC()
-			for _, md := range Modes {
-				st := m.Get(b, d, md)
-				rec := []string{
-					b,
-					fmt.Sprintf("%d", d),
-					md.String(),
-					fmt.Sprintf("%.4f", st.IPC()),
-					fmt.Sprintf("%.4f", st.IPC()/base),
-					fmt.Sprintf("%.4f", st.PredAccuracy()),
-					fmt.Sprintf("%.4f", st.ClassAccuracy(0)),
-					fmt.Sprintf("%.4f", st.ClassAccuracy(1)),
-					fmt.Sprintf("%.4f", st.LoadBranchFraction()),
-					fmt.Sprintf("%d", st.Mispredicts),
-					fmt.Sprintf("%d", st.CondBranches),
-				}
-				if err := cw.Write(rec); err != nil {
-					return err
-				}
-			}
+	for _, r := range m.Records(depths) {
+		norm := ""
+		if r.NormIPC != nil {
+			norm = fmt.Sprintf("%.4f", *r.NormIPC)
+		}
+		rec := []string{
+			r.Bench,
+			fmt.Sprintf("%d", r.Depth),
+			r.Mode,
+			fmt.Sprintf("%.4f", r.IPC),
+			norm,
+			fmt.Sprintf("%.4f", r.Accuracy),
+			fmt.Sprintf("%.4f", r.CalcAcc),
+			fmt.Sprintf("%.4f", r.LoadAcc),
+			fmt.Sprintf("%.4f", r.LoadFrac),
+			fmt.Sprintf("%d", r.Mispredicts),
+			fmt.Sprintf("%d", r.CondBranches),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// jsonExport is the envelope WriteJSON emits: the run parameters plus one
+// object per populated cell, with the full raw Stats alongside the
+// derived metrics.
+type jsonExport struct {
+	MaxInsts int64    `json:"max_insts"`
+	Cells    []Record `json:"cells"`
+}
+
+// WriteJSON exports the populated matrix cells as indented JSON, raw
+// Stats included, for downstream tooling that wants more than the CSV's
+// derived metrics.
+func (m *Matrix) WriteJSON(w io.Writer, depths []int) error {
+	cells := m.Records(depths)
+	if cells == nil {
+		cells = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jsonExport{MaxInsts: m.MaxInsts, Cells: cells})
 }

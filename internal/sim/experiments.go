@@ -8,9 +8,12 @@ import (
 	"repro/internal/workload"
 )
 
+// na marks a cell whose simulation has not completed (partial grid).
+const na = "n/a"
+
 // Fig5a renders Figure 5(a): the fraction of dynamic conditional branches
 // classified as load branches, per benchmark and pipeline depth, under the
-// ARVI current-value configuration.
+// ARVI current-value configuration. Missing cells render as n/a.
 func Fig5a(m *Matrix) Table {
 	t := Table{
 		Title:  "Figure 5(a): Load branch fraction (ARVI current value)",
@@ -19,7 +22,11 @@ func Fig5a(m *Matrix) Table {
 	for _, b := range workload.Names {
 		row := []string{b}
 		for _, d := range Depths {
-			row = append(row, f3(m.Get(b, d, cpu.PredARVICurrent).LoadBranchFraction()))
+			if st, ok := m.Lookup(b, d, cpu.PredARVICurrent); ok {
+				row = append(row, f3(st.LoadBranchFraction()))
+			} else {
+				row = append(row, na)
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -34,7 +41,11 @@ func Fig5b(m *Matrix, depth int) Table {
 		Header: []string{"benchmark", "calc branch", "load branch", "calc frac"},
 	}
 	for _, b := range workload.Names {
-		st := m.Get(b, depth, cpu.PredARVICurrent)
+		st, ok := m.Lookup(b, depth, cpu.PredARVICurrent)
+		if !ok {
+			t.AddRow(b, na, na, na)
+			continue
+		}
 		t.AddRow(b,
 			pct(st.ClassAccuracy(cpu.ClassCalculated)),
 			pct(st.ClassAccuracy(cpu.ClassLoad)),
@@ -53,7 +64,11 @@ func Fig6Accuracy(m *Matrix, depth int) Table {
 	for _, b := range workload.Names {
 		row := []string{b}
 		for _, md := range Modes {
-			row = append(row, pct(m.Get(b, depth, md).PredAccuracy()))
+			if st, ok := m.Lookup(b, depth, md); ok {
+				row = append(row, pct(st.PredAccuracy()))
+			} else {
+				row = append(row, na)
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -85,22 +100,36 @@ func Fig6IPC(m *Matrix, depth int) (Table, IPCSummary) {
 		sum.Normalized[md] = make(map[string]float64)
 	}
 	for _, b := range workload.Names {
-		base := m.Get(b, depth, cpu.PredBaseline2Lvl).IPC()
 		row := []string{b}
+		baseSt, baseOK := m.Lookup(b, depth, cpu.PredBaseline2Lvl)
 		for _, md := range Modes {
-			n := m.Get(b, depth, md).IPC() / base
+			st, ok := m.Lookup(b, depth, md)
+			if !ok || !baseOK || baseSt.IPC() == 0 {
+				row = append(row, na)
+				continue
+			}
+			n := st.IPC() / baseSt.IPC()
 			sum.Normalized[md][b] = n
 			row = append(row, ratio(n))
 		}
 		t.AddRow(row...)
 	}
+	// The average covers only benchmarks whose cells completed, so a
+	// partial grid yields a partial (but well-defined) summary.
 	avgRow := []string{"average"}
 	for _, md := range Modes {
-		total := 0.0
+		total, count := 0.0, 0
 		for _, b := range workload.Names {
-			total += sum.Normalized[md][b]
+			if n, ok := sum.Normalized[md][b]; ok {
+				total += n
+				count++
+			}
 		}
-		avg := total / float64(len(workload.Names))
+		if count == 0 {
+			avgRow = append(avgRow, na)
+			continue
+		}
+		avg := total / float64(count)
 		sum.AvgImprovement[md] = avg - 1
 		avgRow = append(avgRow, ratio(avg))
 	}

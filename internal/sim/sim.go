@@ -1,12 +1,22 @@
 // Package sim is the experiment harness: it runs (benchmark × pipeline
 // depth × predictor mode) simulations, in parallel, and renders the paper's
 // tables and figures from the results.
+//
+// The package is organised around Engine, a cache-backed worker-pool
+// runner. An Engine bounds goroutine spawn to a fixed worker count, keeps
+// every completed result even when sibling runs fail (partial results plus
+// a joined error), and — when given a Cache — persists each cell's
+// statistics on disk keyed by a content hash of the Spec and the derived
+// cpu.Config, so an interrupted or enlarged sweep only simulates the cells
+// it has not seen before.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/workload"
@@ -33,6 +43,23 @@ func (s Spec) String() string {
 	return fmt.Sprintf("%s/%dstage/%s", s.Bench, s.Depth, s.Mode)
 }
 
+// Config derives the full machine configuration the spec simulates. It is
+// the single source of truth shared by Simulate and the result cache, so a
+// cache entry can never be served for a run that would have used different
+// timing parameters.
+func (s Spec) Config() cpu.Config {
+	cfg := cpu.DefaultConfig(s.Depth, s.Mode)
+	cfg.MaxInsts = s.MaxInsts
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = DefaultMaxInsts
+	}
+	cfg.CutAtLoads = s.CutAtLoads
+	if s.ConfThreshold != 0 {
+		cfg.ConfThreshold = s.ConfThreshold
+	}
+	return cfg
+}
+
 // Result pairs a spec with its statistics.
 type Result struct {
 	Spec  Spec
@@ -41,46 +68,136 @@ type Result struct {
 
 // Simulate executes one run.
 func Simulate(spec Spec) (Result, error) {
-	b := workload.ByName(spec.Bench)
-	cfg := cpu.DefaultConfig(spec.Depth, spec.Mode)
-	cfg.MaxInsts = spec.MaxInsts
-	if cfg.MaxInsts == 0 {
-		cfg.MaxInsts = DefaultMaxInsts
+	b, ok := workload.Lookup(spec.Bench)
+	if !ok {
+		return Result{}, fmt.Errorf("sim: %s: unknown benchmark %q", spec, spec.Bench)
 	}
-	cfg.CutAtLoads = spec.CutAtLoads
-	if spec.ConfThreshold != 0 {
-		cfg.ConfThreshold = spec.ConfThreshold
-	}
-	st, err := cpu.Run(b.Prog, cfg)
+	st, err := cpu.Run(b.Prog, spec.Config())
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
 	}
 	return Result{Spec: spec, Stats: st}, nil
 }
 
-// RunAll executes the given specs concurrently (bounded by GOMAXPROCS) and
-// returns results in spec order.
-func RunAll(specs []Spec) ([]Result, error) {
+// Engine runs batches of specs on a bounded worker pool, optionally backed
+// by a persistent result cache. The zero value is usable: GOMAXPROCS
+// workers, no cache.
+type Engine struct {
+	// Workers bounds concurrent simulations (and goroutine spawn);
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before simulating and updated
+	// after every successful run.
+	Cache *Cache
+
+	simulated atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// Simulated reports how many cells this engine actually simulated (cache
+// misses) over its lifetime.
+func (e *Engine) Simulated() int64 { return e.simulated.Load() }
+
+// CacheHits reports how many cells were served from the cache.
+func (e *Engine) CacheHits() int64 { return e.cacheHits.Load() }
+
+// run executes one spec through the cache. A cache persistence failure is
+// reported separately from a simulation failure: the simulated result is
+// still valid and must not be discarded just because it could not be
+// written back.
+func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
+	if e.Cache != nil {
+		if st, ok := e.Cache.Get(spec); ok {
+			e.cacheHits.Add(1)
+			return Result{Spec: spec, Stats: st}, nil, nil
+		}
+	}
+	res, simErr = Simulate(spec)
+	if simErr != nil {
+		return Result{}, simErr, nil
+	}
+	e.simulated.Add(1)
+	if e.Cache != nil {
+		if err := e.Cache.Put(spec, res.Stats); err != nil {
+			cacheErr = fmt.Errorf("sim: cache %s (result kept): %w", spec, err)
+		}
+	}
+	return res, nil, cacheErr
+}
+
+// Run executes the given specs on the worker pool and returns the results
+// of every spec that completed, in spec order. Unlike a fail-fast runner it
+// never discards finished work: when some specs fail, the completed
+// results are returned alongside the per-spec errors joined with
+// errors.Join. Cache persistence failures are joined into the error too,
+// but their results are completed simulations and stay in the result set.
+// A worker slot is acquired *before* each goroutine is spawned, so a batch
+// of N specs with W workers never holds more than W live goroutines.
+func (e *Engine) Run(specs []Spec) ([]Result, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	results := make([]Result, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	simErrs := make([]error, len(specs))
+	cacheErrs := make([]error, len(specs))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, s := range specs {
+		sem <- struct{}{} // bound spawn, not just execution
 		wg.Add(1)
 		go func(i int, s Spec) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Simulate(s)
+			results[i], simErrs[i], cacheErrs[i] = e.run(s)
 		}(i, s)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	done := results[:0]
+	for i := range results {
+		if simErrs[i] == nil {
+			done = append(done, results[i])
 		}
 	}
-	return results, nil
+	return done, errors.Join(append(simErrs, cacheErrs...)...)
+}
+
+// RunMatrix runs every (bench × depth × mode) combination requested and
+// collects the completed cells into a Matrix. On partial failure the
+// matrix holds every completed cell and the error joins the per-cell
+// failures; renderers that go through Matrix.Lookup degrade gracefully.
+func (e *Engine) RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+	var specs []Spec
+	for _, b := range benches {
+		for _, d := range depths {
+			for _, md := range modes {
+				specs = append(specs, Spec{Bench: b, Depth: d, Mode: md, MaxInsts: maxInsts})
+			}
+		}
+	}
+	res, err := e.Run(specs)
+	mx := &Matrix{m: make(map[matrixKey]cpu.Stats, len(res)), MaxInsts: maxInsts}
+	for _, r := range res {
+		mx.Add(r)
+	}
+	if err != nil {
+		return mx, err
+	}
+	return mx, nil
+}
+
+// RunAll executes the given specs concurrently (bounded by GOMAXPROCS) on
+// a throwaway uncached Engine. See Engine.Run for the partial-result
+// contract.
+func RunAll(specs []Spec) ([]Result, error) {
+	var e Engine
+	return e.Run(specs)
+}
+
+// RunMatrix runs the grid on a throwaway uncached Engine.
+func RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+	var e Engine
+	return e.RunMatrix(benches, depths, modes, maxInsts)
 }
 
 // Modes lists the four Section 5 configurations in presentation order.
@@ -101,37 +218,38 @@ type matrixKey struct {
 	mode  cpu.PredMode
 }
 
-// Matrix holds a grid of results addressable by (bench, depth, mode).
+// Matrix holds a grid of results addressable by (bench, depth, mode). A
+// matrix may be partial: renderers should use Lookup and skip or mark
+// missing cells.
 type Matrix struct {
 	m        map[matrixKey]cpu.Stats
 	MaxInsts int64
 }
 
-// RunMatrix runs every (bench × depth × mode) combination requested.
-func RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
-	var specs []Spec
-	for _, b := range benches {
-		for _, d := range depths {
-			for _, md := range modes {
-				specs = append(specs, Spec{Bench: b, Depth: d, Mode: md, MaxInsts: maxInsts})
-			}
-		}
+// Add inserts one completed result into the grid.
+func (m *Matrix) Add(r Result) {
+	if m.m == nil {
+		m.m = make(map[matrixKey]cpu.Stats)
 	}
-	res, err := RunAll(specs)
-	if err != nil {
-		return nil, err
-	}
-	mx := &Matrix{m: make(map[matrixKey]cpu.Stats, len(res)), MaxInsts: maxInsts}
-	for _, r := range res {
-		mx.m[matrixKey{r.Spec.Bench, r.Spec.Depth, r.Spec.Mode}] = r.Stats
-	}
-	return mx, nil
+	m.m[matrixKey{r.Spec.Bench, r.Spec.Depth, r.Spec.Mode}] = r.Stats
+}
+
+// Len reports the number of populated cells.
+func (m *Matrix) Len() int { return len(m.m) }
+
+// Lookup returns the stats for one cell and whether it is populated.
+// Renderers use it so that partial grids (crashed or still-resuming
+// sweeps) degrade to "n/a" cells instead of panicking.
+func (m *Matrix) Lookup(bench string, depth int, mode cpu.PredMode) (cpu.Stats, bool) {
+	st, ok := m.m[matrixKey{bench, depth, mode}]
+	return st, ok
 }
 
 // Get returns the stats for one cell; it panics on a missing cell (caller
-// bug: the cell was not part of the requested grid).
+// bug: the cell was not part of the requested grid). Prefer Lookup
+// anywhere a partial grid is possible.
 func (m *Matrix) Get(bench string, depth int, mode cpu.PredMode) cpu.Stats {
-	st, ok := m.m[matrixKey{bench, depth, mode}]
+	st, ok := m.Lookup(bench, depth, mode)
 	if !ok {
 		panic(fmt.Sprintf("sim: no result for %s/%d/%v", bench, depth, mode))
 	}

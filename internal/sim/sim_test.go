@@ -53,6 +53,94 @@ func TestRunAllOrderAndParallel(t *testing.T) {
 	}
 }
 
+func TestRunAllPartialResults(t *testing.T) {
+	specs := []Spec{
+		{Bench: "gcc", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 4000},
+		{Bench: "nosuch", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 4000},
+		{Bench: "li", Depth: 0, Mode: cpu.PredARVICurrent, MaxInsts: 4000}, // invalid depth
+		{Bench: "perl", Depth: 40, Mode: cpu.PredARVIPerfect, MaxInsts: 4000},
+	}
+	res, err := RunAll(specs)
+	if err == nil {
+		t.Fatal("expected a joined error from the injected failures")
+	}
+	if len(res) != 2 {
+		t.Fatalf("completed results = %d, want 2 (%v)", len(res), res)
+	}
+	if res[0].Spec != specs[0] || res[1].Spec != specs[3] {
+		t.Errorf("surviving results out of order: %v, %v", res[0].Spec, res[1].Spec)
+	}
+	msg := err.Error()
+	for _, want := range []string{"nosuch", "depth"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSimulateUnknownBenchErrors(t *testing.T) {
+	if _, err := Simulate(Spec{Bench: "nosuch", Depth: 20}); err == nil {
+		t.Error("unknown benchmark must error, not panic")
+	}
+}
+
+func TestMatrixLookup(t *testing.T) {
+	mx := smallMatrix(t, []string{"gcc"}, []int{20}, []cpu.PredMode{cpu.PredBaseline2Lvl})
+	if _, ok := mx.Lookup("gcc", 20, cpu.PredBaseline2Lvl); !ok {
+		t.Error("populated cell not found")
+	}
+	if _, ok := mx.Lookup("li", 20, cpu.PredBaseline2Lvl); ok {
+		t.Error("missing cell reported present")
+	}
+	if mx.Len() != 1 {
+		t.Errorf("Len = %d", mx.Len())
+	}
+}
+
+// TestFigureTablesPartialGrid renders every figure against a grid holding
+// a single benchmark at a single depth: every other cell must degrade to
+// n/a instead of panicking.
+func TestFigureTablesPartialGrid(t *testing.T) {
+	mx := smallMatrix(t, []string{"gcc"}, []int{20}, Modes)
+	for _, tb := range []Table{Fig5a(mx), Fig5b(mx, 20), Fig6Accuracy(mx, 40)} {
+		var sb strings.Builder
+		if err := tb.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, summ := Fig6IPC(mx, 60) // depth entirely absent from the grid
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n/a") {
+		t.Errorf("missing cells not marked:\n%s", sb.String())
+	}
+	if len(summ.Normalized[cpu.PredARVICurrent]) != 0 {
+		t.Error("summary invented values for missing cells")
+	}
+	// The populated depth normalises exactly as before.
+	_, s20 := Fig6IPC(mx, 20)
+	if n := s20.Normalized[cpu.PredBaseline2Lvl]["gcc"]; n != 1 {
+		t.Errorf("baseline normalised IPC = %v", n)
+	}
+}
+
+func TestRunBoundsGoroutineSpawn(t *testing.T) {
+	eng := &Engine{Workers: 2}
+	var specs []Spec
+	for _, b := range []string{"gcc", "li", "perl", "compress"} {
+		specs = append(specs, Spec{Bench: b, Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 2000})
+	}
+	res, err := eng.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) || eng.Simulated() != int64(len(specs)) {
+		t.Errorf("results = %d, simulated = %d", len(res), eng.Simulated())
+	}
+}
+
 func TestMatrixGetPanicsOnMissing(t *testing.T) {
 	mx := smallMatrix(t, []string{"gcc"}, []int{20}, []cpu.PredMode{cpu.PredBaseline2Lvl})
 	defer func() {

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestConfThresholdSweep(t *testing.T) {
+	var eng Engine
+	benches := []string{"li", "compress"}
+	thresholds := []uint8{1, 15}
+	sr, err := eng.RunConfThresholdSweep(benches, 20, thresholds, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != len(thresholds) {
+		t.Fatalf("points = %v", sr.Points)
+	}
+	for _, b := range benches {
+		for _, p := range sr.Points {
+			st, ok := sr.Lookup(b, p)
+			if !ok || st.Insts == 0 {
+				t.Errorf("cell %s/%s missing or degenerate", b, p)
+			}
+		}
+	}
+	// ARVI is consulted only when the L1 prediction is *not*
+	// high-confidence, so raising the threshold (fewer branches reach
+	// high confidence) must not shrink ARVI usage.
+	var loose, strict int64
+	for _, b := range benches {
+		l, _ := sr.Lookup(b, "conf=1")
+		s, _ := sr.Lookup(b, "conf=15")
+		loose += l.ARVIUsed
+		strict += s.ARVIUsed
+	}
+	if strict < loose {
+		t.Errorf("threshold inverted ARVI usage: conf=1 used %d, conf=15 used %d", loose, strict)
+	}
+	for _, tb := range []Table{SweepAccuracyTable(sr), SweepIPCTable(sr), SweepARVIUseTable(sr)} {
+		if len(tb.Rows) != len(benches) || len(tb.Header) != 1+len(thresholds) {
+			t.Errorf("table %q shape: %d rows, %d cols", tb.Title, len(tb.Rows), len(tb.Header))
+		}
+	}
+}
+
+func TestCutAtLoadsSweep(t *testing.T) {
+	var eng Engine
+	sr, err := eng.RunCutAtLoadsSweep([]string{"m88ksim"}, 20, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, ok1 := sr.Lookup("m88ksim", "full-chain")
+	cut, ok2 := sr.Lookup("m88ksim", "cut-at-loads")
+	if !ok1 || !ok2 {
+		t.Fatal("sweep cells missing")
+	}
+	if full.Insts != cut.Insts || full.Insts == 0 {
+		t.Errorf("ablation runs diverged: %d vs %d insts", full.Insts, cut.Insts)
+	}
+}
+
+func TestSweepPartialGridRenders(t *testing.T) {
+	sr := &SweepResult{
+		Label:  "test",
+		Depth:  20,
+		Mode:   cpu.PredARVICurrent,
+		Points: []string{"a", "b"},
+		m: map[sweepKey]cpu.Stats{
+			{bench: "gcc", point: "a"}: {Insts: 100, Cycles: 50, CondBranches: 10},
+		},
+	}
+	tb := SweepAccuracyTable(sr)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n/a") {
+		t.Errorf("missing cell not marked n/a:\n%s", sb.String())
+	}
+}
+
+func TestSweepPartialFailureKeepsCompletedCells(t *testing.T) {
+	var eng Engine
+	points := []SweepPoint{
+		{Name: "ok", Mutate: func(s *Spec) {}},
+		{Name: "broken", Mutate: func(s *Spec) { s.Bench = "nosuch" }},
+	}
+	sr, err := eng.RunSweep("inject", []string{"gcc"}, 20, cpu.PredARVICurrent, 4000, points)
+	if err == nil {
+		t.Fatal("expected a joined error from the broken point")
+	}
+	if _, ok := sr.Lookup("gcc", "ok"); !ok {
+		t.Error("completed cell discarded on sibling failure")
+	}
+	if _, ok := sr.Lookup("gcc", "broken"); ok {
+		t.Error("failed cell reported as populated")
+	}
+}
+
+func TestRunSweepRejectsEmptyPoints(t *testing.T) {
+	var eng Engine
+	if _, err := eng.RunSweep("empty", []string{"gcc"}, 20, cpu.PredARVICurrent, 1000, nil); err == nil {
+		t.Error("empty sweep must fail")
+	}
+}

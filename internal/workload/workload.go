@@ -36,28 +36,38 @@ type Benchmark struct {
 // Names lists the suite in the paper's presentation order.
 var Names = []string{"gcc", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
 
+// Lookup builds the named benchmark, reporting whether the name is part of
+// the suite. Use it when the name comes from user input.
+func Lookup(name string) (Benchmark, bool) {
+	switch name {
+	case "gcc":
+		return GCC(), true
+	case "compress":
+		return Compress(), true
+	case "go":
+		return Go(), true
+	case "ijpeg":
+		return IJPEG(), true
+	case "li":
+		return Li(), true
+	case "m88ksim":
+		return M88ksim(), true
+	case "perl":
+		return Perl(), true
+	case "vortex":
+		return Vortex(), true
+	}
+	return Benchmark{}, false
+}
+
 // ByName builds the named benchmark. It panics on an unknown name (the set
 // is closed and compiled in).
 func ByName(name string) Benchmark {
-	switch name {
-	case "gcc":
-		return GCC()
-	case "compress":
-		return Compress()
-	case "go":
-		return Go()
-	case "ijpeg":
-		return IJPEG()
-	case "li":
-		return Li()
-	case "m88ksim":
-		return M88ksim()
-	case "perl":
-		return Perl()
-	case "vortex":
-		return Vortex()
+	b, ok := Lookup(name)
+	if !ok {
+		panic("workload: unknown benchmark " + name)
 	}
-	panic("workload: unknown benchmark " + name)
+	return b
 }
 
 // All builds the full suite in paper order.
