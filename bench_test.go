@@ -15,6 +15,7 @@ import (
 	"repro/internal/arvi"
 	"repro/internal/cpu"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -219,4 +220,58 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		insts += st.Insts
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+}
+
+// BenchmarkReplayThroughput measures the same configuration fed from a
+// pre-recorded decoded trace instead of a live functional VM — the hot
+// path of trace-store sweeps. The gap to BenchmarkEngineThroughput is the
+// per-configuration VM cost the trace tier amortises away.
+func BenchmarkReplayThroughput(b *testing.B) {
+	p := workload.ByName("gcc").Prog
+	cfg := cpu.DefaultConfig(20, cpu.PredARVICurrent)
+	cfg.MaxInsts = 50_000
+	dec, err := trace.RecordAll(p, cfg.MaxInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		eng, err := cpu.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := eng.RunSource(p, dec.Cursor())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += st.Insts
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+}
+
+// BenchmarkMatrixTraceStore runs a full-suite single-depth matrix through
+// the record-once trace store, the configuration cold sweeps actually use.
+// It reports how many functional-VM executions the sweep needed (one per
+// benchmark) against the matrix cells it filled.
+func BenchmarkMatrixTraceStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		store, err := sim.OpenTraceStore("", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := &sim.Engine{Traces: store}
+		mx, err := eng.RunMatrix(workload.Names, []int{20}, sim.Modes, benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mx.Len() != len(workload.Names)*len(sim.Modes) {
+			b.Fatalf("cells = %d", mx.Len())
+		}
+		if store.Recorded() != int64(len(workload.Names)) {
+			b.Fatalf("recorded = %d, want one VM run per benchmark", store.Recorded())
+		}
+		b.ReportMetric(float64(store.Recorded()), "vmruns")
+		b.ReportMetric(float64(mx.Len()), "cells")
+	}
 }

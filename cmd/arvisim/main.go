@@ -7,6 +7,10 @@
 //	arvisim -bench li -conf-threshold 12      # JRS threshold ablation
 //	arvisim -bench gcc -json                  # machine-readable stats
 //	arvisim -bench gcc -cache .simcache       # reuse cached results
+//	arvisim -bench gcc -record gcc.trc        # record the dynamic trace, no timing
+//	arvisim -bench gcc -replay gcc.trc        # replay a recorded trace
+//	arvisim -bench gcc -trace-dir .simtraces  # record-once trace store (shared
+//	                                          #   with cmd/experiments)
 package main
 
 import (
@@ -16,7 +20,10 @@ import (
 	"os"
 
 	"repro/internal/cpu"
+	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -36,6 +43,9 @@ func main() {
 	confTh := flag.Uint("conf-threshold", 0, "JRS confidence threshold override (0 = paper default)")
 	jsonOut := flag.Bool("json", false, "emit the spec and raw stats as JSON instead of text")
 	cacheDir := flag.String("cache", "", "result cache directory shared with cmd/experiments (empty = no cache)")
+	traceDir := flag.String("trace-dir", "", "trace store directory shared with cmd/experiments (empty = no store)")
+	record := flag.String("record", "", "record the benchmark's dynamic trace to this file and exit (no timing run)")
+	replay := flag.String("replay", "", "replay the timing model from this trace file instead of a live VM run")
 	flag.Parse()
 
 	md, ok := modeNames[*mode]
@@ -43,7 +53,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arvisim: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	if _, ok := workload.Lookup(*bench); !ok {
+	b, ok := workload.Lookup(*bench)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "arvisim: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
@@ -51,27 +62,91 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arvisim: conf-threshold %d out of range\n", *confTh)
 		os.Exit(2)
 	}
+	if *record != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "arvisim: -record and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*record != "" || *replay != "") && (*cacheDir != "" || *traceDir != "") {
+		// Standalone trace files bypass the engine, so silently accepting
+		// these would break the "shared with cmd/experiments" promise.
+		fmt.Fprintln(os.Stderr, "arvisim: -record/-replay bypass the engine; -cache and -trace-dir do not apply")
+		os.Exit(2)
+	}
 
-	eng := &sim.Engine{}
-	if *cacheDir != "" {
-		c, err := sim.OpenCache(*cacheDir)
+	if *record != "" {
+		f, err := os.Create(*record)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "arvisim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		eng.Cache = c
+		recorded, err := trace.Record(b.Prog, *n, f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d events of %s to %s\n", recorded, b.Name, *record)
+		return
 	}
 
 	spec := sim.Spec{
 		Bench: *bench, Depth: *depth, Mode: md, MaxInsts: *n,
 		CutAtLoads: *cut, ConfThreshold: uint8(*confTh),
 	}
-	results, err := eng.Run([]sim.Spec{spec})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "arvisim:", err)
-		os.Exit(1)
+
+	var res sim.Result
+	if *replay != "" {
+		// Replay bypasses the engine: the trace file is the event source
+		// (its header rejects a trace of the wrong program).
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		rd, err := trace.NewReader(b.Prog, f)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := cpu.NewEngine(spec.Config())
+		if err != nil {
+			fatal(err)
+		}
+		src := &haltCheckSource{src: rd}
+		st, err := eng.RunSource(b.Prog, src)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// A trace may legitimately end before the budget — but only at a
+		// halt. Anything shorter was recorded with a smaller -n, and the
+		// stats would silently describe a different run.
+		if st.Insts < spec.Config().MaxInsts && !src.halted {
+			fatal(fmt.Errorf("trace %s ends after %d events without halting; "+
+				"recorded with a smaller budget than -n %d (re-record, or lower -n)",
+				*replay, st.Insts, spec.Config().MaxInsts))
+		}
+		res = sim.Result{Spec: spec, Stats: st}
+	} else {
+		eng := &sim.Engine{}
+		if *cacheDir != "" {
+			c, err := sim.OpenCache(*cacheDir)
+			if err != nil {
+				fatal(err)
+			}
+			eng.Cache = c
+		}
+		if *traceDir != "" {
+			ts, err := sim.OpenTraceStore(*traceDir, 0)
+			if err != nil {
+				fatal(err)
+			}
+			eng.Traces = ts
+		}
+		results, err := eng.Run([]sim.Spec{spec})
+		if err != nil {
+			fatal(err)
+		}
+		res = results[0]
 	}
-	res := results[0]
 	st := res.Stats
 
 	if *jsonOut {
@@ -110,6 +185,27 @@ func main() {
 		st.Loads, st.Stores, st.StoreForwarded)
 	fmt.Printf("miss rates     L1D %.3f, L2 %.3f, L1I %.3f\n",
 		st.L1DMissRate, st.L2MissRate, st.L1IMissRate)
+}
+
+// haltCheckSource passes events through while remembering whether the
+// last one was the program halting, so a budget-truncated trace can be
+// told apart from a naturally ending one.
+type haltCheckSource struct {
+	src    cpu.EventSource
+	halted bool
+}
+
+func (s *haltCheckSource) Next(ev *vm.Event) error {
+	err := s.src.Next(ev)
+	if err == nil {
+		s.halted = ev.Inst.Op == isa.OpHalt
+	}
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arvisim:", err)
+	os.Exit(1)
 }
 
 func max1(v int64) float64 {

@@ -14,7 +14,15 @@
 //	experiments -only fig6      # one artifact: table2 table4 fig5a fig5b fig6
 //	                            #   sweep-conf sweep-cut
 //	experiments -cache ""       # disable the result cache
+//	experiments -trace-dir ""   # keep traces in memory only (no .simtraces)
+//	experiments -no-traces      # one functional-VM run per cell (old behaviour)
 //	experiments -json out.json  # raw matrix export (also -csv out.csv)
+//
+// Each benchmark's correct-path stream is recorded once into the trace
+// store and replayed by every (depth × predictor) configuration, so a cold
+// full sweep executes the functional VM eight times instead of once per
+// cell; recorded traces persist under -trace-dir and later runs skip even
+// those executions.
 package main
 
 import (
@@ -41,6 +49,9 @@ func main() {
 	csvPath := flag.String("csv", "", "additionally export the raw matrix as CSV")
 	jsonPath := flag.String("json", "", "additionally export the raw matrix (full stats) as JSON")
 	cacheDir := flag.String("cache", ".simcache", "result cache directory (empty = no cache)")
+	traceDir := flag.String("trace-dir", ".simtraces", "trace store directory (empty = record+replay in memory only)")
+	noTraces := flag.Bool("no-traces", false, "disable the trace store: every cell runs its own functional VM")
+	traceMem := flag.Int64("trace-mem", 0, "resident decoded-trace budget in MiB (0 = default)")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	sweepDepth := flag.Int("sweep-depth", 20, "pipeline depth for the ablation sweeps")
 	flag.Parse()
@@ -78,6 +89,13 @@ func main() {
 			fail(err)
 		}
 		eng.Cache = c
+	}
+	if !*noTraces {
+		ts, err := sim.OpenTraceStore(*traceDir, *traceMem<<20)
+		if err != nil {
+			fail(err)
+		}
+		eng.Traces = ts
 	}
 
 	start := time.Now()
@@ -118,6 +136,13 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "experiments: done in %v (%d simulated, %d from cache)\n",
 		time.Since(start).Round(time.Millisecond), eng.Simulated(), eng.CacheHits())
+	if ts := eng.Traces; ts != nil {
+		fmt.Fprintf(os.Stderr, "experiments: traces: %d VM runs, %d memory hits, %d disk hits\n",
+			ts.Recorded(), ts.MemHits(), ts.DiskHits())
+		if n := ts.PersistErrs(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %d trace files could not be persisted\n", n)
+		}
+	}
 
 	if mx != nil && *csvPath != "" {
 		if err := writeFile(*csvPath, func(w io.Writer) error { return mx.WriteCSV(w, sim.Depths) }); err != nil {

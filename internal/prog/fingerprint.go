@@ -1,0 +1,44 @@
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of everything that affects
+// execution: the program name, entry point, data base, instruction text and
+// data image. The symbol table is deliberately excluded — symbols are debug
+// metadata and their map order is not deterministic. Two programs with equal
+// fingerprints produce identical dynamic traces, which is the contract the
+// trace format and the simulation trace store key on.
+func (p *Program) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	writeU64(uint64(len(p.Name)))
+	h.Write([]byte(p.Name))
+	writeU64(uint64(p.Entry))
+	writeU64(p.DataBase)
+	writeU64(uint64(len(p.Text)))
+	for _, in := range p.Text {
+		hi, lo := in.Encode()
+		writeU64(hi)
+		writeU64(lo)
+	}
+	writeU64(uint64(len(p.Data)))
+	h.Write(p.Data)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FingerprintHex returns Fingerprint as a hex string, convenient for cache
+// keys and file names.
+func (p *Program) FingerprintHex() string {
+	fp := p.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}

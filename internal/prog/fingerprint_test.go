@@ -1,0 +1,61 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func fpProg() *Program {
+	return &Program{
+		Name:     "fp",
+		Text:     []isa.Inst{{Op: isa.OpLi, Rd: 1, Imm: 7}, {Op: isa.OpHalt}},
+		Data:     []byte{1, 2, 3},
+		DataBase: DefaultDataBase,
+		Symbols:  map[string]uint64{"a": 1, "b": 2, "c": 3},
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpProg(), fpProg()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical programs produced different fingerprints")
+	}
+	if a.FingerprintHex() != b.FingerprintHex() {
+		t.Error("hex fingerprints differ")
+	}
+	if len(a.FingerprintHex()) != 64 {
+		t.Errorf("hex fingerprint length %d", len(a.FingerprintHex()))
+	}
+}
+
+func TestFingerprintCoversExecutionState(t *testing.T) {
+	base := fpProg().Fingerprint()
+	mut := fpProg()
+	mut.Text[0].Imm = 8
+	if mut.Fingerprint() == base {
+		t.Error("text change did not change the fingerprint")
+	}
+	mut = fpProg()
+	mut.Data[0] = 9
+	if mut.Fingerprint() == base {
+		t.Error("data change did not change the fingerprint")
+	}
+	mut = fpProg()
+	mut.Entry = 1
+	if mut.Fingerprint() == base {
+		t.Error("entry change did not change the fingerprint")
+	}
+	mut = fpProg()
+	mut.DataBase++
+	if mut.Fingerprint() == base {
+		t.Error("data base change did not change the fingerprint")
+	}
+	// Symbols are debug metadata: they must NOT perturb the fingerprint
+	// (and being a map, they could not be hashed deterministically anyway).
+	mut = fpProg()
+	mut.Symbols["zzz"] = 99
+	if mut.Fingerprint() != base {
+		t.Error("symbol change altered the fingerprint")
+	}
+}

@@ -80,8 +80,9 @@ func Simulate(spec Spec) (Result, error) {
 }
 
 // Engine runs batches of specs on a bounded worker pool, optionally backed
-// by a persistent result cache. The zero value is usable: GOMAXPROCS
-// workers, no cache.
+// by a persistent result cache and a record-once/replay-many trace store.
+// The zero value is usable: GOMAXPROCS workers, no cache, live-VM
+// execution.
 type Engine struct {
 	// Workers bounds concurrent simulations (and goroutine spawn);
 	// <= 0 means GOMAXPROCS.
@@ -89,6 +90,13 @@ type Engine struct {
 	// Cache, when non-nil, is consulted before simulating and updated
 	// after every successful run.
 	Cache *Cache
+	// Traces, when non-nil, supplies each benchmark's correct-path
+	// dynamic stream from a shared recorded trace instead of a private
+	// functional-VM run, so N configurations of one benchmark cost one VM
+	// execution plus N timing replays. Replayed statistics are identical
+	// to live-VM statistics (the determinism contract the result cache
+	// already relies on; see TestTraceStoreMatchesLiveSimulation).
+	Traces *TraceStore
 
 	simulated atomic.Int64
 	cacheHits atomic.Int64
@@ -112,7 +120,7 @@ func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
 			return Result{Spec: spec, Stats: st}, nil, nil
 		}
 	}
-	res, simErr = Simulate(spec)
+	res, simErr = e.simulate(spec)
 	if simErr != nil {
 		return Result{}, simErr, nil
 	}
@@ -123,6 +131,35 @@ func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
 		}
 	}
 	return res, nil, cacheErr
+}
+
+// simulate executes one spec, through the trace store when the engine has
+// one: the store yields the benchmark's shared decoded trace (recording it
+// on first request) and only the timing model runs per spec.
+func (e *Engine) simulate(spec Spec) (Result, error) {
+	if e.Traces == nil {
+		return Simulate(spec)
+	}
+	b, ok := workload.Lookup(spec.Bench)
+	if !ok {
+		return Result{}, fmt.Errorf("sim: %s: unknown benchmark %q", spec, spec.Bench)
+	}
+	cfg := spec.Config()
+	dec, err := e.Traces.Get(b.Prog, cfg.MaxInsts)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+	}
+	eng, err := cpu.NewEngine(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+	}
+	// Replay against the trace's own program instance so the cursor's
+	// decoded instructions and the engine's wrong-path text agree.
+	st, err := eng.RunSource(dec.Prog(), dec.Cursor())
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+	}
+	return Result{Spec: spec, Stats: st}, nil
 }
 
 // Run executes the given specs on the worker pool and returns the results

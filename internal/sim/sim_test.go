@@ -84,15 +84,68 @@ func TestSimulateUnknownBenchErrors(t *testing.T) {
 	}
 }
 
+// TestMatrixLookup pins Lookup's behaviour on a deliberately partial grid:
+// only (gcc, 20, baseline) and (li, 40, arvi-current) are populated, and
+// every other combination of known and unknown coordinates must miss
+// without panicking.
 func TestMatrixLookup(t *testing.T) {
-	mx := smallMatrix(t, []string{"gcc"}, []int{20}, []cpu.PredMode{cpu.PredBaseline2Lvl})
-	if _, ok := mx.Lookup("gcc", 20, cpu.PredBaseline2Lvl); !ok {
-		t.Error("populated cell not found")
+	var mx Matrix
+	for _, s := range []Spec{
+		{Bench: "gcc", Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 2000},
+		{Bench: "li", Depth: 40, Mode: cpu.PredARVICurrent, MaxInsts: 2000},
+	} {
+		r, err := Simulate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx.Add(r)
 	}
-	if _, ok := mx.Lookup("li", 20, cpu.PredBaseline2Lvl); ok {
-		t.Error("missing cell reported present")
+	if mx.Len() != 2 {
+		t.Fatalf("Len = %d", mx.Len())
 	}
-	if mx.Len() != 1 {
+	cases := []struct {
+		name  string
+		bench string
+		depth int
+		mode  cpu.PredMode
+		ok    bool
+	}{
+		{"populated cell", "gcc", 20, cpu.PredBaseline2Lvl, true},
+		{"second populated cell", "li", 40, cpu.PredARVICurrent, true},
+		{"right bench, wrong depth", "gcc", 40, cpu.PredBaseline2Lvl, false},
+		{"right bench, wrong mode", "gcc", 20, cpu.PredARVICurrent, false},
+		{"cross of two populated cells", "li", 20, cpu.PredBaseline2Lvl, false},
+		{"bench absent from grid", "perl", 20, cpu.PredBaseline2Lvl, false},
+		{"unknown bench", "nosuch", 20, cpu.PredBaseline2Lvl, false},
+		{"empty bench", "", 20, cpu.PredBaseline2Lvl, false},
+		{"depth never simulated", "gcc", 60, cpu.PredBaseline2Lvl, false},
+		{"nonsense depth", "gcc", -1, cpu.PredBaseline2Lvl, false},
+		{"nonsense mode", "gcc", 20, cpu.PredMode(99), false},
+	}
+	for _, c := range cases {
+		st, ok := mx.Lookup(c.bench, c.depth, c.mode)
+		if ok != c.ok {
+			t.Errorf("%s: Lookup(%q, %d, %v) ok = %v, want %v",
+				c.name, c.bench, c.depth, c.mode, ok, c.ok)
+			continue
+		}
+		if ok && st.Insts == 0 {
+			t.Errorf("%s: populated cell has empty stats", c.name)
+		}
+		if !ok && st != (cpu.Stats{}) {
+			t.Errorf("%s: miss returned non-zero stats %+v", c.name, st)
+		}
+	}
+}
+
+// TestMatrixLookupZeroValue: the zero Matrix (no Add ever called, nil map)
+// must miss cleanly, matching the partial-grid contract.
+func TestMatrixLookupZeroValue(t *testing.T) {
+	var mx Matrix
+	if _, ok := mx.Lookup("gcc", 20, cpu.PredBaseline2Lvl); ok {
+		t.Error("zero-value matrix reported a populated cell")
+	}
+	if mx.Len() != 0 {
 		t.Errorf("Len = %d", mx.Len())
 	}
 }

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// DefaultTraceMemBudget bounds the decoded traces a TraceStore keeps
+// resident: 256 MiB ≈ 8M decoded events, comfortably the full suite at the
+// default instruction budget.
+const DefaultTraceMemBudget = 256 << 20
+
+// TraceStore records each program's correct-path dynamic stream once and
+// serves it to every simulation that asks, so a (bench × depth × mode)
+// sweep runs the functional VM once per benchmark instead of once per
+// cell. It is the trace-tier sibling of the result Cache:
+//
+//   - Entries are keyed by program fingerprint + instruction budget, the
+//     two inputs that fully determine a correct-path trace.
+//   - The first Get for a key records (or loads from disk) under a
+//     per-key singleflight; concurrent requesters block on that one
+//     recording instead of racing their own.
+//   - Decoded traces are immutable in memory; any number of worker
+//     goroutines replay one concurrently through private cursors.
+//   - Resident decoded traces are bounded by a memory budget with LRU
+//     eviction, so sweeps over many distinct programs or budgets do not
+//     grow without bound. Evicted traces stay valid for replayers already
+//     holding them (they hold the slice; the store merely drops its ref).
+//   - With a backing directory, recorded traces persist on disk
+//     (atomically, self-healing on corruption) and later runs — or other
+//     processes — reload them instead of re-executing the VM.
+type TraceStore struct {
+	dir       string // "" = memory-only
+	memBudget int64
+
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	memUsed int64
+	tick    int64
+
+	recorded    atomic.Int64
+	memHits     atomic.Int64
+	diskHits    atomic.Int64
+	persistErrs atomic.Int64
+}
+
+// traceKey identifies one recorded stream: the program's content
+// fingerprint and the instruction budget it was recorded to.
+type traceKey struct {
+	fp     string
+	budget int64
+}
+
+// traceEntry is one resident (or in-flight) decoded trace. dec and err are
+// published by closing ready; bytes, lastUse and done are guarded by the
+// store mutex.
+type traceEntry struct {
+	ready   chan struct{}
+	dec     *trace.Decoded
+	err     error
+	bytes   int64
+	lastUse int64
+	done    bool
+}
+
+// OpenTraceStore opens a trace store backed by dir (created if needed;
+// empty for a memory-only store) holding at most memBudget bytes of
+// decoded trace resident (<= 0 selects DefaultTraceMemBudget).
+func OpenTraceStore(dir string, memBudget int64) (*TraceStore, error) {
+	if memBudget <= 0 {
+		memBudget = DefaultTraceMemBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("sim: open trace store: %w", err)
+		}
+	}
+	return &TraceStore{
+		dir:       dir,
+		memBudget: memBudget,
+		entries:   make(map[traceKey]*traceEntry),
+	}, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only store).
+func (s *TraceStore) Dir() string { return s.dir }
+
+// Recorded reports how many times the store actually executed the
+// functional VM — the number every other request amortises away.
+func (s *TraceStore) Recorded() int64 { return s.recorded.Load() }
+
+// MemHits reports requests served from a resident decoded trace
+// (including waiters coalesced onto an in-flight recording).
+func (s *TraceStore) MemHits() int64 { return s.memHits.Load() }
+
+// DiskHits reports requests served by decoding a previously persisted
+// trace file.
+func (s *TraceStore) DiskHits() int64 { return s.diskHits.Load() }
+
+// PersistErrs reports best-effort disk writes that failed; the traces
+// stayed served from memory.
+func (s *TraceStore) PersistErrs() int64 { return s.persistErrs.Load() }
+
+// Entries reports how many decoded traces are currently resident.
+func (s *TraceStore) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// MemUsed reports the bytes of decoded trace currently resident.
+func (s *TraceStore) MemUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memUsed
+}
+
+// Path returns the on-disk location for a program/budget pair (even when
+// the store is memory-only and will never write it).
+func (s *TraceStore) Path(p *prog.Program, budget int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%d.trc", p.FingerprintHex(), budget))
+}
+
+// Get returns the decoded correct-path trace of p at the given instruction
+// budget (0 = to halt), recording it on first request. The returned
+// Decoded is shared and read-only: replay it through Decoded.Cursor.
+func (s *TraceStore) Get(p *prog.Program, budget int64) (*trace.Decoded, error) {
+	key := traceKey{fp: p.FingerprintHex(), budget: budget}
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.tick++
+		e.lastUse = s.tick
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		s.memHits.Add(1)
+		return e.dec, nil
+	}
+	e := &traceEntry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.dec, e.err = s.acquire(p, budget)
+	close(e.ready)
+
+	s.mu.Lock()
+	if e.err != nil {
+		// Do not poison the key: a transient failure (unreadable disk,
+		// VM fault in a since-fixed program) retries on the next Get.
+		delete(s.entries, key)
+	} else {
+		e.bytes = e.dec.MemBytes()
+		e.done = true
+		s.tick++
+		e.lastUse = s.tick
+		s.memUsed += e.bytes
+		s.evictLocked(key)
+	}
+	s.mu.Unlock()
+	return e.dec, e.err
+}
+
+// acquire produces the decoded trace from disk if possible, else by
+// running the functional VM once (persisting the result best-effort).
+func (s *TraceStore) acquire(p *prog.Program, budget int64) (*trace.Decoded, error) {
+	path := s.Path(p, budget)
+	if s.dir != "" {
+		if f, err := os.Open(path); err == nil {
+			dec, derr := trace.Decode(p, f)
+			f.Close()
+			if derr == nil {
+				s.diskHits.Add(1)
+				return dec, nil
+			}
+			// Corrupt, truncated or foreign file under our name: remove it
+			// and fall through to a fresh recording (self-heal, like the
+			// result cache).
+			os.Remove(path)
+		}
+	}
+	s.recorded.Add(1)
+	dec, err := trace.RecordAll(p, budget)
+	if err != nil {
+		// No "sim:" prefix: Engine.simulate wraps this with the full spec.
+		return nil, fmt.Errorf("recording trace of %q: %w", p.Name, err)
+	}
+	if s.dir != "" {
+		if err := s.persist(dec, path); err != nil {
+			s.persistErrs.Add(1) // non-fatal: the trace serves from memory
+		}
+	}
+	return dec, nil
+}
+
+// persist writes the trace atomically (temp file + rename), so a crash
+// leaves either a complete file or none.
+func (s *TraceStore) persist(dec *trace.Decoded, path string) error {
+	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := dec.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// evictLocked drops least-recently-used completed traces until the
+// resident set fits the budget. The just-finished key is exempt — evicting
+// what the caller is about to use would thrash. Callers already holding an
+// evicted Decoded are unaffected; the store only forgets its own
+// reference. Must be called with s.mu held.
+func (s *TraceStore) evictLocked(keep traceKey) {
+	for s.memUsed > s.memBudget {
+		var victimKey traceKey
+		var victim *traceEntry
+		for k, e := range s.entries {
+			if !e.done || k == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return // nothing evictable (only in-flight entries or keep)
+		}
+		delete(s.entries, victimKey)
+		s.memUsed -= victim.bytes
+	}
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+const storeLoopSrc = `
+    .data
+tab: .word 4, 7, 1, 9
+    .text
+main:
+    li  r1, 0
+    li  r2, 600
+loop:
+    andi r3, r1, 3
+    slli r3, r3, 3
+    lw  r4, tab(r3)
+    add r5, r5, r4
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+`
+
+const storeLoop2Src = `
+    .text
+main:
+    li  r1, 0
+    li  r2, 600
+loop:
+    addi r1, r1, 1
+    xori r6, r1, 5
+    add r5, r5, r6
+    bne r1, r2, loop
+    halt
+`
+
+func memStore(t *testing.T, budget int64) *TraceStore {
+	t.Helper()
+	s, err := OpenTraceStore("", budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTraceStoreMatchesLiveSimulation is the determinism contract of the
+// whole trace tier: for every workload, simulating through a recorded
+// trace must produce statistics identical to a live functional-VM run.
+func TestTraceStoreMatchesLiveSimulation(t *testing.T) {
+	store := memStore(t, 0)
+	eng := &Engine{Traces: store}
+	const budget = 4000
+	for _, name := range workload.Names {
+		spec := Spec{Bench: name, Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: budget}
+		live, err := Simulate(spec)
+		if err != nil {
+			t.Fatalf("%s: live: %v", name, err)
+		}
+		traced, err := eng.simulate(spec)
+		if err != nil {
+			t.Fatalf("%s: traced: %v", name, err)
+		}
+		if live.Stats != traced.Stats {
+			t.Errorf("%s: replayed stats diverged from live:\nlive   %+v\nreplay %+v",
+				name, live.Stats, traced.Stats)
+		}
+	}
+	if got := store.Recorded(); got != int64(len(workload.Names)) {
+		t.Errorf("recorded %d traces, want %d", got, len(workload.Names))
+	}
+}
+
+// TestRunMatrixExecutesEachBenchmarkOnce is the acceptance criterion for
+// the trace tier: a sweep with several predictor modes per benchmark runs
+// the functional VM exactly once per benchmark, and every replayed cell
+// matches a live simulation bit for bit.
+func TestRunMatrixExecutesEachBenchmarkOnce(t *testing.T) {
+	store := memStore(t, 0)
+	eng := &Engine{Traces: store}
+	benches := []string{"gcc", "li"}
+	depths := []int{20, 40}
+	modes := []cpu.PredMode{cpu.PredBaseline2Lvl, cpu.PredARVICurrent, cpu.PredARVIPerfect}
+	const budget = 3000
+
+	mx, err := eng.RunMatrix(benches, depths, modes, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Len() != len(benches)*len(depths)*len(modes) {
+		t.Fatalf("matrix cells = %d", mx.Len())
+	}
+	if got := store.Recorded(); got != int64(len(benches)) {
+		t.Errorf("functional VM executed %d times for %d benchmarks", got, len(benches))
+	}
+	for _, b := range benches {
+		for _, d := range depths {
+			for _, m := range modes {
+				live, err := Simulate(Spec{Bench: b, Depth: d, Mode: m, MaxInsts: budget})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok := mx.Lookup(b, d, m)
+				if !ok {
+					t.Fatalf("missing cell %s/%d/%v", b, d, m)
+				}
+				if got != live.Stats {
+					t.Errorf("%s/%d/%v: replay != live", b, d, m)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceStoreSingleflight(t *testing.T) {
+	store := memStore(t, 0)
+	p := asm.MustAssemble("sf", storeLoopSrc)
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := store.Get(p, 2000); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if store.Recorded() != 1 {
+		t.Errorf("recorded %d times under concurrent demand, want 1", store.Recorded())
+	}
+	if store.Entries() != 1 {
+		t.Errorf("entries = %d", store.Entries())
+	}
+}
+
+func TestTraceStoreKeyedByBudgetAndProgram(t *testing.T) {
+	store := memStore(t, 0)
+	a := asm.MustAssemble("a", storeLoopSrc)
+	b := asm.MustAssemble("b", storeLoop2Src)
+	da, err := store.Get(a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Get(b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da == db {
+		t.Error("different programs shared one trace")
+	}
+	d2, err := store.Get(a, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == da {
+		t.Error("different budgets shared one trace")
+	}
+	if d2.Len() != 2000 || da.Len() != 1000 {
+		t.Errorf("lens = %d, %d", d2.Len(), da.Len())
+	}
+	if store.Recorded() != 3 {
+		t.Errorf("recorded = %d, want 3", store.Recorded())
+	}
+	// Same program re-assembled (new pointer, same content) is a hit.
+	again, err := store.Get(asm.MustAssemble("a", storeLoopSrc), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != da {
+		t.Error("content-identical program missed the store")
+	}
+	if store.MemHits() == 0 {
+		t.Error("no memory hits counted")
+	}
+}
+
+func TestTraceStoreLRUEviction(t *testing.T) {
+	// Budget fits one 1000-event trace but not two.
+	store := memStore(t, 40_000)
+	a := asm.MustAssemble("a", storeLoopSrc)
+	b := asm.MustAssemble("b", storeLoop2Src)
+	da, err := store.Get(a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(b, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if store.Entries() != 1 {
+		t.Errorf("entries after eviction = %d, want 1", store.Entries())
+	}
+	if store.MemUsed() > 40_000 {
+		t.Errorf("resident %d bytes over budget", store.MemUsed())
+	}
+	// The evicted trace is still fully usable by its holder.
+	if da.Len() != 1000 {
+		t.Errorf("evicted trace lost events: %d", da.Len())
+	}
+	// Re-requesting the evicted program re-records (memory-only store).
+	if _, err := store.Get(a, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if store.Recorded() != 3 {
+		t.Errorf("recorded = %d, want 3 (a, b, a-again)", store.Recorded())
+	}
+}
+
+func TestTraceStoreDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	p := asm.MustAssemble("disk", storeLoopSrc)
+
+	s1, err := OpenTraceStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := s1.Get(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Recorded() != 1 || s1.PersistErrs() != 0 {
+		t.Fatalf("recorded = %d, persistErrs = %d", s1.Recorded(), s1.PersistErrs())
+	}
+	if _, err := os.Stat(s1.Path(p, 1500)); err != nil {
+		t.Fatalf("trace file not persisted: %v", err)
+	}
+
+	// A fresh store (fresh process) loads from disk without running the VM.
+	s2, err := OpenTraceStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s2.Get(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Recorded() != 0 || s2.DiskHits() != 1 {
+		t.Errorf("recorded = %d, diskHits = %d; want 0, 1", s2.Recorded(), s2.DiskHits())
+	}
+	if d1.Len() != d2.Len() {
+		t.Errorf("disk round trip changed length: %d != %d", d1.Len(), d2.Len())
+	}
+}
+
+func TestTraceStoreSelfHealsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	p := asm.MustAssemble("heal", storeLoopSrc)
+	s, err := OpenTraceStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(p, 1000), []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := s.Get(p, 1000)
+	if err != nil {
+		t.Fatalf("corrupt file not healed: %v", err)
+	}
+	if dec.Len() != 1000 || s.Recorded() != 1 {
+		t.Errorf("len = %d, recorded = %d", dec.Len(), s.Recorded())
+	}
+	// The healed file now round-trips.
+	s2, _ := OpenTraceStore(dir, 0)
+	if _, err := s2.Get(p, 1000); err != nil || s2.DiskHits() != 1 {
+		t.Errorf("healed file unreadable: %v (diskHits %d)", err, s2.DiskHits())
+	}
+
+	// Corrupt the count field of the (valid) persisted file: the store
+	// must also re-record through that, not crash or serve a short trace.
+	path := s2.Path(p, 1000)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		raw[8+32+i] = 0xff // count field sits after magic+fingerprint
+	}
+	raw[8+32] = 0xfe // not the unknown-count sentinel
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := OpenTraceStore(dir, 0)
+	dec3, err := s3.Get(p, 1000)
+	if err != nil {
+		t.Fatalf("corrupt count not healed: %v", err)
+	}
+	if dec3.Len() != 1000 || s3.Recorded() != 1 {
+		t.Errorf("after count corruption: len = %d, recorded = %d", dec3.Len(), s3.Recorded())
+	}
+}
+
+func TestEngineWithCacheAndTraces(t *testing.T) {
+	// The two tiers compose: first run records once and simulates every
+	// cell; second run (fresh engine, same cache) touches neither the VM
+	// nor the timing model.
+	cacheDir := t.TempDir()
+	c, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := memStore(t, 0)
+	modes := []cpu.PredMode{cpu.PredBaseline2Lvl, cpu.PredARVICurrent, cpu.PredARVIPerfect}
+
+	e1 := &Engine{Cache: c, Traces: store}
+	if _, err := e1.RunMatrix([]string{"compress"}, []int{20}, modes, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if store.Recorded() != 1 || e1.Simulated() != int64(len(modes)) {
+		t.Errorf("cold run: recorded = %d, simulated = %d", store.Recorded(), e1.Simulated())
+	}
+
+	e2 := &Engine{Cache: c, Traces: memStore(t, 0)}
+	if _, err := e2.RunMatrix([]string{"compress"}, []int{20}, modes, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Traces.Recorded() != 0 || e2.Simulated() != 0 || e2.CacheHits() != int64(len(modes)) {
+		t.Errorf("warm run: recorded = %d, simulated = %d, cacheHits = %d",
+			e2.Traces.Recorded(), e2.Simulated(), e2.CacheHits())
+	}
+}
+
+func TestTraceStoreUnknownBenchStillErrors(t *testing.T) {
+	eng := &Engine{Traces: memStore(t, 0)}
+	if _, err := eng.simulate(Spec{Bench: "nosuch", Depth: 20}); err == nil {
+		t.Error("unknown benchmark must error through the trace path too")
+	}
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func TestRecordAllMatchesStreamedRecord(t *testing.T) {
+	p := asm.MustAssemble("loop", loopSrc)
+	dec, err := RecordAll(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Record(p, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != n {
+		t.Fatalf("decoded %d events, streamed %d", dec.Len(), n)
+	}
+	rd, err := NewReader(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := dec.Cursor()
+	var a, b vm.Event
+	for {
+		ea, eb := cur.Next(&a), rd.Next(&b)
+		if ea == io.EOF && eb == io.EOF {
+			break
+		}
+		if ea != nil || eb != nil {
+			t.Fatalf("cursor err %v, reader err %v", ea, eb)
+		}
+		if a != b {
+			t.Fatalf("event mismatch:\ncursor %+v\nreader %+v", a, b)
+		}
+	}
+}
+
+func TestDecodedWriteToRoundTrip(t *testing.T) {
+	p := asm.MustAssemble("loop", loopSrc)
+	dec, err := RecordAll(p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := dec.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize) + dec.Len()*recordSize; n != want {
+		t.Errorf("WriteTo wrote %d bytes, want %d", n, want)
+	}
+
+	// The serialised form carries the exact count even though bytes.Buffer
+	// is not seekable.
+	rd, err := NewReader(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Len() != dec.Len() {
+		t.Errorf("header count %d, want %d", rd.Len(), dec.Len())
+	}
+
+	back, err := Decode(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != dec.Len() {
+		t.Fatalf("round trip lost events: %d != %d", back.Len(), dec.Len())
+	}
+	ca, cb := dec.Cursor(), back.Cursor()
+	var a, b vm.Event
+	for {
+		ea, eb := ca.Next(&a), cb.Next(&b)
+		if ea == io.EOF && eb == io.EOF {
+			break
+		}
+		if ea != nil || eb != nil || a != b {
+			t.Fatalf("round-trip divergence: %v %v\n%+v\n%+v", ea, eb, a, b)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongProgram(t *testing.T) {
+	a := asm.MustAssemble("a", "main:\n  li r1, 1\n  halt\n")
+	b := asm.MustAssemble("b", "main:\n  li r1, 2\n  halt\n")
+	var buf bytes.Buffer
+	if _, err := Record(a, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Decode accepted a trace of a different program")
+	}
+}
+
+// TestConcurrentCursorReplay drives many timing engines off one shared
+// Decoded simultaneously — the sharing model the sim trace store relies
+// on. Run under -race, this is the proof that replay is data-race free.
+func TestConcurrentCursorReplay(t *testing.T) {
+	b := workload.ByName("compress")
+	const budget = 8_000
+	dec, err := RecordAll(b.Prog, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := cpu.DefaultConfig(20, cpu.PredARVICurrent)
+	cfg.MaxInsts = budget
+	want, err := cpu.Run(b.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const replayers = 8
+	var wg sync.WaitGroup
+	got := make([]cpu.Stats, replayers)
+	errs := make([]error, replayers)
+	for i := 0; i < replayers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := cpu.NewEngine(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = eng.RunSource(b.Prog, dec.Cursor())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < replayers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("replayer %d: %v", i, errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("replayer %d diverged from live stats", i)
+		}
+	}
+}
+
+func TestDecodedMemBytes(t *testing.T) {
+	p := asm.MustAssemble("loop", loopSrc)
+	dec, err := RecordAll(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.MemBytes() != dec.Len()*recBytes {
+		t.Errorf("MemBytes = %d, want %d", dec.MemBytes(), dec.Len()*recBytes)
+	}
+	if dec.Prog() != p {
+		t.Error("Prog identity lost")
+	}
+}

@@ -50,6 +50,64 @@ func TestSuiteOrderMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestLookup pins Lookup's non-panicking contract for user-supplied names:
+// every suite member resolves to a built benchmark, everything else — the
+// empty string, case variants, whitespace, near-misses — reports !ok.
+func TestLookup(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"gcc", true},
+		{"compress", true},
+		{"go", true},
+		{"ijpeg", true},
+		{"li", true},
+		{"m88ksim", true},
+		{"perl", true},
+		{"vortex", true},
+		{"", false},
+		{"nosuch", false},
+		{"GCC", false},  // lookups are case-sensitive
+		{"gcc ", false}, // no trimming
+		{" li", false},
+		{"m88k", false}, // prefixes are not names
+		{"vortexx", false},
+		{"spec95", false},
+	}
+	for _, c := range cases {
+		b, ok := Lookup(c.name)
+		if ok != c.ok {
+			t.Errorf("Lookup(%q) ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if !c.ok {
+			if b.Prog != nil || b.Name != "" {
+				t.Errorf("Lookup(%q) returned a non-zero benchmark on miss: %+v", c.name, b)
+			}
+			continue
+		}
+		if b.Name != c.name {
+			t.Errorf("Lookup(%q).Name = %q", c.name, b.Name)
+		}
+		if b.Prog == nil {
+			t.Errorf("Lookup(%q) returned nil program", c.name)
+		} else if err := b.Prog.Validate(); err != nil {
+			t.Errorf("Lookup(%q) program invalid: %v", c.name, err)
+		}
+	}
+}
+
+// TestLookupCoversNames keeps Lookup and the Names list in sync: a
+// benchmark added to one but not the other breaks sweeps silently.
+func TestLookupCoversNames(t *testing.T) {
+	for _, n := range Names {
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("suite name %q not resolvable via Lookup", n)
+		}
+	}
+}
+
 func TestByNameUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
