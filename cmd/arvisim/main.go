@@ -40,7 +40,7 @@ func main() {
 	mode := flag.String("mode", "arvi-current", "predictor: baseline arvi-current arvi-loadback arvi-perfect")
 	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget")
 	cut := flag.Bool("cut-at-loads", false, "DDT chain ablation: cut chains at loads")
-	confTh := flag.Uint("conf-threshold", 0, "JRS confidence threshold override (0 = paper default)")
+	confTh := flag.Uint("conf-threshold", 0, "JRS confidence threshold override, 1-15 (0 = paper default, not threshold 0)")
 	jsonOut := flag.Bool("json", false, "emit the spec and raw stats as JSON instead of text")
 	cacheDir := flag.String("cache", "", "result cache directory shared with cmd/experiments (empty = no cache)")
 	traceDir := flag.String("trace-dir", "", "trace store directory shared with cmd/experiments (empty = no store)")
@@ -58,8 +58,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arvisim: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
-	if *confTh > 255 {
-		fmt.Fprintf(os.Stderr, "arvisim: conf-threshold %d out of range\n", *confTh)
+	if *confTh > 15 {
+		// The JRS counters are 4-bit: a larger threshold could never be
+		// reached and would silently veto every ARVI override.
+		fmt.Fprintf(os.Stderr, "arvisim: conf-threshold %d out of range (counters saturate at 15)\n", *confTh)
 		os.Exit(2)
 	}
 	if *record != "" && *replay != "" {

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -32,7 +33,8 @@ func main() {
 	for _, s := range steps {
 		e, err := d.Insert(s.tgt, s.srcs, s.isLoad)
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, "ddtviz:", err)
+			os.Exit(1)
 		}
 		fmt.Printf("\ninsert entry %d: %s\n", e, s.asm)
 		dump(d)

@@ -1,22 +1,27 @@
-// Command experiments regenerates every table and figure of the paper's
-// evaluation (Tables 2 and 4, Figures 5 and 6), the ablation sweeps
-// (confidence threshold, cut-at-loads) and the headline summary, writing
-// aligned text tables to stdout (or -out).
+// Command experiments regenerates every artifact of the paper's
+// evaluation: the Section 5 branch-prediction study (Tables 2 and 4,
+// Figures 5 and 6, ablation sweeps, headline summary) and the Section 3
+// applications — the SMT fetch-policy comparison over multi-program mixes
+// and the selective value-prediction ablation — writing aligned text
+// tables to stdout (or -out).
 //
 // Runs are resumable: results are cached on disk keyed by a content hash
-// of each cell's spec and machine configuration, so a second invocation —
-// after a crash, or with a larger grid — only simulates missing cells.
+// of each cell's full identity, so a second invocation — after a crash, or
+// with a larger grid — only simulates missing cells, and a warm re-run
+// renders byte-identical output without simulating at all.
 //
 // Usage:
 //
 //	experiments                 # everything, default budget, cache in .simcache
 //	experiments -n 500000       # bigger per-run instruction budget
 //	experiments -only fig6      # one artifact: table2 table4 fig5a fig5b fig6
-//	                            #   sweep-conf sweep-cut
+//	                            #   sweep-conf sweep-cut smt vpred
+//	experiments -only smt       # Section 3 SMT fetch-policy study
+//	experiments -only vpred     # Section 3 selective value prediction
 //	experiments -cache ""       # disable the result cache
 //	experiments -trace-dir ""   # keep traces in memory only (no .simtraces)
 //	experiments -no-traces      # one functional-VM run per cell (old behaviour)
-//	experiments -json out.json  # raw matrix export (also -csv out.csv)
+//	experiments -json out.json  # raw export of the selected study (also -csv)
 //
 // Each benchmark's correct-path stream is recorded once into the trace
 // store and replayed by every (depth × predictor) configuration, so a cold
@@ -34,6 +39,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/sim"
+	"repro/internal/smt"
 	"repro/internal/workload"
 )
 
@@ -42,19 +48,56 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// artifacts lists every -only value, in the order the default run renders
+// them.
+var artifacts = []string{
+	"table2", "table4", "fig5a", "fig5b", "fig6",
+	"sweep-conf", "sweep-cut", "smt", "vpred",
+}
+
+func validArtifact(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, a := range artifacts {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	n := flag.Int64("n", sim.DefaultMaxInsts, "dynamic instruction budget per run")
-	only := flag.String("only", "", "render one artifact: table2 table4 fig5a fig5b fig6 sweep-conf sweep-cut")
+	only := flag.String("only", "", "render one artifact: table2 table4 fig5a fig5b fig6 sweep-conf sweep-cut smt vpred")
 	outPath := flag.String("out", "", "write to this file instead of stdout")
-	csvPath := flag.String("csv", "", "additionally export the raw matrix as CSV")
-	jsonPath := flag.String("json", "", "additionally export the raw matrix (full stats) as JSON")
+	csvPath := flag.String("csv", "", "additionally export the selected study's raw grid as CSV")
+	jsonPath := flag.String("json", "", "additionally export the selected study's raw grid (full stats) as JSON")
 	cacheDir := flag.String("cache", ".simcache", "result cache directory (empty = no cache)")
 	traceDir := flag.String("trace-dir", ".simtraces", "trace store directory (empty = record+replay in memory only)")
 	noTraces := flag.Bool("no-traces", false, "disable the trace store: every cell runs its own functional VM")
 	traceMem := flag.Int64("trace-mem", 0, "resident decoded-trace budget in MiB (0 = default)")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	sweepDepth := flag.Int("sweep-depth", 20, "pipeline depth for the ablation sweeps")
+	smtCycles := flag.Int64("smt-cycles", smt.DefaultConfig().MaxCycles, "cycle budget per SMT fetch-policy run (>= 1)")
+	depThreshold := flag.Int("dep-threshold", sim.DefaultVPredParams(0).DepThreshold,
+		"DDT dependent-count cut for the selective value-prediction cells (>= 1)")
 	flag.Parse()
+
+	if !validArtifact(*only) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (valid: %v)\n", *only, artifacts)
+		os.Exit(2)
+	}
+	if *smtCycles <= 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -smt-cycles %d out of range (need >= 1)\n", *smtCycles)
+		os.Exit(2)
+	}
+	if *depThreshold <= 0 {
+		// Threshold 0 would make the "selective" cells identical to the
+		// all-instructions cells, silently collapsing the ablation.
+		fmt.Fprintf(os.Stderr, "experiments: -dep-threshold %d out of range (need >= 1)\n", *depThreshold)
+		os.Exit(2)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -71,14 +114,19 @@ func main() {
 			fail(err)
 		}
 	}
+	// want reports whether the artifact is part of this invocation.
+	want := func(name string) bool { return *only == "" || *only == name }
 
-	if *only == "table2" || *only == "" {
+	if want("table2") {
 		emit(sim.Table2())
 	}
-	if *only == "table4" || *only == "" {
+	if want("table4") {
 		emit(sim.Table4())
 	}
 	if *only == "table2" || *only == "table4" {
+		if *csvPath != "" || *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -csv/-json export a study grid; nothing to export with -only", *only)
+		}
 		return
 	}
 
@@ -99,11 +147,7 @@ func main() {
 	}
 
 	start := time.Now()
-	wantSweeps := *only == "" || *only == "sweep-conf" || *only == "sweep-cut"
-	wantMatrix := !wantSweeps || *only == ""
-	if !wantMatrix && (*csvPath != "" || *jsonPath != "") {
-		fmt.Fprintln(os.Stderr, "experiments: -csv/-json export the full matrix; ignored with -only", *only)
-	}
+	wantMatrix := want("fig5a") || want("fig5b") || want("fig6")
 
 	var mx *sim.Matrix
 	if wantMatrix {
@@ -119,19 +163,40 @@ func main() {
 	}
 
 	var confSweep, cutSweep *sim.SweepResult
-	if *only == "" || *only == "sweep-conf" {
+	if want("sweep-conf") {
 		s, err := eng.RunConfThresholdSweep(workload.Names, *sweepDepth, sim.DefaultConfThresholds, *n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
 		}
 		confSweep = s
 	}
-	if *only == "" || *only == "sweep-cut" {
+	if want("sweep-cut") {
 		s, err := eng.RunCutAtLoadsSweep(workload.Names, *sweepDepth, *n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
 		}
 		cutSweep = s
+	}
+
+	var smtGrid *sim.SMTGrid
+	if want("smt") {
+		cfg := smt.DefaultConfig()
+		cfg.MaxCycles = *smtCycles
+		g, err := eng.RunSMTGrid(workload.Mixes(), sim.SMTPolicies, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: some SMT cells failed:", err)
+		}
+		smtGrid = g
+	}
+	var vpredGrid *sim.VPredGrid
+	if want("vpred") {
+		params := sim.DefaultVPredParams(*n)
+		params.DepThreshold = *depThreshold
+		g, err := eng.RunVPredGrid(workload.Names, sim.VPredPredictors, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: some value-prediction cells failed:", err)
+		}
+		vpredGrid = g
 	}
 
 	fmt.Fprintf(os.Stderr, "experiments: done in %v (%d simulated, %d from cache)\n",
@@ -144,24 +209,42 @@ func main() {
 		}
 	}
 
-	if mx != nil && *csvPath != "" {
-		if err := writeFile(*csvPath, func(w io.Writer) error { return mx.WriteCSV(w, sim.Depths) }); err != nil {
-			fail(err)
+	// -csv/-json export the grid of the selected study: the SMT or vpred
+	// grid under -only smt/vpred, the branch-prediction matrix otherwise.
+	if *csvPath != "" || *jsonPath != "" {
+		var csvFn, jsonFn func(io.Writer) error
+		switch {
+		case *only == "smt":
+			csvFn = smtGrid.WriteCSV
+			jsonFn = smtGrid.WriteJSON
+		case *only == "vpred":
+			csvFn = vpredGrid.WriteCSV
+			jsonFn = vpredGrid.WriteJSON
+		case mx != nil:
+			csvFn = func(w io.Writer) error { return mx.WriteCSV(w, sim.Depths) }
+			jsonFn = func(w io.Writer) error { return mx.WriteJSON(w, sim.Depths) }
+		default:
+			fmt.Fprintln(os.Stderr, "experiments: -csv/-json export a study grid; nothing to export with -only", *only)
 		}
-	}
-	if mx != nil && *jsonPath != "" {
-		if err := writeFile(*jsonPath, func(w io.Writer) error { return mx.WriteJSON(w, sim.Depths) }); err != nil {
-			fail(err)
+		if csvFn != nil && *csvPath != "" {
+			if err := writeFile(*csvPath, csvFn); err != nil {
+				fail(err)
+			}
+		}
+		if jsonFn != nil && *jsonPath != "" {
+			if err := writeFile(*jsonPath, jsonFn); err != nil {
+				fail(err)
+			}
 		}
 	}
 
-	if *only == "fig5a" || *only == "" {
+	if want("fig5a") {
 		emit(sim.Fig5a(mx))
 	}
-	if *only == "fig5b" || *only == "" {
+	if want("fig5b") {
 		emit(sim.Fig5b(mx, 20))
 	}
-	if *only == "fig6" || *only == "" {
+	if want("fig6") {
 		for _, d := range sim.Depths {
 			emit(sim.Fig6Accuracy(mx, d))
 			t, _ := sim.Fig6IPC(mx, d)
@@ -196,6 +279,14 @@ func main() {
 	if cutSweep != nil {
 		emit(sim.SweepAccuracyTable(cutSweep))
 		emit(sim.SweepIPCTable(cutSweep))
+	}
+	if smtGrid != nil {
+		emit(sim.SMTThroughputTable(smtGrid))
+		emit(sim.SMTBalanceTable(smtGrid))
+	}
+	if vpredGrid != nil {
+		emit(sim.VPredAccuracyTable(vpredGrid))
+		emit(sim.VPredCoverageTable(vpredGrid))
 	}
 }
 

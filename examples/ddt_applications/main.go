@@ -31,7 +31,7 @@ func main() {
 	must := func(tgt core.PhysReg, srcs []core.PhysReg, isLoad bool) int {
 		e, err := d.Insert(tgt, srcs, isLoad)
 		if err != nil {
-			panic(err)
+			log.Fatal("ddt_applications: ", err)
 		}
 		return e
 	}

@@ -11,13 +11,16 @@ import (
 	"repro/internal/workload"
 )
 
-// updateGolden rewrites the golden-stats corpus from the current simulator:
+// updateGolden rewrites the golden corpora from the current simulator:
 //
-//	go test -run TestGoldenStats -update .
+//	go test -run TestGolden -update .        # all three corpora
+//	go test -run TestGoldenStats -update .   # branch prediction only
+//	go test -run TestGoldenSMT -update .     # SMT fetch policies only
+//	go test -run TestGoldenVPred -update .   # selective value prediction
 //
-// Do this only when a timing-model change is intentional; the diff of
-// testdata/golden_stats.json then documents exactly what moved.
-var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_stats.json")
+// Do this only when a model change is intentional; the diff of the
+// testdata/*.json corpus then documents exactly what moved.
+var updateGolden = flag.Bool("update", false, "rewrite the testdata/ golden corpora")
 
 const goldenPath = "testdata/golden_stats.json"
 
@@ -58,17 +61,7 @@ func TestGoldenStats(t *testing.T) {
 	got := computeGolden(t)
 
 	if *updateGolden {
-		b, err := json.MarshalIndent(got, "", " ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s", goldenPath)
+		writeGoldenFile(t, goldenPath, got)
 		return
 	}
 

@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vpred"
+	"repro/internal/workload"
+)
+
+const goldenVPredPath = "testdata/golden_vpred.json"
+
+// goldenVPredFile pins the selective value-prediction ablation at a fixed
+// small budget, per (benchmark × predictor × selection) cell. Regenerate
+// intentional changes with:
+//
+//	go test -run TestGoldenVPred -update .
+type goldenVPredFile struct {
+	Note   string                  `json:"note"`
+	Params sim.VPredParams         `json:"params"`
+	Stats  map[string]vpred.Result `json:"stats"` // "bench/predictor/all|sel" → result
+}
+
+func goldenVPredParams() sim.VPredParams {
+	return sim.DefaultVPredParams(20_000)
+}
+
+func vpredCellName(bench, predictor string, selective bool) string {
+	sel := "all"
+	if selective {
+		sel = "sel"
+	}
+	return fmt.Sprintf("%s/%s/%s", bench, predictor, sel)
+}
+
+func computeGoldenVPred(t *testing.T) goldenVPredFile {
+	t.Helper()
+	params := goldenVPredParams()
+	g := goldenVPredFile{
+		Note:   "regenerate with: go test -run TestGoldenVPred -update .",
+		Params: params,
+		Stats:  make(map[string]vpred.Result),
+	}
+	eng := &sim.Engine{}
+	grid, err := eng.RunVPredGrid(workload.Names, sim.VPredPredictors, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range workload.Names {
+		for _, p := range sim.VPredPredictors {
+			for _, sel := range []bool{false, true} {
+				st, ok := grid.Lookup(b, p, sel)
+				if !ok {
+					t.Fatalf("%s: missing cell", vpredCellName(b, p, sel))
+				}
+				g.Stats[vpredCellName(b, p, sel)] = st
+			}
+		}
+	}
+	return g
+}
+
+func TestGoldenVPred(t *testing.T) {
+	got := computeGoldenVPred(t)
+
+	if *updateGolden {
+		writeGoldenFile(t, goldenVPredPath, got)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenVPredPath)
+	if err != nil {
+		t.Fatalf("%v (generate it with: go test -run TestGoldenVPred -update .)", err)
+	}
+	var want goldenVPredFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if want.Params != got.Params {
+		t.Fatalf("golden config drifted: file %+v vs test %+v; -update after verifying",
+			want.Params, got.Params)
+	}
+	for name, g := range got.Stats {
+		w, ok := want.Stats[name]
+		if !ok {
+			t.Errorf("%s: missing from golden file; -update after verifying", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: stats drifted from golden corpus:\ngolden  %+v\ncurrent %+v\n"+
+				"If this change is intentional, regenerate with: go test -run TestGoldenVPred -update .",
+				name, w, g)
+		}
+	}
+	for name := range want.Stats {
+		if _, ok := got.Stats[name]; !ok {
+			t.Errorf("golden file has unknown cell %q", name)
+		}
+	}
+}

@@ -290,15 +290,26 @@ type Confidence struct {
 	Threshold uint8
 }
 
+// confidenceMax is the saturation value of the 4-bit JRS counters. A
+// threshold above it could never be reached, making High permanently
+// false — the estimator would silently veto every override.
+const confidenceMax = 15
+
 // NewConfidence builds a confidence estimator with entries (power of two),
-// 4-bit counters and the given high-confidence threshold.
+// 4-bit counters and the given high-confidence threshold. The threshold
+// must be reachable by the counters (at most 15); out-of-range values are
+// rejected instead of silently disabling high confidence.
 func NewConfidence(entries int, threshold uint8) (*Confidence, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		return nil, fmt.Errorf("bpred: confidence entries %d not a power of two", entries)
 	}
+	if threshold > confidenceMax {
+		return nil, fmt.Errorf("bpred: confidence threshold %d exceeds the 4-bit counter max %d",
+			threshold, confidenceMax)
+	}
 	return &Confidence{
 		table: make([]uint8, entries), mask: uint64(entries - 1),
-		max: 15, Threshold: threshold,
+		max: confidenceMax, Threshold: threshold,
 	}, nil
 }
 

@@ -69,6 +69,33 @@ func TestBimodalBadConfig(t *testing.T) {
 	}
 }
 
+// TestConfidenceThresholdRange pins the fix for silently-unreachable JRS
+// thresholds: a threshold above the 4-bit counter max of 15 would make
+// High permanently false, so NewConfidence must reject it.
+func TestConfidenceThresholdRange(t *testing.T) {
+	if _, err := NewConfidence(1024, 16); err == nil {
+		t.Error("threshold 16 exceeds the 4-bit counter max and must be rejected")
+	}
+	if _, err := NewConfidence(1024, 255); err == nil {
+		t.Error("threshold 255 must be rejected")
+	}
+	c, err := NewConfidence(1024, 15)
+	if err != nil {
+		t.Fatalf("threshold 15 is reachable and must be accepted: %v", err)
+	}
+	// The max threshold is actually attainable: 15 correct predictions
+	// saturate the counter and flip High.
+	for i := 0; i < 15; i++ {
+		if c.High(3, 0) {
+			t.Fatalf("high-confidence after only %d updates", i)
+		}
+		c.Update(3, 0, true)
+	}
+	if !c.High(3, 0) {
+		t.Error("saturated counter must reach the max threshold")
+	}
+}
+
 // trainAccuracy trains p on the pattern generator for n branches and
 // returns the accuracy over the final quarter.
 func trainAccuracy(p Predictor, n int, next func(i int, hist uint64) (pc uint64, taken bool)) float64 {

@@ -55,11 +55,15 @@ func (c *Cache) Key(spec Spec) string { return CacheKey(spec, spec.Config()) }
 // for tests and external tooling that wants to locate or invalidate
 // specific cells.
 func CacheKey(spec Spec, cfg cpu.Config) string {
-	id := struct {
+	return hashKey(struct {
 		Version     int
 		Bench       string
 		Fingerprint string
-	}{cacheVersion, spec.Bench, cfg.Fingerprint()}
+	}{cacheVersion, spec.Bench, cfg.Fingerprint()})
+}
+
+// hashKey hashes a plain identity value into a hex cache key.
+func hashKey(id any) string {
 	b, err := json.Marshal(id)
 	if err != nil {
 		panic(fmt.Sprintf("sim: cache key: %v", err)) // plain value struct
@@ -106,6 +110,11 @@ func (c *Cache) Put(spec Spec, st cpu.Stats) error {
 	if err != nil {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
+	return c.writeAtomic(key, b)
+}
+
+// writeAtomic lands an entry's bytes under its key via temp file + rename.
+func (c *Cache) writeAtomic(key string, b []byte) error {
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("sim: cache put: %w", err)
@@ -124,6 +133,76 @@ func (c *Cache) Put(spec Spec, st cpu.Stats) error {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	return nil
+}
+
+// studyEntry is the on-disk record of a non-bpred study cell. Like entry
+// it is self-describing: the kind, key and the study's full identity are
+// stored alongside the stats so a cache directory can be audited with jq
+// and Get can reject a file whose content does not match its name.
+type studyEntry struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Kind    string          `json:"kind"`
+	Study   json.RawMessage `json:"study"`
+	Stats   json.RawMessage `json:"stats"`
+}
+
+// GetStudy decodes the cached stats for the study into out, reporting
+// whether an intact entry was present. Corrupt or mismatched entries are
+// removed and reported as misses, matching Get's self-healing contract.
+// The error return covers key computation only (a study whose identity
+// cannot be marshalled), never disk state.
+func (c *Cache) GetStudy(s Study, out any) (bool, error) {
+	key, _, err := studyKey(s)
+	if err != nil {
+		return false, err
+	}
+	return c.getStudy(key, s.Kind(), out), nil
+}
+
+// getStudy is GetStudy with the key precomputed.
+func (c *Cache) getStudy(key, kind string, out any) bool {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	var e studyEntry
+	if err := json.Unmarshal(b, &e); err != nil ||
+		e.Version != cacheVersion || e.Key != key || e.Kind != kind {
+		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
+		os.Remove(c.path(key))
+		return false
+	}
+	if err := json.Unmarshal(e.Stats, out); err != nil {
+		os.Remove(c.path(key))
+		return false
+	}
+	return true
+}
+
+// PutStudy stores the study's stats with the same atomic-write guarantee
+// as Put.
+func (c *Cache) PutStudy(s Study, stats any) error {
+	key, id, err := studyKey(s)
+	if err != nil {
+		return err
+	}
+	return c.putStudy(key, s.Kind(), id, stats)
+}
+
+// putStudy is PutStudy with the key and marshalled identity precomputed.
+func (c *Cache) putStudy(key, kind string, id []byte, stats any) error {
+	st, err := json.Marshal(stats)
+	if err != nil {
+		return fmt.Errorf("sim: cache put %s: %w", kind, err)
+	}
+	b, err := json.MarshalIndent(studyEntry{
+		Version: cacheVersion, Key: key, Kind: kind, Study: id, Stats: st,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: cache put %s: %w", kind, err)
+	}
+	return c.writeAtomic(key, b)
 }
 
 // Len counts the entries currently on disk.

@@ -1,14 +1,20 @@
-// Package sim is the experiment harness: it runs (benchmark × pipeline
-// depth × predictor mode) simulations, in parallel, and renders the paper's
-// tables and figures from the results.
+// Package sim is the experiment harness for all of the paper's
+// applications: the ARVI branch-prediction matrix ((benchmark × pipeline
+// depth × predictor mode) cells, Section 5), the SMT fetch-policy study
+// ((mix × policy) cells, Section 3), and the selective value-prediction
+// ablation ((benchmark × predictor × selection) cells, Section 3). It
+// runs the cells in parallel and renders the paper's tables and figures
+// from the results.
 //
 // The package is organised around Engine, a cache-backed worker-pool
 // runner. An Engine bounds goroutine spawn to a fixed worker count, keeps
 // every completed result even when sibling runs fail (partial results plus
 // a joined error), and — when given a Cache — persists each cell's
-// statistics on disk keyed by a content hash of the Spec and the derived
-// cpu.Config, so an interrupted or enlarged sweep only simulates the cells
-// it has not seen before.
+// statistics on disk keyed by a content hash of the cell's full identity,
+// so an interrupted or enlarged sweep only simulates the cells it has not
+// seen before. Branch-prediction cells are identified by Spec (whose
+// identity is the derived cpu.Config fingerprint); the other applications
+// implement the Study interface and run through RunStudies.
 package sim
 
 import (
@@ -34,7 +40,12 @@ type Spec struct {
 	MaxInsts int64
 	// CutAtLoads selects the DDT chain-semantics ablation.
 	CutAtLoads bool
-	// ConfThreshold overrides the JRS threshold when non-zero.
+	// ConfThreshold overrides the JRS threshold when non-zero. Zero means
+	// "use the paper default" (cpu.DefaultConfig's 8), NOT "threshold 0";
+	// there is no way to request a literal threshold of zero, which would
+	// make every branch permanently high-confidence. Valid overrides are
+	// 1..15 (the 4-bit JRS counter maximum); larger values are rejected by
+	// the simulator (bpred.NewConfidence).
 	ConfThreshold uint8
 }
 
@@ -162,34 +173,43 @@ func (e *Engine) simulate(spec Spec) (Result, error) {
 	return Result{Spec: spec, Stats: st}, nil
 }
 
+// pool executes n independent jobs on the engine's bounded worker pool.
+// A worker slot is acquired *before* each goroutine is spawned, so a batch
+// of N jobs with W workers never holds more than W live goroutines. Every
+// study family (branch prediction, SMT, value prediction) funnels through
+// this one pool, so -workers bounds the whole process's concurrency.
+func (e *Engine) pool(n int, job func(i int)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{} // bound spawn, not just execution
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			job(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // Run executes the given specs on the worker pool and returns the results
 // of every spec that completed, in spec order. Unlike a fail-fast runner it
 // never discards finished work: when some specs fail, the completed
 // results are returned alongside the per-spec errors joined with
 // errors.Join. Cache persistence failures are joined into the error too,
 // but their results are completed simulations and stay in the result set.
-// A worker slot is acquired *before* each goroutine is spawned, so a batch
-// of N specs with W workers never holds more than W live goroutines.
 func (e *Engine) Run(specs []Spec) ([]Result, error) {
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	results := make([]Result, len(specs))
 	simErrs := make([]error, len(specs))
 	cacheErrs := make([]error, len(specs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, s := range specs {
-		sem <- struct{}{} // bound spawn, not just execution
-		wg.Add(1)
-		go func(i int, s Spec) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], simErrs[i], cacheErrs[i] = e.run(s)
-		}(i, s)
-	}
-	wg.Wait()
+	e.pool(len(specs), func(i int) {
+		results[i], simErrs[i], cacheErrs[i] = e.run(specs[i])
+	})
 	done := results[:0]
 	for i := range results {
 		if simErrs[i] == nil {
@@ -248,11 +268,28 @@ var Modes = []cpu.PredMode{
 // Depths lists the evaluated pipeline depths.
 var Depths = []int{20, 40, 60}
 
-// matrixKey indexes a result grid.
+// matrixKey indexes a result grid by the full spec identity (minus the
+// instruction budget, which is a per-matrix property). The ablation knobs
+// are part of the key: an ablated run (CutAtLoads, or an explicit
+// ConfThreshold override) occupies its own cell instead of silently
+// overwriting the baseline result at the same (bench, depth, mode)
+// coordinates.
 type matrixKey struct {
-	bench string
-	depth int
-	mode  cpu.PredMode
+	bench         string
+	depth         int
+	mode          cpu.PredMode
+	cutAtLoads    bool
+	confThreshold uint8
+}
+
+// specKey normalises a spec into its matrix cell identity. The threshold
+// is the *effective* one the run uses (Spec.Config resolves the 0-means-
+// default alias), so the matrix agrees with the cache on spec identity:
+// an explicit ConfThreshold equal to the paper default lands in the same
+// cell as the baseline spec, exactly as it shares the baseline's cache
+// entry.
+func specKey(s Spec) matrixKey {
+	return matrixKey{s.Bench, s.Depth, s.Mode, s.CutAtLoads, s.Config().ConfThreshold}
 }
 
 // Matrix holds a grid of results addressable by (bench, depth, mode). A
@@ -263,22 +300,32 @@ type Matrix struct {
 	MaxInsts int64
 }
 
-// Add inserts one completed result into the grid.
+// Add inserts one completed result into the grid, keyed by the result's
+// full spec identity; ablation cells coexist with their baseline siblings.
 func (m *Matrix) Add(r Result) {
 	if m.m == nil {
 		m.m = make(map[matrixKey]cpu.Stats)
 	}
-	m.m[matrixKey{r.Spec.Bench, r.Spec.Depth, r.Spec.Mode}] = r.Stats
+	m.m[specKey(r.Spec)] = r.Stats
 }
 
 // Len reports the number of populated cells.
 func (m *Matrix) Len() int { return len(m.m) }
 
-// Lookup returns the stats for one cell and whether it is populated.
-// Renderers use it so that partial grids (crashed or still-resuming
-// sweeps) degrade to "n/a" cells instead of panicking.
+// Lookup returns the stats for one non-ablated cell (CutAtLoads false,
+// default ConfThreshold) and whether it is populated. Renderers use it so
+// that partial grids (crashed or still-resuming sweeps) degrade to "n/a"
+// cells instead of panicking. Ablation cells are addressed with
+// LookupSpec.
 func (m *Matrix) Lookup(bench string, depth int, mode cpu.PredMode) (cpu.Stats, bool) {
-	st, ok := m.m[matrixKey{bench, depth, mode}]
+	st, ok := m.m[specKey(Spec{Bench: bench, Depth: depth, Mode: mode})]
+	return st, ok
+}
+
+// LookupSpec returns the stats for the cell with the spec's exact
+// identity, including the ablation knobs.
+func (m *Matrix) LookupSpec(s Spec) (cpu.Stats, bool) {
+	st, ok := m.m[specKey(s)]
 	return st, ok
 }
 

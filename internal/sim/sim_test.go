@@ -138,6 +138,60 @@ func TestMatrixLookup(t *testing.T) {
 	}
 }
 
+// TestMatrixAblationCellsDoNotCollide pins the fix for the silent
+// result-collision bug: adding an ablated result (CutAtLoads, or an
+// explicit ConfThreshold) at the same (bench, depth, mode) coordinates as
+// a baseline result must not overwrite the baseline cell.
+func TestMatrixAblationCellsDoNotCollide(t *testing.T) {
+	base := Spec{Bench: "gcc", Depth: 20, Mode: cpu.PredARVICurrent, MaxInsts: 2000}
+	cut := base
+	cut.CutAtLoads = true
+	conf := base
+	conf.ConfThreshold = 12
+
+	var mx Matrix
+	stats := make(map[string]cpu.Stats, 3)
+	for name, s := range map[string]Spec{"base": base, "cut": cut, "conf": conf} {
+		r, err := Simulate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[name] = r.Stats
+		mx.Add(r)
+	}
+	if mx.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 distinct cells (ablation runs collided)", mx.Len())
+	}
+	got, ok := mx.Lookup("gcc", 20, cpu.PredARVICurrent)
+	if !ok {
+		t.Fatal("baseline cell missing")
+	}
+	if got != stats["base"] {
+		t.Errorf("Lookup returned an ablated cell's stats:\nwant %+v\ngot  %+v", stats["base"], got)
+	}
+	for name, s := range map[string]Spec{"base": base, "cut": cut, "conf": conf} {
+		st, ok := mx.LookupSpec(s)
+		if !ok {
+			t.Errorf("%s: LookupSpec missed its own cell", name)
+			continue
+		}
+		if st != stats[name] {
+			t.Errorf("%s: LookupSpec returned wrong stats", name)
+		}
+	}
+	// The matrix agrees with the cache on spec identity: an explicit
+	// ConfThreshold equal to the paper default is the same run (and the
+	// same cache entry) as the baseline, so it is the same matrix cell.
+	alias := base
+	alias.ConfThreshold = base.Config().ConfThreshold
+	if alias.Config() != base.Config() {
+		t.Fatal("test premise broken: explicit default threshold derives a different config")
+	}
+	if st, ok := mx.LookupSpec(alias); !ok || st != stats["base"] {
+		t.Errorf("explicit-default-threshold alias did not resolve to the baseline cell (ok=%v)", ok)
+	}
+}
+
 // TestMatrixLookupZeroValue: the zero Matrix (no Add ever called, nil map)
 // must miss cleanly, matching the partial-grid contract.
 func TestMatrixLookupZeroValue(t *testing.T) {

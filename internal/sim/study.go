@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Study is one cache-keyable experiment cell of any of the paper's
+// applications. The branch-prediction Spec predates this interface and
+// keeps its dedicated path (it additionally threads through the trace
+// store); the SMT fetch-policy and selective value-prediction studies run
+// through RunStudies, sharing the Engine's worker pool, result cache, and
+// partial-result contract.
+//
+// A Study is a pure value: two studies with equal identities must simulate
+// to equal stats (the determinism contract the cache relies on).
+type Study interface {
+	// Kind names the study family (e.g. "smt", "vpred") and namespaces
+	// its cache entries, so two families can never alias a key.
+	Kind() string
+	// String names the run for error messages and logs.
+	String() string
+	// Identity returns a plain JSON-marshalable value that fully
+	// determines the study's output. It is hashed into the cache key, so
+	// it must cover every knob that could change the stats — including
+	// the content identity of the programs simulated.
+	Identity() any
+	// Simulate executes the study and returns its stats. The value must
+	// JSON round-trip losslessly: a cache hit returns the decoded form
+	// and warm re-runs must render byte-identical artifacts.
+	Simulate() (any, error)
+}
+
+// StudyResult pairs a study with its (simulated or cache-decoded) stats.
+type StudyResult[S Study, R any] struct {
+	Study S
+	Stats R
+}
+
+// RunStudies executes the studies on the engine's worker pool with the
+// same partial-result contract as Engine.Run: every study that completed
+// is returned, in study order, and per-study failures are joined with
+// errors.Join. When the engine has a cache, a study whose entry is present
+// decodes it instead of simulating, and every fresh result is persisted; a
+// persistence failure joins the error but never discards the computed
+// result. R is the concrete stats type the studies' Simulate returns.
+func RunStudies[S Study, R any](e *Engine, studies []S) ([]StudyResult[S, R], error) {
+	results := make([]StudyResult[S, R], len(studies))
+	simErrs := make([]error, len(studies))
+	cacheErrs := make([]error, len(studies))
+	e.pool(len(studies), func(i int) {
+		results[i].Study = studies[i]
+		results[i].Stats, simErrs[i], cacheErrs[i] = runStudy[R](e, studies[i])
+	})
+	done := results[:0]
+	for i := range results {
+		if simErrs[i] == nil {
+			done = append(done, results[i])
+		}
+	}
+	return done, errors.Join(append(simErrs, cacheErrs...)...)
+}
+
+// runStudy executes one study through the cache. Mirrors Engine.run: a
+// cache persistence failure is reported separately because the simulated
+// result is still valid. The study's identity is marshalled and hashed
+// exactly once per cell; the lookup and the write-back reuse it.
+func runStudy[R any](e *Engine, s Study) (stats R, simErr, cacheErr error) {
+	var key string
+	var id []byte
+	if e.Cache != nil {
+		var err error
+		key, id, err = studyKey(s)
+		if err != nil {
+			simErr = err
+			return
+		}
+		if e.Cache.getStudy(key, s.Kind(), &stats) {
+			e.cacheHits.Add(1)
+			return
+		}
+	}
+	v, err := s.Simulate()
+	if err != nil {
+		simErr = fmt.Errorf("sim: %s %s: %w", s.Kind(), s, err)
+		return
+	}
+	r, ok := v.(R)
+	if !ok {
+		simErr = fmt.Errorf("sim: %s %s: Simulate returned %T, runner expects %T", s.Kind(), s, v, stats)
+		return
+	}
+	stats = r
+	e.simulated.Add(1)
+	if e.Cache != nil {
+		if err := e.Cache.putStudy(key, s.Kind(), id, stats); err != nil {
+			cacheErr = fmt.Errorf("sim: cache %s %s (result kept): %w", s.Kind(), s, err)
+		}
+	}
+	return stats, nil, cacheErr
+}
+
+// studyKey computes a study's cache key and returns the marshalled
+// identity alongside it, so callers that need both (the lookup/write-back
+// cycle) marshal the identity once.
+func studyKey(s Study) (key string, id []byte, err error) {
+	id, err = json.Marshal(s.Identity())
+	if err != nil {
+		return "", nil, fmt.Errorf("sim: study key %s %s: %w", s.Kind(), s, err)
+	}
+	return hashKey(struct {
+		Version  int
+		Kind     string
+		Identity json.RawMessage
+	}{cacheVersion, s.Kind(), id}), id, nil
+}
+
+// StudyKey computes the content-hash cache key for a study: a hex SHA-256
+// over the cache format version, the study kind, and the JSON encoding of
+// the study's identity. Exposed for tests and external tooling that wants
+// to locate or invalidate specific cells.
+func StudyKey(s Study) (string, error) {
+	key, _, err := studyKey(s)
+	return key, err
+}

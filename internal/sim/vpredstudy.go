@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/vpred"
+	"repro/internal/workload"
+)
+
+// VPredPredictors lists the evaluated value-predictor families in
+// presentation order.
+var VPredPredictors = []string{"last-value", "stride"}
+
+// VPredParams bundles the knobs shared by every cell of a selective
+// value-prediction ablation.
+type VPredParams struct {
+	// Entries sizes the predictor table (power of two).
+	Entries int `json:"entries"`
+	// ConfMin is the predictor's confidence threshold.
+	ConfMin uint8 `json:"conf_min"`
+	// MaxInsts bounds the functional run (<= 0: run to halt).
+	MaxInsts int64 `json:"max_insts"`
+	// Window is the idealised in-flight window the DDT tracks.
+	Window int `json:"window"`
+	// DepThreshold is the criticality cut for the *selective* cells: an
+	// instruction is a candidate only when at least this many dependents
+	// accumulated on its DDT entry. The all-instructions cells use 0.
+	DepThreshold int `json:"dep_threshold"`
+}
+
+// DefaultVPredParams mirrors the Section 3 sketch: a 4K-entry predictor,
+// a 64-entry window, and prediction restricted to instructions with a
+// non-trivial dependence tail.
+func DefaultVPredParams(maxInsts int64) VPredParams {
+	return VPredParams{Entries: 4096, ConfMin: 2, MaxInsts: maxInsts, Window: 64, DepThreshold: 4}
+}
+
+// VPredStudy is one cell of the Section 3 selective value-prediction
+// ablation: one benchmark, one predictor family, predicting either every
+// value-producing instruction (Selective false) or only the DDT-critical
+// ones (Selective true, threshold Params.DepThreshold).
+type VPredStudy struct {
+	Bench     string
+	Predictor string
+	Selective bool
+	Params    VPredParams
+
+	// bench holds the pre-resolved benchmark (RunVPredGrid resolves each
+	// benchmark once and shares it across its predictor × selection
+	// cells). Nil means resolve on use, so hand-constructed studies stay
+	// valid.
+	bench *workload.Benchmark
+}
+
+// resolve returns the study's benchmark, preferring the pre-resolved one.
+func (s VPredStudy) resolve() (workload.Benchmark, bool) {
+	if s.bench != nil {
+		return *s.bench, true
+	}
+	return workload.Lookup(s.Bench)
+}
+
+// Kind implements Study.
+func (s VPredStudy) Kind() string { return "vpred" }
+
+// String implements Study.
+func (s VPredStudy) String() string {
+	sel := "all"
+	if s.Selective {
+		sel = fmt.Sprintf("dep>=%d", s.Params.DepThreshold)
+	}
+	return fmt.Sprintf("%s/%s/%s", s.Bench, s.Predictor, sel)
+}
+
+// depThreshold resolves the cell's effective criticality cut.
+func (s VPredStudy) depThreshold() int {
+	if !s.Selective {
+		return 0
+	}
+	return s.Params.DepThreshold
+}
+
+// Identity implements Study. It covers the benchmark's program content
+// fingerprint, so a workload-generator change invalidates stale entries
+// instead of serving them.
+func (s VPredStudy) Identity() any {
+	type id struct {
+		Bench        string `json:"bench"`
+		Program      string `json:"program,omitempty"`
+		Predictor    string `json:"predictor"`
+		Entries      int    `json:"entries"`
+		ConfMin      uint8  `json:"conf_min"`
+		MaxInsts     int64  `json:"max_insts"`
+		Window       int    `json:"window"`
+		DepThreshold int    `json:"dep_threshold"`
+	}
+	fp := ""
+	if b, ok := s.resolve(); ok {
+		fp = b.Prog.FingerprintHex()
+	}
+	return id{
+		Bench: s.Bench, Program: fp, Predictor: s.Predictor,
+		Entries: s.Params.Entries, ConfMin: s.Params.ConfMin,
+		MaxInsts: s.Params.MaxInsts, Window: s.Params.Window,
+		DepThreshold: s.depThreshold(),
+	}
+}
+
+// newPredictor builds the cell's predictor.
+func (s VPredStudy) newPredictor() (vpred.Predictor, error) {
+	switch s.Predictor {
+	case "last-value":
+		return vpred.NewLastValue(s.Params.Entries, s.Params.ConfMin)
+	case "stride":
+		return vpred.NewStride(s.Params.Entries, s.Params.ConfMin)
+	}
+	return nil, fmt.Errorf("sim: unknown value predictor %q", s.Predictor)
+}
+
+// Simulate implements Study.
+func (s VPredStudy) Simulate() (any, error) {
+	b, ok := s.resolve()
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown benchmark %q", s.Bench)
+	}
+	pred, err := s.newPredictor()
+	if err != nil {
+		return nil, err
+	}
+	res, err := vpred.EvaluateSelective(b.Prog, pred, s.Params.MaxInsts, s.Params.Window, s.depThreshold())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// vpredKey indexes a value-prediction result grid.
+type vpredKey struct {
+	bench     string
+	predictor string
+	selective bool
+}
+
+// VPredGrid holds a (benchmark × predictor × selection) ablation grid.
+// Like Matrix it may be partial; renderers go through Lookup.
+type VPredGrid struct {
+	Benches    []string
+	Predictors []string
+	Params     VPredParams
+	m          map[vpredKey]vpred.Result
+}
+
+// Lookup returns one cell and whether it is populated.
+func (g *VPredGrid) Lookup(bench, predictor string, selective bool) (vpred.Result, bool) {
+	st, ok := g.m[vpredKey{bench, predictor, selective}]
+	return st, ok
+}
+
+// Len reports the number of populated cells.
+func (g *VPredGrid) Len() int { return len(g.m) }
+
+// RunVPredGrid evaluates the all-vs-selective ablation for every
+// (benchmark × predictor) through the engine's worker pool and cache,
+// with the usual partial-result contract.
+func (e *Engine) RunVPredGrid(benches []string, predictors []string, params VPredParams) (*VPredGrid, error) {
+	var studies []VPredStudy
+	for _, b := range benches {
+		// Resolve each benchmark once for all its predictor × selection
+		// cells; an unknown name stays nil so the per-cell Simulate
+		// surfaces it through the usual partial-result contract.
+		var resolved *workload.Benchmark
+		if wb, ok := workload.Lookup(b); ok {
+			resolved = &wb
+		}
+		for _, p := range predictors {
+			for _, sel := range []bool{false, true} {
+				studies = append(studies, VPredStudy{
+					Bench: b, Predictor: p, Selective: sel, Params: params, bench: resolved,
+				})
+			}
+		}
+	}
+	res, err := RunStudies[VPredStudy, vpred.Result](e, studies)
+	g := &VPredGrid{
+		Benches:    benches,
+		Predictors: predictors,
+		Params:     params,
+		m:          make(map[vpredKey]vpred.Result, len(res)),
+	}
+	for _, r := range res {
+		g.m[vpredKey{r.Study.Bench, r.Study.Predictor, r.Study.Selective}] = r.Stats
+	}
+	return g, err
+}
+
+// vpredTable renders one metric across the grid's predictor × selection
+// columns, marking unpopulated cells n/a.
+func vpredTable(g *VPredGrid, metric string, cell func(vpred.Result) string) Table {
+	t := Table{
+		Title: fmt.Sprintf("Selective value prediction: %s (DDT dependents >= %d vs all instructions)",
+			metric, g.Params.DepThreshold),
+		Note:   "Section 3: the DDT dependent counter supplies Calder's criticality filter",
+		Header: []string{"benchmark"},
+	}
+	for _, p := range g.Predictors {
+		t.Header = append(t.Header, p+"/all", p+"/sel")
+	}
+	for _, b := range g.Benches {
+		row := []string{b}
+		for _, p := range g.Predictors {
+			for _, sel := range []bool{false, true} {
+				if st, ok := g.Lookup(b, p, sel); ok {
+					row = append(row, cell(st))
+				} else {
+					row = append(row, na)
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// VPredAccuracyTable renders prediction accuracy per cell — selection
+// should raise it.
+func VPredAccuracyTable(g *VPredGrid) Table {
+	return vpredTable(g, "accuracy", func(r vpred.Result) string { return pct(r.Accuracy()) })
+}
+
+// VPredCoverageTable renders coverage (predictions per value-producing
+// instruction) per cell — selection deliberately lowers it.
+func VPredCoverageTable(g *VPredGrid) Table {
+	return vpredTable(g, "coverage", func(r vpred.Result) string { return pct(r.Coverage()) })
+}
+
+// VPredRecord is one exported grid cell with its derived metrics.
+type VPredRecord struct {
+	Bench       string  `json:"bench"`
+	Predictor   string  `json:"predictor"`
+	Selective   bool    `json:"selective"`
+	Insts       int64   `json:"insts"`
+	Candidates  int64   `json:"candidates"`
+	Predictions int64   `json:"predictions"`
+	Correct     int64   `json:"correct"`
+	Coverage    float64 `json:"coverage"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+// Records flattens the populated cells into tidy rows (bench-major).
+// Missing cells are skipped.
+func (g *VPredGrid) Records() []VPredRecord {
+	var out []VPredRecord
+	for _, b := range g.Benches {
+		for _, p := range g.Predictors {
+			for _, sel := range []bool{false, true} {
+				st, ok := g.Lookup(b, p, sel)
+				if !ok {
+					continue
+				}
+				out = append(out, VPredRecord{
+					Bench: b, Predictor: p, Selective: sel,
+					Insts: st.Insts, Candidates: st.Candidates,
+					Predictions: st.Predictions, Correct: st.Correct,
+					Coverage: st.Coverage(), Accuracy: st.Accuracy(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the populated grid as tidy CSV for external plotting.
+func (g *VPredGrid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bench", "predictor", "selective", "insts", "candidates", "predictions", "correct", "coverage", "accuracy"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range g.Records() {
+		rec := []string{
+			r.Bench, r.Predictor, fmt.Sprintf("%t", r.Selective),
+			fmt.Sprintf("%d", r.Insts),
+			fmt.Sprintf("%d", r.Candidates),
+			fmt.Sprintf("%d", r.Predictions),
+			fmt.Sprintf("%d", r.Correct),
+			fmt.Sprintf("%.4f", r.Coverage),
+			fmt.Sprintf("%.4f", r.Accuracy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports the populated grid cells as indented JSON.
+func (g *VPredGrid) WriteJSON(w io.Writer) error {
+	cells := g.Records()
+	if cells == nil {
+		cells = []VPredRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		Params VPredParams   `json:"params"`
+		Cells  []VPredRecord `json:"cells"`
+	}{g.Params, cells})
+}

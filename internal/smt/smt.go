@@ -74,6 +74,10 @@ type Result struct {
 	Cycles     int64
 	PerThread  []int64 // retired instructions per thread
 	TotalInsts int64
+	// PeakWindow is the largest combined in-flight occupancy observed
+	// across all threads; the shared-window invariant is
+	// PeakWindow <= Config.Window.
+	PeakWindow int
 }
 
 // Throughput is combined instructions per cycle.
@@ -248,7 +252,12 @@ func Run(progs []*prog.Program, policy Policy, cfg Config) (Result, error) {
 				if !threads[pick].fetchOne(cycle, cfg.LoadLat) {
 					break
 				}
+				shared++
 			}
+		}
+		// Post-fetch occupancy is the cycle's true shared-window pressure.
+		if shared > res.PeakWindow {
+			res.PeakWindow = shared
 		}
 		res.Cycles = cycle + 1
 	}

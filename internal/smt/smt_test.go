@@ -131,6 +131,54 @@ func TestSmartPoliciesBeatRoundRobinOnMixedThreads(t *testing.T) {
 	}
 }
 
+// TestSharedWindowNeverExceeded pins the model's core resource contract:
+// the combined in-flight occupancy of all threads never exceeds the shared
+// window budget, under every policy, even when the budget is small enough
+// that every cycle contends for it.
+func TestSharedWindowNeverExceeded(t *testing.T) {
+	progs := []*prog.Program{parallelProg(t, 800), serialProg(t, 800), parallelProg(t, 800)}
+	for _, window := range []int{4, 7, 16} {
+		cfg := DefaultConfig()
+		cfg.Window = window
+		cfg.MaxCycles = 5000
+		for _, pol := range []Policy{RoundRobin, ICOUNT, DepLength} {
+			res, err := Run(progs, pol, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PeakWindow > window {
+				t.Errorf("%v window=%d: peak occupancy %d exceeds shared window",
+					pol, window, res.PeakWindow)
+			}
+			if res.PeakWindow == 0 {
+				t.Errorf("%v window=%d: peak occupancy never observed", pol, window)
+			}
+		}
+	}
+}
+
+// TestDepLengthAtLeastRoundRobin pins the paper's Section 3 ordering on a
+// serial-vs-parallel mix: the dependence-length policy must achieve at
+// least round-robin's combined throughput — a chain-aware fetch signal
+// cannot do worse than blind alternation here.
+func TestDepLengthAtLeastRoundRobin(t *testing.T) {
+	progs := []*prog.Program{parallelProg(t, 4000), serialProg(t, 4000)}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3000
+	rr, err := Run(progs, RoundRobin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Run(progs, DepLength, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Throughput() < rr.Throughput() {
+		t.Errorf("dep-length throughput %.3f below round-robin %.3f on a serial/parallel mix",
+			dep.Throughput(), rr.Throughput())
+	}
+}
+
 func TestDepLengthStarvationFree(t *testing.T) {
 	// The dependence policy must still advance the serial thread.
 	progs := []*prog.Program{parallelProg(t, 2000), serialProg(t, 500)}

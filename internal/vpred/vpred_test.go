@@ -110,6 +110,41 @@ func TestSelectionReducesPredictionsRaisesCriticality(t *testing.T) {
 	}
 }
 
+// TestSelectiveAccountingInvariants pins the driver's counting contract on
+// real workloads: every correct prediction was issued, every issued
+// prediction had a selected candidate, every candidate was a
+// value-producing instruction, and disabling selection (threshold 0)
+// makes every scored instruction a candidate.
+func TestSelectiveAccountingInvariants(t *testing.T) {
+	for _, bench := range []string{"m88ksim", "gcc", "li"} {
+		b := workload.ByName(bench)
+		for _, threshold := range []int{0, 2, 5} {
+			res, err := EvaluateSelective(b.Prog, mustStride(t), 40_000, 64, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Correct > res.Predictions {
+				t.Errorf("%s thr=%d: correct %d > predictions %d", bench, threshold, res.Correct, res.Predictions)
+			}
+			if res.Predictions > res.Candidates {
+				t.Errorf("%s thr=%d: predictions %d > candidates %d", bench, threshold, res.Predictions, res.Candidates)
+			}
+			if res.Candidates > res.Insts {
+				t.Errorf("%s thr=%d: candidates %d > scored insts %d", bench, threshold, res.Candidates, res.Insts)
+			}
+			if threshold == 0 && res.Candidates != res.Insts {
+				t.Errorf("%s: threshold 0 must select everything: %d of %d", bench, res.Candidates, res.Insts)
+			}
+			if a := res.Accuracy(); a < 0 || a > 1 {
+				t.Errorf("%s thr=%d: accuracy %v out of range", bench, threshold, a)
+			}
+			if c := res.Coverage(); c < 0 || c > 1 {
+				t.Errorf("%s thr=%d: coverage %v out of range", bench, threshold, c)
+			}
+		}
+	}
+}
+
 func mustStride(t *testing.T) *Stride {
 	t.Helper()
 	p, err := NewStride(4096, 2)

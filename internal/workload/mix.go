@@ -1,0 +1,81 @@
+package workload
+
+import "fmt"
+
+// Mix is a named multi-program SMT workload built from the benchmark
+// suite. The Section 3 fetch-policy study runs each mix's programs as
+// simultaneous threads; the interesting mixes pair serial, load-bound
+// programs (which clog a shared window) with parallel, regular ones
+// (which exploit it).
+type Mix struct {
+	Name    string
+	Desc    string
+	Benches []string
+}
+
+// MixNames lists the canonical SMT mixes in presentation order.
+var MixNames = []string{"ijpeg+li", "gcc+m88ksim", "compress+vortex", "quad"}
+
+// LookupMix builds the named mix, reporting whether the name is part of
+// the canonical set. Use it when the name comes from user input.
+func LookupMix(name string) (Mix, bool) {
+	switch name {
+	case "ijpeg+li":
+		return Mix{
+			Name:    "ijpeg+li",
+			Desc:    "parallel block transform vs serial cons-cell chasing",
+			Benches: []string{"ijpeg", "li"},
+		}, true
+	case "gcc+m88ksim":
+		return Mix{
+			Name:    "gcc+m88ksim",
+			Desc:    "compare-ladder dispatch vs linked-list hash lookup",
+			Benches: []string{"gcc", "m88ksim"},
+		}, true
+	case "compress+vortex":
+		return Mix{
+			Name:    "compress+vortex",
+			Desc:    "dictionary probing vs biased record validation",
+			Benches: []string{"compress", "vortex"},
+		}, true
+	case "quad":
+		return Mix{
+			Name:    "quad",
+			Desc:    "four-way mix across the suite's branch characters",
+			Benches: []string{"gcc", "ijpeg", "m88ksim", "perl"},
+		}, true
+	}
+	return Mix{}, false
+}
+
+// MixByName builds the named mix. It panics on an unknown name (the set
+// is closed and compiled in).
+func MixByName(name string) Mix {
+	m, ok := LookupMix(name)
+	if !ok {
+		panic("workload: unknown mix " + name)
+	}
+	return m
+}
+
+// Mixes builds the full canonical mix set in presentation order.
+func Mixes() []Mix {
+	out := make([]Mix, 0, len(MixNames))
+	for _, n := range MixNames {
+		out = append(out, MixByName(n))
+	}
+	return out
+}
+
+// Programs resolves the mix's member benchmarks to their programs.
+func (m Mix) Programs() ([]Benchmark, error) {
+	out := make([]Benchmark, 0, len(m.Benches))
+	for _, n := range m.Benches {
+		b, ok := Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("workload: mix %s: unknown benchmark %q", m.Name, n)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package workload
+
+import "testing"
+
+func TestMixLookup(t *testing.T) {
+	for _, name := range MixNames {
+		m, ok := LookupMix(name)
+		if !ok {
+			t.Fatalf("canonical mix %q not found", name)
+		}
+		if m.Name != name {
+			t.Errorf("mix %q reports name %q", name, m.Name)
+		}
+		if len(m.Benches) < 2 {
+			t.Errorf("mix %q has %d members; SMT needs at least 2", name, len(m.Benches))
+		}
+		progs, err := m.Programs()
+		if err != nil {
+			t.Fatalf("mix %q: %v", name, err)
+		}
+		if len(progs) != len(m.Benches) {
+			t.Errorf("mix %q resolved %d of %d programs", name, len(progs), len(m.Benches))
+		}
+		for i, b := range progs {
+			if b.Name != m.Benches[i] || b.Prog == nil {
+				t.Errorf("mix %q member %d resolved to %q", name, i, b.Name)
+			}
+		}
+	}
+	if _, ok := LookupMix("nosuch"); ok {
+		t.Error("unknown mix reported found")
+	}
+}
+
+func TestMixByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MixByName on unknown mix must panic")
+		}
+	}()
+	MixByName("nosuch")
+}
+
+func TestMixesCoverCanonicalOrder(t *testing.T) {
+	ms := Mixes()
+	if len(ms) != len(MixNames) {
+		t.Fatalf("Mixes() = %d entries, want %d", len(ms), len(MixNames))
+	}
+	for i, m := range ms {
+		if m.Name != MixNames[i] {
+			t.Errorf("mix %d = %q, want %q", i, m.Name, MixNames[i])
+		}
+	}
+	// A mix member outside the suite must surface as an error, not a panic.
+	bad := Mix{Name: "bad", Benches: []string{"gcc", "nosuch"}}
+	if _, err := bad.Programs(); err == nil {
+		t.Error("mix with unknown member resolved without error")
+	}
+}
