@@ -13,9 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/arvi"
+	"repro/internal/benchkit"
 	"repro/internal/cpu"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -223,31 +223,15 @@ func BenchmarkEngineThroughput(b *testing.B) {
 }
 
 // BenchmarkReplayThroughput measures the same configuration fed from a
-// pre-recorded decoded trace instead of a live functional VM — the hot
-// path of trace-store sweeps. The gap to BenchmarkEngineThroughput is the
-// per-configuration VM cost the trace tier amortises away.
+// pre-recorded decoded trace instead of a live functional VM, reusing one
+// engine via Reset — the hot path of trace-store sweeps (sim pools engines
+// per configuration the same way). It delegates to the shared benchkit
+// body, the same one cmd/benchjson records into the BENCH_*.json
+// trajectory, so the interactive and recorded numbers cannot diverge. The
+// gap to BenchmarkEngineThroughput is the per-configuration VM cost the
+// trace tier amortises away.
 func BenchmarkReplayThroughput(b *testing.B) {
-	p := workload.ByName("gcc").Prog
-	cfg := cpu.DefaultConfig(20, cpu.PredARVICurrent)
-	cfg.MaxInsts = 50_000
-	dec, err := trace.RecordAll(p, cfg.MaxInsts)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	var insts int64
-	for i := 0; i < b.N; i++ {
-		eng, err := cpu.NewEngine(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, err := eng.RunSource(p, dec.Cursor())
-		if err != nil {
-			b.Fatal(err)
-		}
-		insts += st.Insts
-	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+	benchkit.EngineThroughput(b)
 }
 
 // BenchmarkMatrixTraceStore runs a full-suite single-depth matrix through

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -46,6 +47,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "trace store directory shared with cmd/experiments (empty = no store)")
 	record := flag.String("record", "", "record the benchmark's dynamic trace to this file and exit (no timing run)")
 	replay := flag.String("replay", "", "replay the timing model from this trace file instead of a live VM run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	md, ok := modeNames[*mode]
@@ -74,6 +77,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arvisim: -record/-replay bypass the engine; -cache and -trace-dir do not apply")
 		os.Exit(2)
 	}
+
+	// Profiling starts only after argument validation (a usage error must
+	// not leave a truncated profile behind); fatal() flushes the profiles
+	// too, because os.Exit skips the defer.
+	flush, err := profiling.Setup(*cpuProfile, *memProfile, "arvisim")
+	if err != nil {
+		fatal(err)
+	}
+	flushProfiles = flush
+	defer flush()
 
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -205,7 +218,13 @@ func (s *haltCheckSource) Next(ev *vm.Event) error {
 	return err
 }
 
+// flushProfiles is profiling.Setup's flush once configured; fatal routes
+// through it so error exits still produce usable profiles (the flush is
+// idempotent, so the deferred call after a fatal-free run is harmless).
+var flushProfiles = func() {}
+
 func fatal(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "arvisim:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,149 @@
+// Command benchjson runs the hot-path microbenchmarks (internal/benchkit)
+// plus the end-to-end engine throughput benchmark and emits the results as
+// a machine-readable perf-trajectory record, BENCH_<pr>.json. It also
+// enforces the steady-state allocation guards and exits non-zero on any
+// regression, so CI fails before an allocation creeps back into the
+// per-instruction path.
+//
+// Usage:
+//
+//	benchjson                          # 1s per benchmark, writes BENCH_pr4.json
+//	benchjson -benchtime 100x          # fixed iteration count (CI smoke)
+//	benchjson -out BENCH_pr5.json -pr pr5
+//
+// The trajectory convention: every perf-focused PR appends a new
+// BENCH_<pr>.json generated at its head rather than editing older files,
+// so the repository accumulates a comparable history of ns/op, allocs/op
+// and simulated-MIPS headline numbers (see README "Performance").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Schema        string             `json:"schema"`
+	PR            string             `json:"pr"`
+	GoVersion     string             `json:"go_version"`
+	GOARCH        string             `json:"goarch"`
+	GeneratedUnix int64              `json:"generated_unix"`
+	Benchtime     string             `json:"benchtime"`
+	AllocGuards   map[string]float64 `json:"alloc_guards"`
+	Benchmarks    []benchResult      `json:"benchmarks"`
+	Headline      map[string]float64 `json:"headline"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr4.json", "output path for the trajectory record")
+	pr := flag.String("pr", "pr4", "PR label recorded in the file")
+	benchtime := flag.String("benchtime", "", `per-benchmark budget ("2s" or "100x"; empty = testing default)`)
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+
+	// Allocation regression guards run first: a trajectory file must never
+	// record a state where the steady-state DDT path allocates.
+	guards := map[string]float64{
+		"ddt_insert_commit_leafset_allocs_per_op": benchkit.InsertLeafSetAllocs(),
+	}
+	failed := false
+	for name, v := range guards {
+		if v != 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION: %s = %.2f, want 0\n", name, v)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DDTInsert", benchkit.DDTInsert},
+		{"DDTInsertROB256", benchkit.DDTInsertROB256},
+		{"LeafSet", benchkit.LeafSet},
+		{"BitvecKernels", benchkit.BitvecKernels},
+		{"EngineMIPS", benchkit.EngineThroughput},
+	}
+
+	file := benchFile{
+		Schema:        "repro-bench/v1",
+		PR:            *pr,
+		GoVersion:     runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		GeneratedUnix: time.Now().Unix(),
+		Benchtime:     *benchtime,
+		AllocGuards:   guards,
+		Headline:      map[string]float64{},
+	}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s did not run (failed benchmark body?)\n", bm.name)
+			os.Exit(1)
+		}
+		res := benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		file.Benchmarks = append(file.Benchmarks, res)
+		if mips, ok := r.Extra["sim_MIPS"]; ok {
+			file.Headline["sim_MIPS"] = mips
+		}
+		if nsInst, ok := r.Extra["ns/inst"]; ok {
+			file.Headline["ns_per_inst"] = nsInst
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+}

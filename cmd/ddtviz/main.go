@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bitvec"
 	"repro/internal/core"
 )
 
@@ -57,8 +58,11 @@ func dump(d *core.DDT) {
 		fmt.Printf("%d ", e)
 	}
 	fmt.Println()
+	// One reused chain buffer for the whole matrix dump (core.ChainInto is
+	// the allocation-free read; Chain would allocate per row).
+	chain := bitvec.New(cfg.Entries)
 	for p := core.PhysReg(1); int(p) < cfg.PhysRegs; p++ {
-		chain := d.Chain(p)
+		d.ChainInto(chain, []core.PhysReg{p})
 		if !chain.Any() {
 			continue
 		}

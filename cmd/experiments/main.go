@@ -38,12 +38,19 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/smt"
 	"repro/internal/workload"
 )
 
+// flushProfiles is profiling.Setup's flush once configured; fail routes
+// through it so error exits still produce usable profiles (the flush is
+// idempotent, so the deferred call after a fail-free run is harmless).
+var flushProfiles = func() {}
+
 func fail(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }
@@ -82,6 +89,8 @@ func main() {
 	smtCycles := flag.Int64("smt-cycles", smt.DefaultConfig().MaxCycles, "cycle budget per SMT fetch-policy run (>= 1)")
 	depThreshold := flag.Int("dep-threshold", sim.DefaultVPredParams(0).DepThreshold,
 		"DDT dependent-count cut for the selective value-prediction cells (>= 1)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if !validArtifact(*only) {
@@ -98,6 +107,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -dep-threshold %d out of range (need >= 1)\n", *depThreshold)
 		os.Exit(2)
 	}
+
+	// Profiling starts only after argument validation (a usage error must
+	// not leave a truncated profile behind); fail() flushes the profiles
+	// too, because os.Exit skips the defer.
+	flush, err := profiling.Setup(*cpuProfile, *memProfile, "experiments")
+	if err != nil {
+		fail(err)
+	}
+	flushProfiles = flush
+	defer flush()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

@@ -1,0 +1,27 @@
+package benchkit_test
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// The wrappers expose the shared bodies to `go test -bench`; cmd/benchjson
+// drives the same bodies through testing.Benchmark, so the interactive and
+// recorded numbers can never diverge.
+
+func BenchmarkDDTInsert(b *testing.B)       { benchkit.DDTInsert(b) }
+func BenchmarkDDTInsertROB256(b *testing.B) { benchkit.DDTInsertROB256(b) }
+func BenchmarkLeafSet(b *testing.B)         { benchkit.LeafSet(b) }
+func BenchmarkBitvecKernels(b *testing.B)   { benchkit.BitvecKernels(b) }
+func BenchmarkEngineMIPS(b *testing.B)      { benchkit.EngineThroughput(b) }
+
+// TestSteadyStateDDTPathAllocFree is the allocation regression guard for
+// the steady-state Insert+Commit+LeafSet path: it must not allocate at
+// all. cmd/benchjson enforces the same invariant in CI before emitting the
+// trajectory file.
+func TestSteadyStateDDTPathAllocFree(t *testing.T) {
+	if avg := benchkit.InsertLeafSetAllocs(); avg != 0 {
+		t.Errorf("steady-state Insert+Commit+LeafSet allocates %.2f/op, want 0", avg)
+	}
+}

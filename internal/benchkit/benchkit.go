@@ -1,0 +1,179 @@
+// Package benchkit holds the canonical hot-path benchmark bodies shared by
+// the `go test -bench` wrappers and cmd/benchjson, so the interactive
+// benchmarks and the recorded BENCH_*.json trajectory measure exactly the
+// same code. Each body has the standard func(*testing.B) signature and can
+// therefore be driven either by the test harness or by testing.Benchmark.
+//
+// The trajectory format (see cmd/benchjson) records ns/op, allocs/op,
+// bytes/op and every custom metric a body reports; future PRs append a new
+// BENCH_<pr>.json rather than editing old ones, so the files form a
+// perf history.
+package benchkit
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DDTInsertConfig is the default geometry the headline DDTInsert number is
+// quoted at: the paper's 80-entry window over a 256-register file.
+var DDTInsertConfig = core.Config{Entries: 80, PhysRegs: 256}
+
+// DDTInsert measures the steady-state per-instruction DDT cost — one
+// Insert plus one Commit with the window half full — at the default
+// 80-entry/256-preg geometry. This is the kernel every simulated
+// instruction pays.
+func DDTInsert(b *testing.B) {
+	ddtInsert(b, DDTInsertConfig)
+}
+
+// DDTInsertROB256 is DDTInsert at the Table 2 machine geometry (256-entry
+// ROB, 296 physical registers), the configuration the timing engine
+// actually runs.
+func DDTInsertROB256(b *testing.B) {
+	ddtInsert(b, core.Config{Entries: 256, PhysRegs: 296})
+}
+
+func ddtInsert(b *testing.B, cfg core.Config) {
+	d := core.MustNewDDT(cfg)
+	srcs := []core.PhysReg{3, 7}
+	for i := 0; i < cfg.Entries/2; i++ {
+		if _, err := d.Insert(core.PhysReg(32+i), srcs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Insert(core.PhysReg(32+(i%200)), srcs, i%5 == 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LeafSet measures the ARVI front-end read (chain gather + RSE extract +
+// depth key) over a long dependence chain at the Table 2 geometry.
+func LeafSet(b *testing.B) {
+	d := core.MustNewDDT(core.Config{Entries: 256, PhysRegs: 296})
+	prev := core.PhysReg(32)
+	if _, err := d.Insert(prev, nil, false); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < 200; i++ {
+		tgt := core.PhysReg(32 + i)
+		if _, err := d.Insert(tgt, []core.PhysReg{prev}, i%7 == 0); err != nil {
+			b.Fatal(err)
+		}
+		prev = tgt
+	}
+	srcs := []core.PhysReg{prev}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, set, depth := d.LeafSet(srcs)
+		if depth == 0 || set == nil {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BitvecKernels measures the fused bit-vector kernels (OrAnd, OrAndInto,
+// Fill+ClearRange mask build, FirstBitFrom priority encoding) at the
+// 256-entry row width the DDT uses.
+func BitvecKernels(b *testing.B) {
+	const bits = 256
+	dst := bitvec.New(bits)
+	row := bitvec.New(bits)
+	mask := bitvec.New(bits)
+	valid := bitvec.New(bits)
+	for i := 0; i < bits; i += 3 {
+		row.Set(i)
+	}
+	for i := 0; i < bits; i += 2 {
+		valid.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		mask.Fill()
+		mask.ClearRange(i%200, i%200+40)
+		dst.Reset()
+		dst.OrAnd(row, mask)
+		dst.And(valid)
+		dst.OrAndInto(row, valid, mask)
+		sink += dst.FirstBitFrom(i & 63)
+	}
+	if sink == -b.N {
+		b.Fatal("impossible")
+	}
+}
+
+// EngineThroughput measures end-to-end simulator speed on the full ARVI
+// configuration, replaying a pre-recorded gcc trace through a pooled
+// (Reset) engine. It reports ns per simulated instruction and the headline
+// simulated-MIPS figure.
+func EngineThroughput(b *testing.B) {
+	p := workload.ByName("gcc").Prog
+	cfg := cpu.DefaultConfig(20, cpu.PredARVICurrent)
+	cfg.MaxInsts = 50_000
+	dec, err := trace.RecordAll(p, cfg.MaxInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cpu.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		st, err := eng.RunSource(dec.Prog(), dec.Cursor())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += st.Insts
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 && insts > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+		b.ReportMetric(float64(insts)/secs/1e6, "sim_MIPS")
+	}
+}
+
+// InsertLeafSetAllocs returns the average allocations of one steady-state
+// Insert+Commit+LeafSet round — the regression guard value that must stay
+// at zero (also enforced by TestSteadyStateDDTPathAllocFree and by
+// cmd/benchjson in CI).
+func InsertLeafSetAllocs() float64 {
+	d := core.MustNewDDT(DDTInsertConfig)
+	srcs := []core.PhysReg{3, 7}
+	for i := 0; i < 40; i++ {
+		if _, err := d.Insert(core.PhysReg(32+i), srcs, false); err != nil {
+			panic(err)
+		}
+	}
+	i := 0
+	return testing.AllocsPerRun(200, func() {
+		if _, err := d.Insert(core.PhysReg(32+(i%200)), srcs, i%5 == 0); err != nil {
+			panic(err)
+		}
+		if _, err := d.Commit(); err != nil {
+			panic(err)
+		}
+		if _, _, depth := d.LeafSet(srcs); depth < 0 {
+			panic("negative depth")
+		}
+		i++
+	})
+}

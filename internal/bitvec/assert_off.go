@@ -1,0 +1,8 @@
+//go:build !bitvecdebug
+
+package bitvec
+
+// assertSameLen is compiled away in release builds; the equal-length
+// contract is documented in the package comment and enforced only under
+// the bitvecdebug build tag.
+func assertSameLen(a, b Vec) {}

@@ -1,0 +1,16 @@
+//go:build bitvecdebug
+
+package bitvec
+
+import "fmt"
+
+// assertSameLen enforces the package's equal-length contract under the
+// bitvecdebug build tag: a mismatch panics immediately with both lengths,
+// instead of the confusing interior index-out-of-range (short operand) or
+// silent truncation (long operand) the release build produces.
+func assertSameLen(a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitvec: operand word lengths differ: %d vs %d (equal-length contract violated)",
+			len(a), len(b)))
+	}
+}

@@ -1,0 +1,59 @@
+//go:build bitvecdebug
+
+package bitvec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLengthContractAssertion verifies the bitvecdebug build turns an
+// equal-length contract violation into an immediate, labelled panic —
+// instead of the release build's confusing interior index-out-of-range
+// (short operand) or silent truncation (long operand). Run with:
+//
+//	go test -tags bitvecdebug ./internal/bitvec/
+func TestLengthContractAssertion(t *testing.T) {
+	short := New(64)
+	long := New(192)
+	ops := map[string]func(){
+		"Or":         func() { long.Or(short) },
+		"And":        func() { long.And(short) },
+		"AndNot":     func() { long.AndNot(short) },
+		"OrOf":       func() { long.OrOf(short, long) },
+		"OrAnd":      func() { long.OrAnd(long, short) },
+		"OrAndInto":  func() { long.OrAndInto(long, long, short) },
+		"OrOfAndNot": func() { long.OrOfAndNot(short, long, long) },
+		"CopyFrom":   func() { long.CopyFrom(short) },
+		// The silent-truncation direction must be caught too: a short
+		// receiver would otherwise just ignore the operand's tail.
+		"short-recv": func() { short.Or(long) },
+	}
+	for name, op := range ops {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: mismatched lengths did not panic under bitvecdebug", name)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "equal-length contract") {
+					t.Errorf("%s: panic %v lacks the contract message", name, r)
+				}
+			}()
+			op()
+		}()
+	}
+}
+
+// TestEqualLengthsPass ensures the assertion is transparent for correct
+// callers.
+func TestEqualLengthsPass(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	b.Or(a)
+	if !b.Get(3) {
+		t.Error("Or lost a bit under bitvecdebug")
+	}
+}

@@ -2,12 +2,27 @@
 // DDT rows, the valid vector and the RSE mark planes. Vectors are plain
 // []uint64 slices so rows of a larger matrix can alias a flat backing array
 // without copies.
+//
+// # Equal-length contract
+//
+// A Vec does not carry its bit length; all binary operations (Or, And,
+// AndNot, OrOf, OrAnd, OrAndInto, CopyFrom, Equal-by-content users) require
+// operands of equal word length. Operands of different lengths are a caller
+// bug: the release build indexes by the receiver's length, so a short
+// operand panics with an index-out-of-range at some interior word and a
+// long operand is silently truncated. Build with
+//
+//	go test -tags bitvecdebug ./...
+//
+// to turn every length mismatch into an immediate, clearly labelled panic
+// at the offending call site (see assert_on.go).
 package bitvec
 
 import "math/bits"
 
 // Vec is a bit vector. Its length in bits is fixed by its creator; all
-// binary operations require operands of equal word length.
+// binary operations require operands of equal word length (see the package
+// comment for the contract and the bitvecdebug assertion build).
 type Vec []uint64
 
 // WordsFor returns the number of 64-bit words needed for n bits.
@@ -27,16 +42,27 @@ func (v Vec) Get(i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Reset zeroes the vector.
 func (v Vec) Reset() {
+	clear(v)
+}
+
+// Fill sets every bit, including any padding bits past the creator's
+// nominal length (callers that AND against a Filled mask never see the
+// padding, because real operands keep their padding clear).
+func (v Vec) Fill() {
 	for i := range v {
-		v[i] = 0
+		v[i] = ^uint64(0)
 	}
 }
 
 // CopyFrom overwrites v with src.
-func (v Vec) CopyFrom(src Vec) { copy(v, src) }
+func (v Vec) CopyFrom(src Vec) {
+	assertSameLen(v, src)
+	copy(v, src)
+}
 
 // Or sets v |= a.
 func (v Vec) Or(a Vec) {
+	assertSameLen(v, a)
 	for i := range v {
 		v[i] |= a[i]
 	}
@@ -44,6 +70,7 @@ func (v Vec) Or(a Vec) {
 
 // And sets v &= a.
 func (v Vec) And(a Vec) {
+	assertSameLen(v, a)
 	for i := range v {
 		v[i] &= a[i]
 	}
@@ -51,6 +78,7 @@ func (v Vec) And(a Vec) {
 
 // AndNot sets v &^= a.
 func (v Vec) AndNot(a Vec) {
+	assertSameLen(v, a)
 	for i := range v {
 		v[i] &^= a[i]
 	}
@@ -58,9 +86,82 @@ func (v Vec) AndNot(a Vec) {
 
 // OrOf sets v = a | b (v may alias a or b).
 func (v Vec) OrOf(a, b Vec) {
+	assertSameLen(v, a)
+	assertSameLen(v, b)
 	for i := range v {
 		v[i] = a[i] | b[i]
 	}
+}
+
+// OrAnd sets v |= a & m in one fused pass — the masked-accumulate kernel of
+// the DDT's lazy column invalidation (a is a matrix row, m the keep mask).
+func (v Vec) OrAnd(a, m Vec) {
+	assertSameLen(v, a)
+	assertSameLen(v, m)
+	for i := range v {
+		v[i] |= a[i] & m[i]
+	}
+}
+
+// OrAndInto sets v = (a | b) & m in one fused pass (v may alias any
+// operand): the two-source dependence-chain combine with a validity mask.
+func (v Vec) OrAndInto(a, b, m Vec) {
+	assertSameLen(v, a)
+	assertSameLen(v, b)
+	assertSameLen(v, m)
+	for i := range v {
+		v[i] = (a[i] | b[i]) & m[i]
+	}
+}
+
+// OrOfAndNot sets v = a | (b &^ m) in one fused pass (v may alias any
+// operand). No hot path uses it yet; it rounds out the fused-kernel set
+// for callers composing masked chain merges.
+func (v Vec) OrOfAndNot(a, b, m Vec) {
+	assertSameLen(v, a)
+	assertSameLen(v, b)
+	assertSameLen(v, m)
+	for i := range v {
+		v[i] = a[i] | (b[i] &^ m[i])
+	}
+}
+
+// SetRange sets bits [lo, hi). An empty range is a no-op.
+func (v Vec) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		v[loW] |= loMask & hiMask
+		return
+	}
+	v[loW] |= loMask
+	for i := loW + 1; i < hiW; i++ {
+		v[i] = ^uint64(0)
+	}
+	v[hiW] |= hiMask
+}
+
+// ClearRange clears bits [lo, hi). An empty range is a no-op.
+func (v Vec) ClearRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		v[loW] &^= loMask & hiMask
+		return
+	}
+	v[loW] &^= loMask
+	for i := loW + 1; i < hiW; i++ {
+		v[i] = 0
+	}
+	v[hiW] &^= hiMask
 }
 
 // Any reports whether any bit is set.
@@ -82,7 +183,57 @@ func (v Vec) Count() int {
 	return n
 }
 
+// FirstBitFrom returns the lowest set bit index >= from, or -1 when no such
+// bit exists. It is the software form of a priority encoder with a start
+// enable: one trailing-zeros scan per word, no per-bit iteration.
+func (v Vec) FirstBitFrom(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from >> 6
+	if wi >= len(v) {
+		return -1
+	}
+	if w := v[wi] >> (uint(from) & 63); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v); wi++ {
+		if w := v[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// MaxBitBelow returns the highest set bit index < limit, or -1 when no such
+// bit exists: the complementary priority encoder (leading-zeros scan
+// downward). core.DDT.Depth needs only the FirstBitFrom direction; this is
+// the other half of a hardware priority-encoder pair, kept for offline
+// tools and future circular-window scans.
+func (v Vec) MaxBitBelow(limit int) int {
+	if limit <= 0 {
+		return -1
+	}
+	if max := len(v) << 6; limit > max {
+		limit = max
+	}
+	wi := (limit - 1) >> 6
+	r := int(uint(limit-1) & 63)
+	if w := v[wi] << (63 - uint(r)); w != 0 {
+		return wi<<6 + r - bits.LeadingZeros64(w)
+	}
+	for wi--; wi >= 0; wi-- {
+		if w := v[wi]; w != 0 {
+			return wi<<6 + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // ForEach calls fn for each set bit index in ascending order.
+//
+// The closure generally does not inline; hot paths should iterate the
+// words directly (Vec is a plain []uint64) the way core.ExtractSet does.
 func (v Vec) ForEach(fn func(i int)) {
 	for wi, w := range v {
 		for w != 0 {
@@ -111,4 +262,19 @@ func (v Vec) Clone() Vec {
 	c := make(Vec, len(v))
 	copy(c, v)
 	return c
+}
+
+// ClearColumn clears bit `bit` in every row of the flat row-major matrix
+// `m` whose rows are `words` words wide: the columnwise kernel hardware
+// implements as a wired column clear. The DDT no longer calls it anywhere
+// — lazy generation-stamped invalidation replaced the per-insert walk, and
+// DDT.Reset leaves dirty rows unreadable via stamps — so this exists only
+// as the reference form of the eager semantics the stamp scheme must match
+// (the differential fuzz pins the equivalence).
+func ClearColumn(m []uint64, words, bit int) {
+	wi := bit >> 6
+	mask := ^(uint64(1) << (uint(bit) & 63))
+	for off := wi; off < len(m); off += words {
+		m[off] &= mask
+	}
 }

@@ -139,3 +139,156 @@ func TestQuickAndNotConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFusedKernels(t *testing.T) {
+	const n = 200
+	mk := func(bits ...int) Vec {
+		v := New(n)
+		for _, b := range bits {
+			v.Set(b)
+		}
+		return v
+	}
+	a := mk(1, 64, 130, 199)
+	b := mk(2, 64, 131)
+	m := mk(1, 2, 64, 199)
+
+	v := New(n)
+	v.Set(5)
+	v.OrAnd(a, m) // v |= a & m
+	want := mk(5, 1, 64, 199)
+	if !v.Equal(want) {
+		t.Errorf("OrAnd wrong")
+	}
+
+	v = New(n)
+	v.OrAndInto(a, b, m) // v = (a|b) & m
+	if !v.Equal(mk(1, 2, 64, 199)) {
+		t.Errorf("OrAndInto wrong")
+	}
+	// Aliasing: v as both dst and operand.
+	v = a.Clone()
+	v.OrAndInto(v, b, m)
+	if !v.Equal(mk(1, 2, 64, 199)) {
+		t.Errorf("aliased OrAndInto wrong")
+	}
+
+	v = New(n)
+	v.OrOfAndNot(a, b, m) // v = a | (b &^ m)
+	if !v.Equal(mk(1, 64, 130, 131, 199)) {
+		t.Errorf("OrOfAndNot wrong")
+	}
+}
+
+func TestFillAndRanges(t *testing.T) {
+	const n = 200
+	v := New(n)
+	v.Fill()
+	for _, i := range []int{0, 63, 64, 199} {
+		if !v.Get(i) {
+			t.Fatalf("Fill left bit %d clear", i)
+		}
+	}
+	v.ClearRange(60, 140)
+	for i := 0; i < n; i++ {
+		want := i < 60 || i >= 140
+		if v.Get(i) != want {
+			t.Fatalf("after ClearRange(60,140): bit %d = %v", i, v.Get(i))
+		}
+	}
+	v.Reset()
+	v.SetRange(3, 5)
+	v.SetRange(62, 130)
+	for i := 0; i < n; i++ {
+		want := (i >= 3 && i < 5) || (i >= 62 && i < 130)
+		if v.Get(i) != want {
+			t.Fatalf("after SetRange: bit %d = %v", i, v.Get(i))
+		}
+	}
+	// Degenerate ranges are no-ops.
+	before := v.Clone()
+	v.SetRange(10, 10)
+	v.ClearRange(90, 4)
+	if !v.Equal(before) {
+		t.Error("empty range mutated the vector")
+	}
+}
+
+func TestPriorityEncoders(t *testing.T) {
+	const n = 256
+	v := New(n)
+	if v.FirstBitFrom(0) != -1 || v.MaxBitBelow(n) != -1 {
+		t.Fatal("empty vector must encode to -1")
+	}
+	for _, b := range []int{3, 64, 130, 255} {
+		v.Set(b)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {131, 255}, {255, 255},
+	}
+	for _, c := range cases {
+		if got := v.FirstBitFrom(c.from); got != c.want {
+			t.Errorf("FirstBitFrom(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := v.FirstBitFrom(256); got != -1 {
+		t.Errorf("FirstBitFrom past the end = %d, want -1", got)
+	}
+	below := []struct{ limit, want int }{
+		{256, 255}, {255, 130}, {131, 130}, {130, 64}, {65, 64}, {64, 3}, {4, 3}, {3, -1}, {0, -1},
+	}
+	for _, c := range below {
+		if got := v.MaxBitBelow(c.limit); got != c.want {
+			t.Errorf("MaxBitBelow(%d) = %d, want %d", c.limit, got, c.want)
+		}
+	}
+	// Exhaustive cross-check against ForEach on random-ish patterns.
+	v = New(130)
+	for i := 0; i < 130; i += 7 {
+		v.Set(i)
+	}
+	for from := 0; from <= 130; from++ {
+		want := -1
+		for i := from; i < 130; i++ {
+			if v.Get(i) {
+				want = i
+				break
+			}
+		}
+		if got := v.FirstBitFrom(from); got != want {
+			t.Fatalf("FirstBitFrom(%d) = %d, want %d", from, got, want)
+		}
+		want = -1
+		for i := from - 1; i >= 0; i-- {
+			if v.Get(i) {
+				want = i
+				break
+			}
+		}
+		if got := v.MaxBitBelow(from); got != want {
+			t.Fatalf("MaxBitBelow(%d) = %d, want %d", from, got, want)
+		}
+	}
+}
+
+func TestClearColumn(t *testing.T) {
+	const rows, bits = 5, 100
+	words := WordsFor(bits)
+	m := make([]uint64, rows*words)
+	for r := 0; r < rows; r++ {
+		row := Vec(m[r*words : (r+1)*words])
+		row.Set(17)
+		row.Set(r)
+		row.Set(99)
+	}
+	ClearColumn(m, words, 17)
+	for r := 0; r < rows; r++ {
+		row := Vec(m[r*words : (r+1)*words])
+		if row.Get(17) {
+			t.Fatalf("row %d still has column 17", r)
+		}
+		if !row.Get(r) || !row.Get(99) {
+			t.Fatalf("row %d lost unrelated bits", r)
+		}
+	}
+}

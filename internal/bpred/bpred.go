@@ -279,6 +279,17 @@ func (p *Gskew2Bc) SizeBytes() int { return len(p.bim) }
 // Name implements Predictor.
 func (p *Gskew2Bc) Name() string { return p.name }
 
+// Reset returns every bank to the weakly-taken initial state, exactly as
+// NewGskew2Bc builds it, so a pooled engine can reuse the tables instead of
+// re-allocating them.
+func (p *Gskew2Bc) Reset() {
+	for _, bank := range [4][]Counter2{p.bim, p.g0, p.g1, p.meta} {
+		for i := range bank {
+			bank[i] = WeaklyTaken
+		}
+	}
+}
+
 // Confidence is a JRS-style miss-distance confidence estimator [14]: a
 // table of resetting counters indexed by pc^history. A correct prediction
 // increments the counter; a misprediction resets it. A branch is
@@ -334,6 +345,11 @@ func (c *Confidence) Update(pc, hist uint64, correct bool) {
 
 // SizeBytes reports the estimator's state budget (4 bits per entry).
 func (c *Confidence) SizeBytes() int { return len(c.table) / 2 }
+
+// Reset clears every counter to the freshly built state.
+func (c *Confidence) Reset() {
+	clear(c.table)
+}
 
 // History maintains the global branch history register.
 type History struct {

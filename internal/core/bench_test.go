@@ -2,54 +2,16 @@ package core
 
 import "testing"
 
-// BenchmarkInsertCommit measures the steady-state cost of the DDT's
-// per-instruction work at the paper's 256-entry, 296-register geometry.
-func BenchmarkInsertCommit(b *testing.B) {
-	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
-	srcs := []PhysReg{3, 7}
-	// Fill half the window so commits interleave with inserts.
-	for i := 0; i < 128; i++ {
-		if _, err := d.Insert(PhysReg(32+i), srcs, false); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := d.Insert(PhysReg(32+(i%200)), srcs, i%5 == 0); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := d.Commit(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkLeafSet measures the ARVI front-end read (chain + RSE extract +
-// depth) on a window with a long dependence chain.
-func BenchmarkLeafSet(b *testing.B) {
-	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
-	prev := PhysReg(32)
-	d.Insert(prev, nil, false)
-	for i := 1; i < 200; i++ {
-		tgt := PhysReg(32 + i)
-		if _, err := d.Insert(tgt, []PhysReg{prev}, i%7 == 0); err != nil {
-			b.Fatal(err)
-		}
-		prev = tgt
-	}
-	srcs := []PhysReg{prev}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, set, depth := d.LeafSet(srcs)
-		if depth == 0 || set == nil {
-			b.Fatal("empty result")
-		}
-	}
-}
+// The steady-state Insert/LeafSet microbenchmarks live in
+// internal/benchkit (shared with cmd/benchjson, which records them into
+// the BENCH_*.json perf trajectory). This file keeps the core-local
+// benchmarks and allocation guards that need package-internal
+// configurations.
 
 // BenchmarkRollback measures misprediction recovery cost.
 func BenchmarkRollback(b *testing.B) {
 	d := MustNewDDT(Config{Entries: 256, PhysRegs: 296})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for k := 0; k < 16; k++ {
 			if _, err := d.Insert(PhysReg(32+k), nil, false); err != nil {
@@ -58,6 +20,68 @@ func BenchmarkRollback(b *testing.B) {
 		}
 		if err := d.Rollback(16); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertDepCounts measures the Section 3 dependent-counter
+// extension (the selective value prediction study's configuration).
+func BenchmarkInsertDepCounts(b *testing.B) {
+	d := MustNewDDT(Config{Entries: 80, PhysRegs: 256, TrackDepCounts: true})
+	srcs := []PhysReg{3, 7}
+	for i := 0; i < 40; i++ {
+		if _, err := d.Insert(PhysReg(32+i), srcs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Insert(PhysReg(32+(i%200)), srcs, false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSteadyStateAllocFree pins the zero-allocation contract of the
+// per-instruction DDT path for every configuration variant, including the
+// ones benchkit's guard does not cover (dep counts, cut-at-loads,
+// rollback).
+func TestSteadyStateAllocFree(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 80, PhysRegs: 256},
+		{Entries: 80, PhysRegs: 256, TrackDepCounts: true},
+		{Entries: 80, PhysRegs: 256, CutAtLoads: true},
+	} {
+		d := MustNewDDT(cfg)
+		srcs := []PhysReg{3, 7}
+		for i := 0; i < 40; i++ {
+			if _, err := d.Insert(PhysReg(32+i), srcs, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(200, func() {
+			if _, err := d.Insert(PhysReg(32+(i%200)), srcs, i%5 == 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, depth := d.LeafSet(srcs); depth < 0 {
+				t.Fatal("negative depth")
+			}
+			if i%17 == 0 && d.Len() > 2 {
+				if err := d.Rollback(1); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := d.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%+v: steady state allocates %.2f/op, want 0", cfg, avg)
 		}
 	}
 }

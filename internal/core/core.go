@@ -13,17 +13,38 @@
 // Entries are allocated in circular FIFO order with head/tail pointers, like
 // the ROB. Commit clears the instruction's valid bit, which removes it from
 // every chain on subsequent reads; misprediction rollback rewinds the head
-// pointer. Before an entry is reused its column is cleared in every row.
+// pointer.
+//
+// # Lazy column invalidation
+//
+// The hardware clears an entry's column in every row before reuse (a wired
+// columnwise clear, free in silicon). Software emulating that literally
+// pays an O(PhysRegs) cache-hostile strided walk on every insert — it was
+// 40% of total simulation time. This implementation instead stamps work
+// with a monotone 64-bit allocation counter: every row records the count at
+// which it was last written (rowStamp) and every entry records the count at
+// which its current occupant arrived (allocSeq). A bit (r, e) is stale
+// exactly when entry e was re-allocated after row r was written, i.e.
+// allocSeq[e] > rowStamp[r]. Because entries are allocated in FIFO order,
+// allocSeq is monotone over the live window, so the stale bits of a row
+// form one circular range ending at the head — found with an O(log Entries)
+// binary search and masked with an O(Entries/64) fused pass. Insert cost
+// therefore tracks the live chain width, not the table height, and the
+// 63-bit counter cannot wrap in any feasible run (2^63 inserts), so no
+// amortized restamping sweep is ever needed.
 //
 // The RSE is a parallel matrix holding a 2-bit Source/Target code per
 // (register, entry) cell. Loads leave their cells unset — they terminate
 // dependence chains for ARVI. Reading the RSE with a chain bit vector as the
 // column enable yields the branch's leaf register set: registers used as a
-// source by some enabled instruction and produced by none.
+// source by some enabled instruction and produced by none. The two mark
+// planes are stored fused per entry (source words then target words) so one
+// clear and one sequential pass cover both.
 package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 )
@@ -67,13 +88,17 @@ type DDT struct {
 	rows  []uint64   // PhysRegs rows × words, flat
 	valid bitvec.Vec // over entries
 
-	// RSE mark planes, transposed for software efficiency: per entry, the
-	// set of registers it reads (srcMarks) and writes (tgtMarks). The
-	// hardware stores the same information as 2-bit cells per
-	// (register, entry); the transposition is an exact representation
-	// change, verified against the paper's worked example.
-	srcMarks []uint64 // Entries × regWords
-	tgtMarks []uint64
+	// Lazy column invalidation (see the package comment).
+	seq      int64   // monotone allocation counter; 0 = nothing inserted
+	rowStamp []int64 // per register: seq when its row was last written
+	allocSeq []int64 // per entry: seq when its current occupant arrived
+
+	// RSE mark planes, fused and transposed for software efficiency: per
+	// entry, regWords source-mark words followed by regWords target-mark
+	// words. The hardware stores the same information as 2-bit cells per
+	// (register, entry); the representation change is exact, verified
+	// against the paper's worked example.
+	marks    []uint64 // Entries × 2*regWords
 	regWords int
 
 	owner  []PhysReg // entry -> target register (NoPReg if none)
@@ -85,6 +110,7 @@ type DDT struct {
 
 	// scratch buffers reused across calls
 	chainBuf bitvec.Vec
+	keepBuf  bitvec.Vec
 	setBuf   bitvec.Vec
 	tmpBuf   bitvec.Vec
 }
@@ -98,13 +124,14 @@ func NewDDT(cfg Config) (*DDT, error) {
 		cfg:      cfg,
 		words:    bitvec.WordsFor(cfg.Entries),
 		valid:    bitvec.New(cfg.Entries),
+		rowStamp: make([]int64, cfg.PhysRegs),
+		allocSeq: make([]int64, cfg.Entries),
 		owner:    make([]PhysReg, cfg.Entries),
 		isLoad:   bitvec.New(cfg.Entries),
 		regWords: bitvec.WordsFor(cfg.PhysRegs),
 	}
 	d.rows = make([]uint64, cfg.PhysRegs*d.words)
-	d.srcMarks = make([]uint64, cfg.Entries*d.regWords)
-	d.tgtMarks = make([]uint64, cfg.Entries*d.regWords)
+	d.marks = make([]uint64, cfg.Entries*2*d.regWords)
 	for i := range d.owner {
 		d.owner[i] = NoPReg
 	}
@@ -112,6 +139,7 @@ func NewDDT(cfg Config) (*DDT, error) {
 		d.depCount = make([]int32, cfg.Entries)
 	}
 	d.chainBuf = bitvec.New(cfg.Entries)
+	d.keepBuf = bitvec.New(cfg.Entries)
 	d.setBuf = bitvec.New(cfg.PhysRegs)
 	d.tmpBuf = bitvec.New(cfg.PhysRegs)
 	return d, nil
@@ -124,6 +152,26 @@ func MustNewDDT(cfg Config) *DDT {
 		panic(err)
 	}
 	return d
+}
+
+// Reset returns the table to its freshly constructed state without
+// re-allocating. The dependence matrix and mark planes are deliberately
+// left dirty: a row is only ever read through its stamp, and stamp zero
+// masks every live entry, so stale matrix content is unreachable — the
+// reset cost is O(Entries + PhysRegs), not O(Entries × PhysRegs).
+func (d *DDT) Reset() {
+	d.seq = 0
+	clear(d.rowStamp)
+	clear(d.allocSeq)
+	d.valid.Reset()
+	d.isLoad.Reset()
+	for i := range d.owner {
+		d.owner[i] = NoPReg
+	}
+	d.head, d.tail, d.count = 0, 0, 0
+	if d.depCount != nil {
+		clear(d.depCount)
+	}
 }
 
 // Config returns the table's configuration.
@@ -146,24 +194,73 @@ func (d *DDT) row(r PhysReg) bitvec.Vec {
 	return bitvec.Vec(d.rows[off : off+d.words])
 }
 
-func (d *DDT) srcRow(e int) bitvec.Vec {
-	off := e * d.regWords
-	return bitvec.Vec(d.srcMarks[off : off+d.regWords])
-}
-
-func (d *DDT) tgtRow(e int) bitvec.Vec {
-	off := e * d.regWords
-	return bitvec.Vec(d.tgtMarks[off : off+d.regWords])
-}
-
-// clearColumn removes entry e from every register row (the paper's
-// "all bits in the instruction entry must be cleared" before reuse).
-func (d *DDT) clearColumn(e int) {
-	wi := e >> 6
-	mask := ^(uint64(1) << (uint(e) & 63))
-	for off := wi; off < len(d.rows); off += d.words {
-		d.rows[off] &= mask
+// entryAt returns the entry index of the live instruction with the given
+// age (1 = most recently inserted).
+func (d *DDT) entryAt(age int) int {
+	e := d.head - age
+	if e < 0 {
+		e += d.cfg.Entries
 	}
+	return e
+}
+
+// staleWidth returns how many of the youngest live entries were allocated
+// after a row written at the given stamp — the width of the circular range
+// below the head whose bits in that row are stale aliases and must be
+// masked on read. allocSeq is monotone over the live window (FIFO
+// allocation), so a binary search over ages suffices.
+func (d *DDT) staleWidth(stamp int64) int {
+	n := d.count
+	if n == 0 || d.allocSeq[d.entryAt(1)] <= stamp {
+		return 0 // row written at or after the youngest live allocation
+	}
+	if d.allocSeq[d.entryAt(n)] > stamp {
+		return n // row predates every live allocation
+	}
+	// Invariant: allocSeq[entryAt(lo)] > stamp >= allocSeq[entryAt(hi)].
+	lo, hi := 1, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if d.allocSeq[d.entryAt(mid)] > stamp {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gatherChain writes (OR of valid source-row bits) & valid into dst: the
+// reset-then-accumulate order matches the hardware read, so dst may alias a
+// source row (the aliased source then contributes nothing, exactly like the
+// wired read-modify-write). Stale row bits — entries re-allocated since the
+// row was written — are masked per source via staleWidth.
+func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
+	dst.Reset()
+	for _, s := range srcs {
+		if s == NoPReg {
+			continue
+		}
+		k := d.staleWidth(d.rowStamp[s])
+		switch {
+		case k == 0:
+			dst.Or(d.row(s))
+		case k == d.count:
+			// Every live entry is younger than the row: nothing genuine
+			// can survive the valid mask, skip the row read entirely.
+		default:
+			keep := d.keepBuf
+			keep.Fill()
+			if start := d.head - k; start >= 0 {
+				keep.ClearRange(start, d.head)
+			} else {
+				keep.ClearRange(start+d.cfg.Entries, d.cfg.Entries)
+				keep.ClearRange(0, d.head)
+			}
+			dst.OrAnd(d.row(s), keep)
+		}
+	}
+	dst.And(d.valid)
 }
 
 // Insert allocates the next instruction entry and updates the target row.
@@ -176,14 +273,16 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 		return 0, fmt.Errorf("core: DDT full (%d entries)", d.cfg.Entries)
 	}
 	e := d.head
-	d.clearColumn(e)
+	d.seq++
+	d.allocSeq[e] = d.seq
 
-	// RSE marks: loads intentionally leave both planes unset (chain
-	// terminators, Figure 3's '*' cells).
-	sm, tm := d.srcRow(e), d.tgtRow(e)
-	sm.Reset()
-	tm.Reset()
+	// RSE marks: one clear covers both fused planes; loads intentionally
+	// leave them unset (chain terminators, Figure 3's '*' cells).
+	rw := d.regWords
+	m := d.marks[e*2*rw : (e+1)*2*rw]
+	clear(m)
 	if !isLoad {
+		sm, tm := bitvec.Vec(m[:rw]), bitvec.Vec(m[rw:])
 		for _, s := range srcs {
 			if s != NoPReg {
 				sm.Set(int(s))
@@ -199,17 +298,24 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 		if isLoad && d.cfg.CutAtLoads {
 			row.Reset()
 		} else {
-			d.combineInto(row, srcs)
+			d.gatherChain(row, srcs)
 		}
 		row.Set(e)
+		d.rowStamp[tgt] = d.seq
 	}
 
 	if d.depCount != nil {
 		d.depCount[e] = 0
 		if tgt != NoPReg && !(isLoad && d.cfg.CutAtLoads) {
 			// Every chain entry gains one more trailing dependent.
-			d.chainInto(d.chainBuf, srcs)
-			d.chainBuf.ForEach(func(i int) { d.depCount[i]++ })
+			d.gatherChain(d.chainBuf, srcs)
+			for wi, w := range d.chainBuf {
+				base := wi << 6
+				for w != 0 {
+					d.depCount[base+bits.TrailingZeros64(w)]++
+					w &= w - 1
+				}
+			}
 		}
 	}
 
@@ -240,29 +346,22 @@ func (d *DDT) prev(e int) int {
 	return e - 1
 }
 
-// combineInto writes (OR of source rows) & valid into dst.
-func (d *DDT) combineInto(dst bitvec.Vec, srcs []PhysReg) {
-	dst.Reset()
-	for _, s := range srcs {
-		if s != NoPReg {
-			dst.Or(d.row(s))
-		}
-	}
-	dst.And(d.valid)
-}
-
-// chainInto writes the dependence chain (valid-masked OR of source rows)
-// into dst, which must have Entries bits.
-func (d *DDT) chainInto(dst bitvec.Vec, srcs []PhysReg) {
-	d.combineInto(dst, srcs)
+// ChainInto writes the dependence chain for the given source registers —
+// the set of in-flight instruction entries the registers' current values
+// transitively depend on — into dst, which must be sized for
+// Config().Entries bits. It is the allocation-free form of Chain for
+// callers reading chains per instruction (the timing engine, the SMT
+// study, ddtviz).
+func (d *DDT) ChainInto(dst bitvec.Vec, srcs []PhysReg) {
+	d.gatherChain(dst, srcs)
 }
 
 // Chain returns a copy of the dependence chain for the given source
-// registers: the set of in-flight instruction entries the registers'
-// current values transitively depend on.
+// registers. It allocates; per-instruction readers should use ChainInto
+// with a reused buffer.
 func (d *DDT) Chain(srcs ...PhysReg) bitvec.Vec {
 	out := bitvec.New(d.cfg.Entries)
-	d.chainInto(out, srcs)
+	d.gatherChain(out, srcs)
 	return out
 }
 
@@ -336,17 +435,19 @@ func (d *DDT) Age(e int) int {
 
 // Depth returns the paper's dependence-chain depth key for a chain bit
 // vector: the maximum number of instructions spanned, i.e. the age of the
-// furthest-back member of the chain, handling circular wrap exactly like
-// the two-priority-encoder scheme in Section 4.5. An empty chain has
-// depth 0.
+// furthest-back member of the chain. It is the software form of the
+// Section 4.5 two-priority-encoder scheme: entries at or above the head
+// wrapped past it and are older than every entry below it, so the
+// furthest-back member is the lowest set bit >= head when one exists, else
+// the lowest set bit overall. An empty chain has depth 0.
 func (d *DDT) Depth(chain bitvec.Vec) int {
-	max := 0
-	chain.ForEach(func(e int) {
-		if a := d.Age(e); a > max {
-			max = a
-		}
-	})
-	return max
+	if e := chain.FirstBitFrom(d.head); e >= 0 {
+		return d.head - e + d.cfg.Entries
+	}
+	if e := chain.FirstBitFrom(0); e >= 0 {
+		return d.head - e
+	}
+	return 0
 }
 
 // ExtractSet implements the RSE read: given a chain bit vector (the column
@@ -357,21 +458,31 @@ func (d *DDT) Depth(chain bitvec.Vec) int {
 //
 // extraSrcs lets the caller include the branch's own source registers as S
 // marks before the branch itself has been inserted (the branch's column is
-// part of the enable in hardware).
+// part of the enable in hardware). The returned vector aliases internal
+// scratch and is valid until the next DDT mutation or extraction.
 func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
-	s, tmp := d.setBuf, d.tmpBuf
+	s, t := d.setBuf, d.tmpBuf
 	s.Reset()
-	tmp.Reset()
-	chain.ForEach(func(e int) {
-		s.Or(d.srcRow(e))
-		tmp.Or(d.tgtRow(e))
-	})
+	t.Reset()
+	rw := d.regWords
+	for wi, w := range chain {
+		base := wi << 6
+		for w != 0 {
+			e := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			m := d.marks[e*2*rw : (e+1)*2*rw]
+			for i := 0; i < rw; i++ {
+				s[i] |= m[i]
+				t[i] |= m[rw+i]
+			}
+		}
+	}
 	for _, r := range extraSrcs {
 		if r != NoPReg {
 			s.Set(int(r))
 		}
 	}
-	s.AndNot(tmp)
+	s.AndNot(t)
 	return s
 }
 
@@ -380,7 +491,7 @@ func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
 // key, computed in one call. The returned vectors alias internal scratch
 // buffers and are valid until the next DDT mutation or LeafSet call.
 func (d *DDT) LeafSet(branchSrcs []PhysReg) (chain bitvec.Vec, set bitvec.Vec, depth int) {
-	d.chainInto(d.chainBuf, branchSrcs)
+	d.gatherChain(d.chainBuf, branchSrcs)
 	set = d.ExtractSet(d.chainBuf, branchSrcs)
 	return d.chainBuf, set, d.Depth(d.chainBuf)
 }

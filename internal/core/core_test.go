@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -430,5 +431,297 @@ func TestRandomAgainstReference(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestChainInto(t *testing.T) {
+	d := newDDT(t, Config{Entries: 8, PhysRegs: 16})
+	mustInsert(t, d, 1, nil, false)
+	mustInsert(t, d, 2, []PhysReg{1}, false)
+	mustInsert(t, d, 3, []PhysReg{2}, false)
+	dst := bitvec.New(8)
+	d.ChainInto(dst, []PhysReg{3})
+	if !dst.Equal(d.Chain(3)) {
+		t.Errorf("ChainInto = %v, Chain = %v", setOf(dst), setOf(d.Chain(3)))
+	}
+	// The buffer is caller-owned: a second read overwrites it completely.
+	d.ChainInto(dst, []PhysReg{1})
+	wantSet(t, dst, 0)
+}
+
+func TestReset(t *testing.T) {
+	d := newDDT(t, Config{Entries: 8, PhysRegs: 16, TrackDepCounts: true})
+	mustInsert(t, d, 1, nil, false)
+	mustInsert(t, d, 2, []PhysReg{1}, true)
+	d.Commit()
+	d.Reset()
+	if d.Len() != 0 || d.Head() != 0 || d.Tail() != 0 {
+		t.Fatalf("len=%d head=%d tail=%d after reset", d.Len(), d.Head(), d.Tail())
+	}
+	// Dirty rows from the previous run must be unreadable (stamp masking).
+	wantSet(t, d.Chain(1))
+	wantSet(t, d.Chain(2))
+	e := mustInsert(t, d, 2, []PhysReg{1}, false)
+	if e != 0 {
+		t.Fatalf("entry after reset = %d, want 0", e)
+	}
+	wantSet(t, d.Chain(2), 0)
+	if d.DepCount(0) != 0 {
+		t.Errorf("DepCount after reset = %d", d.DepCount(0))
+	}
+}
+
+// fuzzRef extends refModel into a full executable specification: chains,
+// RSE marks, dependent counters, cut-at-loads semantics and rollback. It is
+// the oracle that pins the epoch/stamp-based lazy column invalidation to
+// the paper's eager-clear semantics.
+type fuzzRef struct {
+	cut      bool
+	chains   map[PhysReg]map[int]bool
+	inflight map[int]bool
+	src, tgt map[int][]PhysReg // live RSE marks per entry ([] for loads)
+	depCount map[int]int
+}
+
+func newFuzzRef(cut bool) *fuzzRef {
+	return &fuzzRef{
+		cut:      cut,
+		chains:   map[PhysReg]map[int]bool{},
+		inflight: map[int]bool{},
+		src:      map[int][]PhysReg{},
+		tgt:      map[int][]PhysReg{},
+		depCount: map[int]int{},
+	}
+}
+
+func (r *fuzzRef) chain(p PhysReg) map[int]bool {
+	out := map[int]bool{}
+	for x := range r.chains[p] {
+		if r.inflight[x] {
+			out[x] = true
+		}
+	}
+	return out
+}
+
+func (r *fuzzRef) gather(srcs []PhysReg) map[int]bool {
+	out := map[int]bool{}
+	for _, s := range srcs {
+		for x := range r.chain(s) {
+			out[x] = true
+		}
+	}
+	return out
+}
+
+func (r *fuzzRef) insert(e int, tgt PhysReg, srcs []PhysReg, isLoad bool) {
+	for _, c := range r.chains {
+		delete(c, e) // column clear on reuse
+	}
+	r.inflight[e] = true
+	r.depCount[e] = 0
+	if isLoad {
+		r.src[e], r.tgt[e] = nil, nil
+	} else {
+		r.src[e] = append([]PhysReg(nil), srcs...)
+		if tgt != NoPReg {
+			r.tgt[e] = []PhysReg{tgt}
+		} else {
+			r.tgt[e] = nil
+		}
+	}
+	if tgt == NoPReg {
+		return
+	}
+	if isLoad && r.cut {
+		r.chains[tgt] = map[int]bool{e: true}
+		return
+	}
+	nc := r.gather(srcs)
+	for x := range nc {
+		r.depCount[x]++
+	}
+	nc[e] = true
+	r.chains[tgt] = nc
+}
+
+func (r *fuzzRef) commit(e int)   { delete(r.inflight, e); r.depCount[e] = 0 }
+func (r *fuzzRef) rollback(e int) { delete(r.inflight, e); r.depCount[e] = 0 }
+
+// leafSet computes the RSE read over a chain: S & ^T plus the branch's own
+// sources.
+func (r *fuzzRef) leafSet(chain map[int]bool, branchSrcs []PhysReg) map[PhysReg]bool {
+	s := map[PhysReg]bool{}
+	t := map[PhysReg]bool{}
+	for e := range chain {
+		for _, x := range r.src[e] {
+			s[x] = true
+		}
+		for _, x := range r.tgt[e] {
+			t[x] = true
+		}
+	}
+	for _, x := range branchSrcs {
+		s[x] = true
+	}
+	for x := range t {
+		delete(s, x)
+	}
+	return s
+}
+
+// TestRandomizedProgramFuzz drives the DDT with a renamed random program —
+// inserts, commits, misprediction rollbacks with rename-map restore, loads,
+// several full wraparounds past Entries — across the config matrix
+// (TrackDepCounts × CutAtLoads), checking every chain, the dependent
+// counters, the depth key and the full LeafSet read against the executable
+// reference model. This is the safety net for the lazy-invalidation
+// rewrite: any stale-bit aliasing the stamp masking misses shows up here.
+func TestRandomizedProgramFuzz(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 16, PhysRegs: 48},
+		{Entries: 16, PhysRegs: 48, TrackDepCounts: true},
+		{Entries: 16, PhysRegs: 48, CutAtLoads: true},
+		{Entries: 16, PhysRegs: 48, TrackDepCounts: true, CutAtLoads: true},
+		{Entries: 64, PhysRegs: 100, TrackDepCounts: true},
+	} {
+		cfg := cfg
+		name := fmt.Sprintf("e%d_dep%v_cut%v", cfg.Entries, cfg.TrackDepCounts, cfg.CutAtLoads)
+		t.Run(name, func(t *testing.T) {
+			const (
+				logical = 8
+				steps   = 30000
+			)
+			rng := rand.New(rand.NewSource(7))
+			d := newDDT(t, cfg)
+			ref := newFuzzRef(cfg.CutAtLoads)
+
+			// Miniature renamer with rollback checkpoints.
+			var mapTable [logical]PhysReg
+			var freeList []PhysReg
+			for p := logical; p < cfg.PhysRegs; p++ {
+				freeList = append(freeList, PhysReg(p))
+			}
+			for l := 0; l < logical; l++ {
+				mapTable[l] = PhysReg(l)
+			}
+			type slot struct {
+				entry      int
+				logicalDst int // -1 if none
+				newMapping PhysReg
+				oldMapping PhysReg
+			}
+			var window []slot
+			inserts := 0
+
+			for i := 0; i < steps; i++ {
+				switch op := rng.Intn(10); {
+				case d.Len() > 0 && (d.Full() || op < 3):
+					// Commit the oldest.
+					e, err := d.Commit()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref.commit(e)
+					old := window[0].oldMapping
+					window = window[1:]
+					if old != NoPReg {
+						freeList = append(freeList, old)
+					}
+				case d.Len() > 1 && op < 4:
+					// Misprediction rollback of 1..Len-1 youngest, with
+					// rename checkpoint restore (youngest first).
+					n := 1 + rng.Intn(d.Len()-1)
+					if err := d.Rollback(n); err != nil {
+						t.Fatal(err)
+					}
+					for k := 0; k < n; k++ {
+						s := window[len(window)-1]
+						window = window[:len(window)-1]
+						ref.rollback(s.entry)
+						if s.logicalDst >= 0 {
+							mapTable[s.logicalDst] = s.oldMapping
+							freeList = append([]PhysReg{s.newMapping}, freeList...)
+						}
+					}
+				default:
+					nsrc := rng.Intn(3)
+					var srcs []PhysReg
+					for k := 0; k < nsrc; k++ {
+						srcs = append(srcs, mapTable[rng.Intn(logical)])
+					}
+					isLoad := rng.Intn(5) == 0
+					tgt, old := NoPReg, NoPReg
+					ldst := -1
+					if rng.Intn(10) != 0 {
+						ldst = rng.Intn(logical)
+						tgt = freeList[0]
+						freeList = freeList[1:]
+						old = mapTable[ldst]
+						mapTable[ldst] = tgt
+					}
+					e, err := d.Insert(tgt, srcs, isLoad)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inserts++
+					ref.insert(e, tgt, srcs, isLoad)
+					window = append(window, slot{entry: e, logicalDst: ldst, newMapping: tgt, oldMapping: old})
+				}
+
+				// Verify every live mapping's chain, plus depth/leaf reads.
+				for l := 0; l < logical; l++ {
+					p := mapTable[l]
+					chain := d.Chain(p)
+					got := setOf(chain)
+					want := ref.chain(p)
+					if len(got) != len(want) {
+						t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
+					}
+					for k := range want {
+						if !got[k] {
+							t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
+						}
+					}
+					// Depth must equal the max circular age over members.
+					wantDepth := 0
+					for e := range want {
+						if a := d.Age(e); a > wantDepth {
+							wantDepth = a
+						}
+					}
+					if got := d.Depth(chain); got != wantDepth {
+						t.Fatalf("step %d: depth(p%d) = %d, want %d", i, p, got, wantDepth)
+					}
+				}
+
+				if cfg.TrackDepCounts {
+					for _, s := range window {
+						if got, want := d.DepCount(s.entry), ref.depCount[s.entry]; got != want {
+							t.Fatalf("step %d: depCount(e%d) = %d, want %d", i, s.entry, got, want)
+						}
+					}
+				}
+
+				if i%7 == 0 {
+					// Full ARVI front-end read on a random branch.
+					branchSrcs := []PhysReg{mapTable[rng.Intn(logical)], mapTable[rng.Intn(logical)]}
+					chain, set, _ := d.LeafSet(branchSrcs)
+					wantLeaves := ref.leafSet(setOf(chain), branchSrcs)
+					gotLeaves := setOf(set)
+					if len(gotLeaves) != len(wantLeaves) {
+						t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
+					}
+					for r := range wantLeaves {
+						if !gotLeaves[int(r)] {
+							t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
+						}
+					}
+				}
+			}
+			if inserts < 4*cfg.Entries {
+				t.Fatalf("fuzz wrapped the table only %d/%d inserts", inserts, 4*cfg.Entries)
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 	"io"
+	"math/bits"
 
 	"repro/internal/arvi"
 	"repro/internal/bitvec"
@@ -53,6 +54,13 @@ func newIssueLimiter(width int) *issueLimiter {
 		width:  uint8(width),
 		mask:   ring - 1,
 	}
+}
+
+// reset restores the freshly built state (stamp 0 rows with zero counts
+// are indistinguishable from untouched ones at cycle 0).
+func (l *issueLimiter) reset() {
+	clear(l.counts)
+	clear(l.stamps)
 }
 
 func (l *issueLimiter) take(c int64) int64 {
@@ -131,9 +139,16 @@ type Engine struct {
 	ddt  *core.DDT
 	hist bpred.History
 
-	// Rename state.
+	// Rename state. The free list is a fixed ring (FIFO pop at freeHead,
+	// push behind it): the paper's rotating free list, without the
+	// append/reslice churn that re-allocated the backing array every
+	// ~PhysRegs renames. FIFO order is load-bearing — StalePhysical reads
+	// the previous occupant of a physical register, so the allocation
+	// order is part of the simulated semantics.
 	mapTable [isa.NumRegs]core.PhysReg
-	freeList []core.PhysReg
+	freeRing []core.PhysReg
+	freeHead int
+	freeLen  int
 	meta     []pregMeta
 
 	// Per-seq rings.
@@ -160,9 +175,16 @@ type Engine struct {
 	nextFetchMin int64
 	lastCommitC  int64
 	memSeq       int64
-	ras          []int64
 	frontLat     int64
 	l2Lat        int64
+
+	// Return-address stack: a fixed ring holding the youngest rasDepth
+	// entries (pushing onto a full stack drops the oldest), replacing the
+	// sliding-slice version whose backing array re-allocated as the slice
+	// start crept forward.
+	ras      [rasDepth]int64
+	rasStart int
+	rasLen   int
 
 	// Per-branch pending front-end effects, set by predictBranch or
 	// predictJump and consumed by resolveControl once the resolution
@@ -172,10 +194,69 @@ type Engine struct {
 
 	st Stats
 
-	// Scratch.
+	// Scratch, pre-sized by NewEngine and reused every event.
 	srcPregs  []core.PhysReg
 	leafBuf   []arvi.LeafValue
 	srcRegBuf []isa.Reg
+	wpUndo    []wpUndo
+	evBuf     vm.Event // RunSource's event cursor: a local would escape
+	// through the EventSource interface call and heap-allocate per run
+}
+
+// rasDepth is the return-address stack capacity (power of two).
+const rasDepth = 64
+
+// rasPush pushes a predicted return address, dropping the oldest entry
+// when the stack is full.
+func (e *Engine) rasPush(v int64) {
+	if e.rasLen == rasDepth {
+		e.rasStart = (e.rasStart + 1) & (rasDepth - 1)
+		e.rasLen--
+	}
+	e.ras[(e.rasStart+e.rasLen)&(rasDepth-1)] = v
+	e.rasLen++
+}
+
+// rasPop pops the youngest return address; ok is false on an empty stack.
+func (e *Engine) rasPop() (v int64, ok bool) {
+	if e.rasLen == 0 {
+		return 0, false
+	}
+	e.rasLen--
+	return e.ras[(e.rasStart+e.rasLen)&(rasDepth-1)], true
+}
+
+// freePop takes the oldest free physical register (FIFO).
+func (e *Engine) freePop() core.PhysReg {
+	p := e.freeRing[e.freeHead]
+	e.freeHead++
+	if e.freeHead == len(e.freeRing) {
+		e.freeHead = 0
+	}
+	e.freeLen--
+	return p
+}
+
+// freePush returns a register to the back of the free list.
+func (e *Engine) freePush(p core.PhysReg) {
+	i := e.freeHead + e.freeLen
+	if i >= len(e.freeRing) {
+		i -= len(e.freeRing)
+	}
+	e.freeRing[i] = p
+	e.freeLen++
+}
+
+// freePushFront puts a register back at the front of the free list — the
+// wrong-path recovery undo, which must restore the exact pre-speculation
+// allocation order.
+func (e *Engine) freePushFront(p core.PhysReg) {
+	e.freeHead--
+	if e.freeHead < 0 {
+		e.freeHead = len(e.freeRing) - 1
+	}
+	e.freeRing[e.freeHead] = p
+	e.freeLen++
 }
 
 // NewEngine builds an engine for the configuration.
@@ -228,17 +309,68 @@ func NewEngine(cfg Config) (*Engine, error) {
 		frontLat:    int64(cfg.FrontLatency()),
 		l2Lat:       int64(cfg.L2Latency()),
 	}
+	e.freeRing = make([]core.PhysReg, physRegs)
+	e.srcPregs = make([]core.PhysReg, 0, 4)
+	e.srcRegBuf = make([]isa.Reg, 0, 4)
+	e.leafBuf = make([]arvi.LeafValue, 0, 64)
+	e.wpUndo = make([]wpUndo, 0, wrongPathBurst)
+	e.resetArchState()
+	return e, nil
+}
+
+// resetArchState (re)initialises every piece of engine state that varies
+// over a run, leaving configuration-derived allocations in place. It is
+// shared by NewEngine and Reset, so a reset engine is bit-for-bit
+// equivalent to a fresh one (pinned by TestEngineResetDeterminism).
+func (e *Engine) resetArchState() {
 	for l := 0; l < isa.NumRegs; l++ {
 		e.mapTable[l] = core.PhysReg(l)
+	}
+	clear(e.meta)
+	for l := 0; l < isa.NumRegs; l++ {
 		e.meta[l].logical = uint8(l)
 	}
-	for p := isa.NumRegs; p < physRegs; p++ {
-		e.freeList = append(e.freeList, core.PhysReg(p))
+	e.freeHead, e.freeLen = 0, 0
+	for p := isa.NumRegs; p < len(e.meta); p++ {
+		e.freeRing[e.freeLen] = core.PhysReg(p)
+		e.freeLen++
 	}
+	clear(e.commitRing)
+	clear(e.prevMapRing)
+	clear(e.destRing)
+	clear(e.valRing)
+	clear(e.memRing)
 	for i := range e.stores {
-		e.stores[i].seq = -1
+		e.stores[i] = storeRec{seq: -1}
 	}
-	return e, nil
+	e.archVal = [isa.NumRegs]uint16{}
+	e.hist = bpred.History{}
+	e.fetchSlots = slotLimiter{width: e.cfg.FetchWidth}
+	e.commitSlots = slotLimiter{width: e.cfg.CommitWidth}
+	e.issue.reset()
+	clear(e.alu.nextFree)
+	clear(e.mul.nextFree)
+	clear(e.memu.nextFree)
+	e.frontier, e.nextFetchMin, e.lastCommitC, e.memSeq = 0, 0, 0, 0
+	e.rasStart, e.rasLen = 0, 0
+	e.pendingOverride, e.pendingMispredict = 0, false
+	e.st = Stats{}
+	e.prog = nil
+}
+
+// Reset returns the engine to its freshly constructed state without
+// re-allocating any of its structures (tables, rings, the DDT matrix), so
+// a sweep can reuse one engine per configuration instead of churning the
+// allocator per matrix cell. A reset engine produces bit-identical
+// statistics to a new one.
+func (e *Engine) Reset() {
+	e.hier.Reset()
+	e.l1.Reset()
+	e.l2.Reset()
+	e.conf.Reset()
+	e.av.Reset()
+	e.ddt.Reset()
+	e.resetArchState()
 }
 
 // Hierarchy exposes the memory system for inspection after a run.
@@ -287,16 +419,16 @@ func (e *Engine) Run(p *prog.Program) (Stats, error) {
 // (e.g. one recorded by package trace) through the timing model.
 func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 	e.prog = p
-	var ev vm.Event
+	ev := &e.evBuf
 	var n int64
 	for e.cfg.MaxInsts <= 0 || n < e.cfg.MaxInsts {
-		if err := src.Next(&ev); err != nil {
+		if err := src.Next(ev); err != nil {
 			if err == io.EOF {
 				break
 			}
 			return e.st, fmt.Errorf("cpu: trace source failed: %w", err)
 		}
-		e.process(&ev)
+		e.process(ev)
 		n++
 	}
 	e.st.Insts = n
@@ -327,7 +459,7 @@ func (e *Engine) advanceFrontier(seq, now int64) {
 			panic("cpu: DDT/frontier desync: " + err.Error())
 		}
 		if old := e.prevMapRing[idx]; old != core.NoPReg {
-			e.freeList = append(e.freeList, old)
+			e.freePush(old)
 		}
 		if d := e.destRing[idx]; d != 0xff {
 			e.archVal[d] = e.valRing[idx] // shadow architectural file
@@ -395,11 +527,10 @@ func (e *Engine) process(ev *vm.Event) {
 	var dest = core.NoPReg
 	var displaced = core.NoPReg
 	if in.HasDest() {
-		if len(e.freeList) == 0 {
+		if e.freeLen == 0 {
 			panic("cpu: free list exhausted (rename invariant violated)")
 		}
-		dest = e.freeList[0]
-		e.freeList = e.freeList[1:]
+		dest = e.freePop()
 		displaced = e.mapTable[in.Rd]
 		e.mapTable[in.Rd] = dest
 	}
@@ -657,15 +788,11 @@ func (e *Engine) predictJump(ev *vm.Event, fetchC int64) {
 	e.pendingMispredict = false
 	switch in.Op {
 	case isa.OpJal:
-		e.ras = append(e.ras, int64(ev.PC+1))
-		if len(e.ras) > 64 {
-			e.ras = e.ras[1:]
-		}
+		e.rasPush(int64(ev.PC + 1))
 	case isa.OpJr:
 		predicted := int64(-1)
-		if n := len(e.ras); n > 0 {
-			predicted = e.ras[n-1]
-			e.ras = e.ras[:n-1]
+		if v, ok := e.rasPop(); ok {
+			predicted = v
 		}
 		if predicted != int64(ev.NextPC) {
 			e.st.JumpMispreds++
@@ -692,33 +819,40 @@ func (e *Engine) resolveControl(ev *vm.Event, fetchC, doneC int64) {
 
 // resolveLeaves turns the RSE leaf register set into (logical id, value)
 // pairs according to the configured value-availability mode, and classifies
-// the branch instance as calculated or load.
+// the branch instance as calculated or load. The set is iterated with a
+// direct word scan — a ForEach closure here escapes (it captures class by
+// reference) and would heap-allocate on every predicted branch.
 func (e *Engine) resolveLeaves(set bitvec.Vec, fetchC int64) ([]arvi.LeafValue, BranchClass) {
 	e.leafBuf = e.leafBuf[:0]
 	class := ClassCalculated
-	set.ForEach(func(p int) {
-		m := &e.meta[p]
-		avail := m.commitC <= fetchC || m.doneC+1 <= fetchC
-		if !avail && e.cfg.Mode == PredARVILoadBack && m.isLoad && m.hoistAvail <= fetchC {
-			avail = true
-		}
-		if !avail {
-			class = ClassLoad
-		}
-		val := m.val
-		if !avail && e.cfg.Mode != PredARVIPerfect {
-			switch e.cfg.StalePolicy {
-			case StaleArchValue:
-				// Committed architectural value of the leaf's logical
-				// register (shadow architectural register file).
-				val = e.archVal[m.logical]
-			case StaleMask:
-				val = 0
-			default: // StalePhysical: the paper's shadow regfile read
-				val = m.prevVal
+	for wi, w := range set {
+		base := wi << 6
+		for w != 0 {
+			p := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			m := &e.meta[p]
+			avail := m.commitC <= fetchC || m.doneC+1 <= fetchC
+			if !avail && e.cfg.Mode == PredARVILoadBack && m.isLoad && m.hoistAvail <= fetchC {
+				avail = true
 			}
+			if !avail {
+				class = ClassLoad
+			}
+			val := m.val
+			if !avail && e.cfg.Mode != PredARVIPerfect {
+				switch e.cfg.StalePolicy {
+				case StaleArchValue:
+					// Committed architectural value of the leaf's logical
+					// register (shadow architectural register file).
+					val = e.archVal[m.logical]
+				case StaleMask:
+					val = 0
+				default: // StalePhysical: the paper's shadow regfile read
+					val = m.prevVal
+				}
+			}
+			e.leafBuf = append(e.leafBuf, arvi.LeafValue{Logical: m.logical, Value: val})
 		}
-		e.leafBuf = append(e.leafBuf, arvi.LeafValue{Logical: m.logical, Value: val})
-	})
+	}
 	return e.leafBuf, class
 }

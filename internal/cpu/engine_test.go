@@ -1,11 +1,13 @@
 package cpu
 
 import (
+	"io"
 	"strings"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/prog"
+	"repro/internal/vm"
 )
 
 func runSrc(t *testing.T, src string, cfg Config) Stats {
@@ -453,5 +455,156 @@ func TestProgramValidation(t *testing.T) {
 	p := &prog.Program{Name: "empty"}
 	if _, err := Run(p, DefaultConfig(20, PredBaseline2Lvl)); err == nil {
 		t.Error("empty program accepted")
+	}
+}
+
+// resetTestKernel mixes serial chains, unpredictable and loop branches,
+// loads, stores and calls so an engine run touches every per-run structure:
+// the DDT, RAS, free ring, store queue, ARVI, confidence and both gskew
+// levels.
+const resetTestKernel = `
+main:
+    li  r1, 424242     # lcg state
+    li  r2, 1103515245
+    li  r9, 0          # counter
+    li  r10, 1500      # iterations
+    li  r12, 256       # data base
+loop:
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    srli r3, r1, 13
+    andi r3, r3, 63
+    add r4, r12, r3
+    sw  r1, 0(r4)      # store to a hashed slot
+    lw  r5, 0(r4)      # forwarded load
+    andi r6, r5, 1
+    beq r6, r0, even
+    addi r7, r7, 1
+even:
+    jal helper
+    addi r9, r9, 1
+    bne r9, r10, loop
+    halt
+helper:
+    addi r8, r8, 3
+    jr  r31
+`
+
+// TestEngineResetDeterminism pins the Reset contract the sim-layer engine
+// pool depends on: a reset engine must reproduce a fresh engine's
+// statistics bit for bit, for every predictor mode.
+func TestEngineResetDeterminism(t *testing.T) {
+	p, err := asm.Assemble("t", resetTestKernel)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	for _, mode := range []PredMode{PredBaseline2Lvl, PredARVICurrent, PredARVILoadBack, PredARVIPerfect} {
+		cfg := DefaultConfig(20, mode)
+		cfg.MaxInsts = 15_000
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := eng.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A second run on dirty state must diverge-proof via Reset only.
+		for i := 0; i < 2; i++ {
+			eng.Reset()
+			again, err := eng.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != fresh {
+				t.Errorf("%v: reset run %d diverged:\nfresh %+v\nreset %+v", mode, i, fresh, again)
+			}
+		}
+	}
+}
+
+// TestEngineResetMatchesWrongPathInjection extends the Reset contract to
+// the wrong-path exercise machinery (its undo scratch and free-ring
+// front-pushes must also reset cleanly).
+func TestEngineResetMatchesWrongPathInjection(t *testing.T) {
+	p, err := asm.Assemble("t", resetTestKernel)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cfg := DefaultConfig(20, PredARVICurrent)
+	cfg.MaxInsts = 10_000
+	cfg.WrongPathInject = true
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := eng.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Reset()
+	again, err := eng.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fresh {
+		t.Errorf("wrong-path inject reset diverged:\nfresh %+v\nreset %+v", fresh, again)
+	}
+}
+
+// sliceSource replays pre-recorded events (test-local EventSource).
+type sliceSource struct {
+	evs []vm.Event
+	i   int
+}
+
+func (s *sliceSource) Next(ev *vm.Event) error {
+	if s.i >= len(s.evs) {
+		return io.EOF
+	}
+	*ev = s.evs[s.i]
+	s.i++
+	return nil
+}
+
+// TestSteadyStateAllocFree is the per-event allocation regression guard of
+// the hot path: after warm-up, replaying the full timing model (fetch,
+// rename, DDT insert, ARVI prediction, issue, commit) must not allocate at
+// all. The free-list and RAS rings plus the closure-free leaf resolution
+// are what make this hold; any regression shows up as a non-zero
+// AllocsPerRun.
+func TestSteadyStateAllocFree(t *testing.T) {
+	p, err := asm.Assemble("t", resetTestKernel)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	// Pre-record the dynamic trace so the VM is outside the measured loop.
+	var evs []vm.Event
+	m := vm.New(p)
+	for len(evs) < 12_000 && !m.Halt {
+		var ev vm.Event
+		if err := m.Step(&ev); err != nil {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	for _, mode := range []PredMode{PredBaseline2Lvl, PredARVICurrent} {
+		cfg := DefaultConfig(20, mode)
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := &sliceSource{evs: evs}
+		run := func() {
+			eng.Reset()
+			src.i = 0
+			if _, err := eng.RunSource(p, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm-up: scratch buffers reach steady-state capacity
+		if avg := testing.AllocsPerRun(5, run); avg != 0 {
+			t.Errorf("%v: steady-state run allocates %.1f times, want 0", mode, avg)
+		}
 	}
 }

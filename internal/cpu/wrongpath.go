@@ -10,6 +10,16 @@ import (
 // injects: roughly the front end's runahead before resolution.
 const wrongPathBurst = 12
 
+// wpUndo records one wrong-path rename so recovery can restore the
+// checkpointed state. The engine keeps a reusable scratch slice of these
+// (e.wpUndo) so injection allocates nothing in steady state.
+type wpUndo struct {
+	rd        isa.Reg
+	newP      core.PhysReg
+	oldP      core.PhysReg
+	savedMeta pregMeta
+}
+
 // injectWrongPath renames a burst of wrong-path instructions into the DDT
 // after a mispredicted conditional branch, then recovers exactly as the
 // hardware would: the DDT head pointer rewinds (core.DDT.Rollback) and the
@@ -26,13 +36,7 @@ func (e *Engine) injectWrongPath(ev *vm.Event) {
 	}
 	text := e.prog.Text
 
-	type undo struct {
-		rd        isa.Reg
-		newP      core.PhysReg
-		oldP      core.PhysReg
-		savedMeta pregMeta
-	}
-	var undos []undo
+	e.wpUndo = e.wpUndo[:0]
 	inserted := 0
 
 	for k := 0; k < wrongPathBurst && wpc >= 0 && wpc < len(text); k++ {
@@ -47,12 +51,11 @@ func (e *Engine) injectWrongPath(ev *vm.Event) {
 		}
 		dest := core.NoPReg
 		if win.HasDest() {
-			if len(e.freeList) == 0 {
+			if e.freeLen == 0 {
 				break
 			}
-			dest = e.freeList[0]
-			e.freeList = e.freeList[1:]
-			undos = append(undos, undo{
+			dest = e.freePop()
+			e.wpUndo = append(e.wpUndo, wpUndo{
 				rd: win.Rd, newP: dest, oldP: e.mapTable[win.Rd],
 				savedMeta: e.meta[dest],
 			})
@@ -80,16 +83,16 @@ func (e *Engine) injectWrongPath(ev *vm.Event) {
 	}
 
 	// Recovery: the paper's Section 2 rollback plus rename checkpoint
-	// restore, applied youngest-first.
+	// restore, applied youngest-first. Registers return to the *front* of
+	// the free ring so the pre-speculation allocation order is restored
+	// exactly.
 	if err := e.ddt.Rollback(inserted); err != nil {
 		panic("cpu: wrong-path rollback failed: " + err.Error())
 	}
-	for i := len(undos) - 1; i >= 0; i-- {
-		u := undos[i]
+	for i := len(e.wpUndo) - 1; i >= 0; i-- {
+		u := e.wpUndo[i]
 		e.mapTable[u.rd] = u.oldP
 		e.meta[u.newP] = u.savedMeta
-		e.freeList = append(e.freeList, 0)
-		copy(e.freeList[1:], e.freeList)
-		e.freeList[0] = u.newP
+		e.freePushFront(u.newP)
 	}
 }

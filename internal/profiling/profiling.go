@@ -1,0 +1,79 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing
+// for the command-line drivers (cmd/experiments, cmd/arvisim), so hot-path
+// work on the simulator can be profiled on exactly the workloads the paper
+// runs. See README "Performance" for usage.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartCPU begins a CPU profile to path and returns the function that
+// stops it and closes the file. The stop function is idempotent, so a
+// driver can both defer it and call it from its fatal-exit path (os.Exit
+// skips defers; an unstopped profile is a truncated, unusable file). An
+// empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}, nil
+}
+
+// Setup wires both profiles for a command-line driver: it starts the CPU
+// profile and returns an idempotent flush that stops it and writes the
+// heap profile, reporting flush errors to stderr under the given prefix.
+// The driver should both defer the flush and call it from its fatal-exit
+// helper (os.Exit skips defers). Empty paths are no-ops.
+func Setup(cpuPath, memPath, prefix string) (flush func(), err error) {
+	stop, err := StartCPU(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stop()
+			if err := WriteHeap(memPath); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+			}
+		})
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path after a final GC (so the
+// numbers reflect live steady-state memory, not collectable garbage). An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return f.Close()
+}

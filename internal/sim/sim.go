@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -111,6 +112,30 @@ type Engine struct {
 
 	simulated atomic.Int64
 	cacheHits atomic.Int64
+
+	// enginePools recycles cpu.Engines per configuration fingerprint:
+	// a sweep resets and reuses an engine for every cell that shares a
+	// machine configuration instead of re-allocating its tables, rings
+	// and DDT matrix per cell (cpu.Engine.Reset is pinned bit-identical
+	// to a fresh engine by TestEngineResetDeterminism).
+	enginePools sync.Map // string -> *sync.Pool of *cpu.Engine
+}
+
+// engineFor returns a reusable engine for the configuration, freshly reset.
+// Return it with putEngine after the run.
+func (e *Engine) engineFor(cfg cpu.Config) (*cpu.Engine, *sync.Pool, error) {
+	pi, _ := e.enginePools.LoadOrStore(cfg.Fingerprint(), &sync.Pool{})
+	pool := pi.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		eng := v.(*cpu.Engine)
+		eng.Reset()
+		return eng, pool, nil
+	}
+	eng, err := cpu.NewEngine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, pool, nil
 }
 
 // Simulated reports how many cells this engine actually simulated (cache
@@ -144,29 +169,36 @@ func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
 	return res, nil, cacheErr
 }
 
-// simulate executes one spec, through the trace store when the engine has
-// one: the store yields the benchmark's shared decoded trace (recording it
-// on first request) and only the timing model runs per spec.
+// simulate executes one spec on a pooled engine, through the trace store
+// when the engine has one: the store yields the benchmark's shared decoded
+// trace (recording it on first request) and only the timing model runs per
+// spec.
 func (e *Engine) simulate(spec Spec) (Result, error) {
-	if e.Traces == nil {
-		return Simulate(spec)
-	}
 	b, ok := workload.Lookup(spec.Bench)
 	if !ok {
 		return Result{}, fmt.Errorf("sim: %s: unknown benchmark %q", spec, spec.Bench)
 	}
 	cfg := spec.Config()
-	dec, err := e.Traces.Get(b.Prog, cfg.MaxInsts)
+	eng, pool, err := e.engineFor(cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
 	}
-	eng, err := cpu.NewEngine(cfg)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+	// Return the engine on every path, including failures: engineFor
+	// resets on reuse, so a dirty engine is safe to pool.
+	defer pool.Put(eng)
+	var st cpu.Stats
+	if e.Traces == nil {
+		st, err = eng.Run(b.Prog)
+	} else {
+		var dec *trace.Decoded
+		dec, err = e.Traces.Get(b.Prog, cfg.MaxInsts)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
+		}
+		// Replay against the trace's own program instance so the cursor's
+		// decoded instructions and the engine's wrong-path text agree.
+		st, err = eng.RunSource(dec.Prog(), dec.Cursor())
 	}
-	// Replay against the trace's own program instance so the cursor's
-	// decoded instructions and the engine's wrong-path text agree.
-	st, err := eng.RunSource(dec.Prog(), dec.Cursor())
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
 	}

@@ -18,6 +18,7 @@ package smt
 import (
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/prog"
@@ -101,7 +102,8 @@ type thread struct {
 	freeList []core.PhysReg
 	doneC    []int64 // per physical register
 	window   []inflight
-	chainSum int64 // sum of chain lengths of in-flight instructions
+	chainBuf bitvec.Vec // reused per-instruction chain read (DDT.ChainInto)
+	chainSum int64      // sum of chain lengths of in-flight instructions
 	retired  int64
 	halted   bool
 }
@@ -113,9 +115,10 @@ func newThread(p *prog.Program, window int) (*thread, error) {
 		return nil, err
 	}
 	t := &thread{
-		machine: vm.New(p),
-		ddt:     ddt,
-		doneC:   make([]int64, physRegs),
+		machine:  vm.New(p),
+		ddt:      ddt,
+		doneC:    make([]int64, physRegs),
+		chainBuf: bitvec.New(window),
 	}
 	for i := 0; i < isa.NumRegs; i++ {
 		t.mapTable[i] = core.PhysReg(i)
@@ -194,7 +197,9 @@ func (t *thread) fetchOne(now int64, loadLat int) bool {
 	done := ready + lat
 	if dest != core.NoPReg {
 		t.doneC[dest] = done
-		cl := t.ddt.Chain(dest).Count()
+		destReg := [1]core.PhysReg{dest}
+		t.ddt.ChainInto(t.chainBuf, destReg[:])
+		cl := t.chainBuf.Count()
 		t.window = append(t.window, inflight{doneC: done, displaced: displaced, chainLen: cl})
 		t.chainSum += int64(cl)
 	} else {
