@@ -1,0 +1,140 @@
+// Command arvid serves the experiment engine as a long-running HTTP/JSON
+// daemon. Where cmd/arvisim and cmd/experiments pay process startup,
+// cache open and trace decode per invocation, arvid opens the result
+// cache and trace store once and keeps the engine (and its per-
+// configuration pool of reset-able cpu.Engines) resident, so repeated
+// queries are warm cache hits in microseconds.
+//
+// The cache and trace directories default to the same `.simcache` /
+// `.simtraces` the CLIs use: a sweep primed by `experiments` serves
+// warm from arvid, and cells first simulated by arvid are cache hits for
+// the CLIs.
+//
+// Usage:
+//
+//	arvid                              # serve on :8744, cache in .simcache
+//	arvid -addr 127.0.0.1:9000         # explicit listen address
+//	arvid -max-inflight 4              # at most 4 concurrent computations
+//	arvid -max-insts 10000000          # per-request total instruction cap
+//	arvid -cache "" -no-traces         # stateless (everything simulates)
+//
+//	curl localhost:8744/healthz
+//	curl localhost:8744/v1/bench
+//	curl -d '{"bench":"m88ksim","depth":20,"mode":"arvi-current"}' localhost:8744/v1/run
+//	curl -d '{"depths":[20],"max_insts":100000}' localhost:8744/v1/matrix
+//	curl -d '{"mixes":["ijpeg+li"]}' localhost:8744/v1/study/smt
+//	curl -d '{"benches":["li"],"dep_threshold":4}' localhost:8744/v1/study/vpred
+//	curl localhost:8744/v1/artifacts/fig6?n=100000
+//
+// See internal/server for the endpoint contracts (byte-stable warm hits,
+// singleflight coalescing of duplicate in-flight requests, 429 beyond
+// -max-inflight, 400 beyond -max-insts) and the README's "Serving"
+// section for the endpoint table.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "arvid:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8744", "listen address")
+	cacheDir := flag.String("cache", ".simcache", "result cache directory shared with the CLIs (empty = no cache)")
+	traceDir := flag.String("trace-dir", ".simtraces", "trace store directory shared with the CLIs (empty = record+replay in memory only)")
+	noTraces := flag.Bool("no-traces", false, "disable the trace store: every cell runs its own functional VM")
+	traceMem := flag.Int64("trace-mem", 0, "resident decoded-trace budget in MiB (0 = default)")
+	workers := flag.Int("workers", 0, "max concurrent simulations inside the engine (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently computing requests; excess get 429 (0 = 2x GOMAXPROCS)")
+	maxInsts := flag.Int64("max-insts", server.DefaultMaxTotalInsts, "per-request cap on total instruction budget (per-cell budget x cells)")
+	defaultInsts := flag.Int64("default-insts", sim.DefaultMaxInsts, "per-cell instruction budget when a request omits max_insts")
+	flag.Parse()
+
+	if *maxInsts <= 0 {
+		fmt.Fprintf(os.Stderr, "arvid: -max-insts %d out of range (need >= 1)\n", *maxInsts)
+		os.Exit(2)
+	}
+	if *defaultInsts <= 0 {
+		fmt.Fprintf(os.Stderr, "arvid: -default-insts %d out of range (need >= 1)\n", *defaultInsts)
+		os.Exit(2)
+	}
+
+	eng := &sim.Engine{Workers: *workers}
+	if *cacheDir != "" {
+		c, err := sim.OpenCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		eng.Cache = c
+	}
+	if !*noTraces {
+		ts, err := sim.OpenTraceStore(*traceDir, *traceMem<<20)
+		if err != nil {
+			fail(err)
+		}
+		eng.Traces = ts
+	}
+
+	h := server.New(server.Config{
+		Engine:        eng,
+		MaxInflight:   *maxInflight,
+		MaxTotalInsts: *maxInsts,
+		DefaultInsts:  *defaultInsts,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: h,
+		// Simulations can legitimately take a while; bound only the parts
+		// a slow or hostile client controls.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "arvid: serving on %s (cache %q, traces %q)\n", *addr, *cacheDir, traceLabel(*noTraces, *traceDir))
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "arvid: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fail(err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+}
+
+// traceLabel names the trace tier for the startup line.
+func traceLabel(disabled bool, dir string) string {
+	if disabled {
+		return "(disabled)"
+	}
+	if dir == "" {
+		return "(memory only)"
+	}
+	return dir
+}

@@ -28,13 +28,6 @@ import (
 	"repro/internal/workload"
 )
 
-var modeNames = map[string]cpu.PredMode{
-	"baseline":      cpu.PredBaseline2Lvl,
-	"arvi-current":  cpu.PredARVICurrent,
-	"arvi-loadback": cpu.PredARVILoadBack,
-	"arvi-perfect":  cpu.PredARVIPerfect,
-}
-
 func main() {
 	bench := flag.String("bench", "m88ksim", "benchmark: gcc compress go ijpeg li m88ksim perl vortex")
 	depth := flag.Int("depth", 20, "pipeline depth in stages: 20, 40 or 60")
@@ -51,21 +44,23 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	md, ok := modeNames[*mode]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "arvisim: unknown mode %q\n", *mode)
-		os.Exit(2)
+	// The validation rules (and their message text) are shared with
+	// cmd/experiments and the HTTP service; see internal/sim/validate.go.
+	md, err := sim.ParseMode(*mode)
+	if err != nil {
+		usage(err)
 	}
-	b, ok := workload.Lookup(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "arvisim: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+	if err := sim.ValidateBench(*bench); err != nil {
+		usage(err)
 	}
-	if *confTh > 15 {
+	if err := sim.ValidateDepth(*depth); err != nil {
+		usage(err)
+	}
+	b, _ := workload.Lookup(*bench)
+	if err := sim.ValidateConfThreshold(*confTh); err != nil {
 		// The JRS counters are 4-bit: a larger threshold could never be
 		// reached and would silently veto every ARVI override.
-		fmt.Fprintf(os.Stderr, "arvisim: conf-threshold %d out of range (counters saturate at 15)\n", *confTh)
-		os.Exit(2)
+		usage(err)
 	}
 	if *record != "" && *replay != "" {
 		fmt.Fprintln(os.Stderr, "arvisim: -record and -replay are mutually exclusive")
@@ -227,6 +222,13 @@ func fatal(err error) {
 	flushProfiles()
 	fmt.Fprintln(os.Stderr, "arvisim:", err)
 	os.Exit(1)
+}
+
+// usage rejects bad arguments with exit status 2 (before profiling has
+// been configured, so there is nothing to flush).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "arvisim:", err)
+	os.Exit(2)
 }
 
 func max1(v int64) float64 {

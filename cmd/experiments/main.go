@@ -97,14 +97,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (valid: %v)\n", *only, artifacts)
 		os.Exit(2)
 	}
-	if *smtCycles <= 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -smt-cycles %d out of range (need >= 1)\n", *smtCycles)
+	// The validation rules (and their message text) are shared with
+	// cmd/arvisim and the HTTP service; see internal/sim/validate.go.
+	if err := sim.ValidateSMTCycles(*smtCycles); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	if *depThreshold <= 0 {
+	if err := sim.ValidateDepThreshold(*depThreshold); err != nil {
 		// Threshold 0 would make the "selective" cells identical to the
 		// all-instructions cells, silently collapsing the ablation.
-		fmt.Fprintf(os.Stderr, "experiments: -dep-threshold %d out of range (need >= 1)\n", *depThreshold)
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,80 @@
+package server
+
+import "sync"
+
+// response is one fully rendered HTTP reply: everything a coalesced
+// waiter needs to answer its request without recomputing anything. The
+// body bytes are shared verbatim between the leader and every waiter, so
+// coalesced responses are byte-identical by construction.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// flight is one in-progress computation. Waiters block on done; the
+// leader fills resp before closing it.
+type flight struct {
+	done    chan struct{}
+	resp    *response
+	waiters int
+}
+
+// flightGroup coalesces duplicate in-flight computations: the first
+// request for a key becomes the leader and runs fn; every request for the
+// same key that arrives before the leader finishes blocks and shares the
+// leader's response. Unlike a cache, a finished flight is forgotten
+// immediately — the result *cache* (internal/sim) is the durable tier;
+// the flight group only prevents concurrent duplicate work.
+//
+// The stdlib-only implementation mirrors golang.org/x/sync/singleflight,
+// which the container does not carry.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do returns fn's response for key, computing it at most once among
+// concurrent callers. shared reports whether this caller was a waiter on
+// another caller's computation.
+func (g *flightGroup) do(key string, fn func() *response) (resp *response, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		<-f.done
+		return f.resp, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// Deregister and release the waiters even if fn panics: a wedged
+	// flight would hang every waiter forever and block the key for the
+	// daemon's lifetime. On panic f.resp stays nil (waiters and the
+	// recovered leader path must treat a nil response as an internal
+	// error) and the panic propagates to the leader's handler.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.resp = fn()
+	return f.resp, false
+}
+
+// waiters reports how many callers are currently blocked on the key's
+// flight (0 when no flight is active). Tests use it to hold a leader
+// until the coalescing it wants to pin has actually formed.
+func (g *flightGroup) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters
+	}
+	return 0
+}

@@ -1,20 +1,3 @@
-// Package sim is the experiment harness for all of the paper's
-// applications: the ARVI branch-prediction matrix ((benchmark × pipeline
-// depth × predictor mode) cells, Section 5), the SMT fetch-policy study
-// ((mix × policy) cells, Section 3), and the selective value-prediction
-// ablation ((benchmark × predictor × selection) cells, Section 3). It
-// runs the cells in parallel and renders the paper's tables and figures
-// from the results.
-//
-// The package is organised around Engine, a cache-backed worker-pool
-// runner. An Engine bounds goroutine spawn to a fixed worker count, keeps
-// every completed result even when sibling runs fail (partial results plus
-// a joined error), and — when given a Cache — persists each cell's
-// statistics on disk keyed by a content hash of the cell's full identity,
-// so an interrupted or enlarged sweep only simulates the cells it has not
-// seen before. Branch-prediction cells are identified by Spec (whose
-// identity is the derived cpu.Config fingerprint); the other applications
-// implement the Study interface and run through RunStudies.
 package sim
 
 import (

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// This file is the single home of the user-input validation rules shared
+// by every front end — cmd/arvisim, cmd/experiments and the HTTP service
+// (internal/server). The front ends differ in how a bad value arrives (a
+// flag, a JSON field) and in how the rejection is delivered (exit status
+// 2, a 4xx response), but the rule and the message text must not drift
+// between them: internal/server's tests pin that an HTTP rejection carries
+// exactly the message the CLI prints for the same bad value.
+
+// ModeNames lists the accepted predictor-mode names in presentation
+// order: the CLI aliases first. ParseMode additionally accepts each
+// mode's cpu.PredMode.String() report name.
+var ModeNames = []string{"baseline", "arvi-current", "arvi-loadback", "arvi-perfect"}
+
+// ParseMode resolves a user-supplied predictor-mode name. It accepts the
+// CLI alias "baseline" as well as the report name "2lvl-2bc-gskew" for
+// the two-level baseline; the ARVI modes use their report names.
+func ParseMode(name string) (cpu.PredMode, error) {
+	switch name {
+	case "baseline", cpu.PredBaseline2Lvl.String():
+		return cpu.PredBaseline2Lvl, nil
+	case cpu.PredARVICurrent.String():
+		return cpu.PredARVICurrent, nil
+	case cpu.PredARVILoadBack.String():
+		return cpu.PredARVILoadBack, nil
+	case cpu.PredARVIPerfect.String():
+		return cpu.PredARVIPerfect, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+// ValidateDepth rejects a non-positive pipeline depth. Depths other
+// than the paper's 20/40/60 are deliberately allowed (LatenciesForDepth
+// buckets them), but a zero or negative depth has no machine meaning.
+func ValidateDepth(depth int) error {
+	if depth <= 0 {
+		return fmt.Errorf("depth %d out of range (need >= 1)", depth)
+	}
+	return nil
+}
+
+// ValidateBench rejects a benchmark name outside the compiled-in suite.
+func ValidateBench(name string) error {
+	if _, ok := workload.Lookup(name); !ok {
+		return fmt.Errorf("unknown benchmark %q", name)
+	}
+	return nil
+}
+
+// ValidateConfThreshold rejects a JRS confidence-threshold override that
+// a 4-bit counter could never reach (such a threshold would silently veto
+// every ARVI override). Zero is valid and means "paper default", not
+// "threshold 0"; see Spec.ConfThreshold. The parameter is uint so callers
+// can validate raw flag/JSON values before narrowing to uint8.
+func ValidateConfThreshold(v uint) error {
+	if v > 15 {
+		return fmt.Errorf("conf-threshold %d out of range (counters saturate at 15)", v)
+	}
+	return nil
+}
+
+// ValidateSpec applies every per-run rule to a spec built from user
+// input: the benchmark must exist, the depth must be positive, and the
+// threshold override must be reachable.
+func ValidateSpec(s Spec) error {
+	if err := ValidateBench(s.Bench); err != nil {
+		return err
+	}
+	if err := ValidateDepth(s.Depth); err != nil {
+		return err
+	}
+	return ValidateConfThreshold(uint(s.ConfThreshold))
+}
+
+// ValidateSMTCycles rejects a non-positive SMT cycle budget.
+func ValidateSMTCycles(cycles int64) error {
+	if cycles <= 0 {
+		return fmt.Errorf("-smt-cycles %d out of range (need >= 1)", cycles)
+	}
+	return nil
+}
+
+// ValidateDepThreshold rejects a non-positive criticality cut: threshold
+// 0 would make the "selective" value-prediction cells identical to the
+// all-instructions cells, silently collapsing the ablation.
+func ValidateDepThreshold(th int) error {
+	if th <= 0 {
+		return fmt.Errorf("-dep-threshold %d out of range (need >= 1)", th)
+	}
+	return nil
+}
+
+// ValidateMix rejects a mix name outside the canonical SMT mix set.
+func ValidateMix(name string) error {
+	if _, ok := workload.LookupMix(name); !ok {
+		return fmt.Errorf("unknown mix %q", name)
+	}
+	return nil
+}
+
+// ValidatePredictor rejects a value-predictor family name that
+// VPredStudy could not instantiate.
+func ValidatePredictor(name string) error {
+	for _, p := range VPredPredictors {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown value predictor %q", name)
+}

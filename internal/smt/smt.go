@@ -1,18 +1,3 @@
-// Package smt implements the Section 3 SMT application: using per-thread
-// dependence-chain information from per-thread DDTs as a fetch-priority
-// signal, compared against Tullsen's ICOUNT policy and round-robin.
-//
-// The model is deliberately lean — the point under study is the fetch
-// policy, not the memory system: N threads each run a program on a private
-// functional VM; a shared front end fetches up to FetchWidth instructions
-// per cycle from the single highest-priority thread (ICOUNT.1.W style).
-// Instructions enter the thread's private window, become ready when their
-// register sources complete (loads carry a fixed latency), and leave the
-// window at completion. Each thread maintains a private DDT, and the
-// dependence policy prioritises the thread whose in-flight instructions
-// have the shortest average dependence chains — the paper's "more accurate
-// measure of the likelihood of a particular thread making forward
-// progress".
 package smt
 
 import (

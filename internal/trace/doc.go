@@ -1,0 +1,26 @@
+// Package trace records and replays the correct-path dynamic instruction
+// stream consumed by the timing model — the mechanism behind the
+// record-once/replay-many tier that lets every (depth × predictor)
+// configuration of one benchmark share a single functional-VM execution
+// (the property the paper's own SimpleScalar-style methodology relies
+// on: all Section 5 configurations see the same dynamic stream).
+//
+// A trace file stores, per retired instruction, the PC, the architectural
+// next PC, the branch outcome, the effective address and the result
+// value — everything cpu.EventSource needs; the static instruction is
+// recovered from the program text at read time, so traces stay compact
+// and a trace is only valid together with the program that produced it.
+//
+// The header binds a trace to its program: it carries the program's
+// content fingerprint (prog.Fingerprint), so replaying against the wrong
+// program is an error rather than a silent garbage run, and — when the
+// trace was written to a seekable sink — the exact record count, so a
+// truncated file is detected even when it was cut at a record boundary.
+//
+// Main entry points: Record executes a program on the functional VM and
+// streams its events to a sink; NewReader replays a trace file as a
+// cpu.EventSource; Decode (and RecordAll, which skips the file) loads a
+// whole trace into a Decoded, whose Cursor values are independent
+// lock-free replay positions — the form sim.TraceStore keeps resident so
+// concurrent timing runs share one immutable decoded trace.
+package trace

@@ -1,16 +1,3 @@
-// Package trace records and replays the correct-path dynamic instruction
-// stream consumed by the timing model. A trace file stores, per retired
-// instruction, the PC, the architectural next PC, the branch outcome, the
-// effective address and the result value — everything cpu.EventSource
-// needs; the static instruction is recovered from the program text at read
-// time, so traces stay compact and a trace is only valid together with the
-// program that produced it.
-//
-// The header binds a trace to its program: it carries the program's content
-// fingerprint (prog.Fingerprint), so replaying against the wrong program is
-// an error rather than a silent garbage run, and — when the trace was
-// written to a seekable sink — the exact record count, so a truncated file
-// is detected even when it was cut at a record boundary.
 package trace
 
 import (

@@ -1,9 +1,3 @@
-// Package vpred implements the value-prediction substrate for the paper's
-// Section 3 "selected value prediction" application: last-value and stride
-// predictors with confidence counters, and a selective driver that uses the
-// DDT's dependent-count extension to restrict prediction to instructions
-// with long dependence chains waiting on them (Calder's criticality
-// heuristic, for which the paper's DDT supplies the missing mechanism).
 package vpred
 
 import (

@@ -1,0 +1,28 @@
+// Package workload provides the eight benchmark programs standing in for
+// the SPEC95 integer suite of Table 3, plus the multi-program mixes the
+// Section 3 SMT study runs. Each program is written in the simulator's
+// assembly language with Go-side generators for its data segment, and is
+// designed to reproduce the *branch character* of its SPEC95 counterpart
+// (see DESIGN.md for the substitution argument):
+//
+//	gcc      — Markov token-stream dispatch through a compare ladder
+//	compress — LZW-style dictionary probe with data-dependent hit/miss
+//	go       — board evaluation with value-noise branches, hard for history
+//	ijpeg    — 8x8 block transform with clamp branches, load heavy
+//	li       — cons-cell traversal with type-tag dispatch
+//	m88ksim  — hash-table linked-list lookup (Figure 7's lookupdisasm)
+//	perl     — character-class scanning and word hashing
+//	vortex   — record-chain validation with highly biased branches
+//
+// All generators are deterministic; programs halt on their own after a
+// bounded amount of work and are sized so that a few hundred thousand
+// dynamic instructions exercise their steady state.
+//
+// Main entry points: Names lists the suite in the paper's presentation
+// order; Lookup resolves a user-supplied name (ByName panics instead, for
+// the compiled-in callers); All builds the whole suite. For the SMT study,
+// MixNames / LookupMix / Mixes provide the canonical multi-program mixes
+// and Mix.Programs resolves a mix's members. Benchmark.Prog carries the
+// assembled program whose content fingerprint (prog.Fingerprint) keys the
+// trace store and every study cache identity.
+package workload

@@ -1,21 +1,3 @@
-// Package workload provides the eight benchmark programs standing in for
-// the SPEC95 integer suite of Table 3. Each program is written in the
-// simulator's assembly language with Go-side generators for its data
-// segment, and is designed to reproduce the *branch character* of its
-// SPEC95 counterpart (see DESIGN.md for the substitution argument):
-//
-//	gcc      — Markov token-stream dispatch through a compare ladder
-//	compress — LZW-style dictionary probe with data-dependent hit/miss
-//	go       — board evaluation with value-noise branches, hard for history
-//	ijpeg    — 8x8 block transform with clamp branches, load heavy
-//	li       — cons-cell traversal with type-tag dispatch
-//	m88ksim  — hash-table linked-list lookup (Figure 7's lookupdisasm)
-//	perl     — character-class scanning and word hashing
-//	vortex   — record-chain validation with highly biased branches
-//
-// All generators are deterministic; programs halt on their own after a
-// bounded amount of work and are sized so that a few hundred thousand
-// dynamic instructions exercise their steady state.
 package workload
 
 import (
