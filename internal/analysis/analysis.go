@@ -1,0 +1,145 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis driver model, built for this repository's
+// arvivet suite (cmd/arvivet). The build environment is dependency-free by
+// policy (go.mod declares no requirements), so instead of importing the
+// x/tools framework the package provides the small subset the suite needs:
+//
+//   - Analyzer / Pass: the familiar unit-of-modularity contract. An
+//     analyzer inspects one type-checked package at a time through Run,
+//     or the whole loaded module at once through RunWorld (used by the
+//     call-path analyzers that x/tools would express with Facts).
+//   - Loader (loader.go): type-checks every module package from source in
+//     dependency order — sharing one types object identity space, which
+//     is what lets cross-package annotation lookups use plain maps where
+//     x/tools needs fact serialization — and resolves out-of-module
+//     imports from the compiler's export data via `go list -export`.
+//   - World (world.go): the module-wide index of //arvi: directives and
+//     function declarations the analyzers consult.
+//
+// The suite's annotation grammar and what each analyzer proves are
+// documented in DESIGN.md's static contracts section.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. At least one of Run and RunWorld
+// must be set; an analyzer may set both (Run for per-package diagnostics,
+// RunWorld for cross-package ones).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the analyzer's documentation: first line is a summary.
+	Doc string
+	// Run, if non-nil, is invoked once per loaded package.
+	Run func(*Pass) error
+	// RunWorld, if non-nil, is invoked once with the whole loaded world.
+	RunWorld func(*WorldPass) error
+}
+
+// Pass carries one package through an analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	World    *World
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.World.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// WorldPass carries the whole loaded world through an analyzer's RunWorld.
+type WorldPass struct {
+	Analyzer *Analyzer
+	World    *World
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *WorldPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.World.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position and a message, attributed to the
+// analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked compilation unit with its syntax.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run executes the analyzers over the world and returns every diagnostic,
+// sorted by position then analyzer name (a deterministic order, so arvivet
+// output is diffable). Analyzer errors — misconfiguration, not findings —
+// abort the run.
+func Run(world *World, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.Run == nil && a.RunWorld == nil {
+			return nil, fmt.Errorf("analysis: analyzer %q has neither Run nor RunWorld", a.Name)
+		}
+		if a.Run != nil {
+			for _, pkg := range world.Pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, World: world, report: collect}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		}
+		if a.RunWorld != nil {
+			pass := &WorldPass{Analyzer: a, World: world, report: collect}
+			if err := a.RunWorld(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s (world): %w", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,105 @@
+// Package analysistest runs an arvivet analyzer over a fixture package
+// and checks its diagnostics against // want expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under the analyzer's testdata/src/<name>/ directory as
+// an ordinary Go package (it may import real module packages such as
+// repro/internal/bitvec). Lines that should produce a diagnostic carry a
+// trailing expectation comment:
+//
+//	v.Or(w) // want `cannot prove the operands`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; several expectations may sit on one line. Every
+// expectation must be matched by a diagnostic on its line and every
+// diagnostic must match an expectation, so fixtures pin both the positive
+// and the negative behaviour of an analyzer.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one // want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads testdata/src/<name> relative to the caller's package
+// directory and checks the analyzer's diagnostics against the fixture's
+// // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	world, err := analysis.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(world, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	diags = append(world.Malformed, diags...)
+
+	expects := collectWants(t, world)
+
+	for _, d := range diags {
+		matched := false
+		for _, ex := range expects {
+			if ex.file == d.Pos.Filename && ex.line == d.Pos.Line && ex.re.MatchString(d.Message) {
+				ex.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", ex.file, ex.line, ex.re)
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for // want expectations.
+func collectWants(t *testing.T, world *analysis.World) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range world.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := world.Fset.Position(c.Pos())
+					ms := wantRE.FindAllStringSubmatch(text, -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: malformed want comment (patterns must be backquoted)", pos.Filename, pos.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

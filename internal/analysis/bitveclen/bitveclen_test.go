@@ -1,0 +1,12 @@
+package bitveclen_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bitveclen"
+)
+
+func TestBitveclen(t *testing.T) {
+	analysistest.Run(t, bitveclen.Analyzer, "b")
+}

@@ -1,0 +1,42 @@
+// Package b exercises the bitveclen analyzer against the real bitvec
+// kernels: same-allocation and same-dimension operands are proven, mixed
+// or unknown provenance demands a justified //arvi:lencheck.
+package b
+
+import "repro/internal/bitvec"
+
+type table struct {
+	//arvi:len entries
+	valid bitvec.Vec
+	//arvi:len entries
+	chain bitvec.Vec
+	//arvi:len regs
+	set bitvec.Vec
+}
+
+// row returns an entries-wide vector.
+//
+//arvi:len entries
+func (t *table) row(i int) bitvec.Vec { return t.valid }
+
+func kernels(t, u *table, n int, other bitvec.Vec, m []uint64, words int) {
+	a := bitvec.New(n)
+	b := bitvec.New(n)
+	c := bitvec.New(n + 1)
+	a.Or(b)
+	a.OrAndInto(b, a, b)
+	a.And(c) // want `cannot prove the operands of And`
+	t.chain.Or(t.valid)
+	t.chain.OrAnd(t.row(3), t.valid)
+	t.chain.Or(t.set)   // want `cannot prove the operands of Or`
+	t.chain.Or(u.chain) // want `cannot prove the operands of Or`
+	t.chain.Or(other)   // want `cannot prove the operands of Or`
+	t.chain.And(other)  //arvi:lencheck callers pass entries-wide vectors only
+	//arvi:lencheck
+	t.chain.AndNot(other) // want `needs a justification`
+	alias := t.valid
+	alias.CopyFrom(t.chain)
+	bitvec.ClearColumn(m, words, 0) // want `ClearColumn`
+	//arvi:lencheck m is rows strides of words uint64s
+	bitvec.ClearColumn(m, words, 1)
+}

@@ -1,0 +1,126 @@
+// Package detmap implements the arvivet analyzer that keeps map iteration
+// order out of the repository's output bytes.
+//
+// The cache keys, golden corpora and service responses are all promised
+// byte-identical across runs; Go map iteration order is deliberately
+// randomized. detmap therefore flags any `range` over a map whose body
+// writes somewhere ordered output could leak: an encoder (json/csv/gob),
+// a hash, a strings.Builder or bytes.Buffer, an io.Writer, an HTTP
+// response, or fmt printing. The fix is the standard idiom — collect the
+// keys, sort them, range over the sorted slice (which detmap no longer
+// sees as a map range). If iteration order provably cannot reach output,
+// say why on the line: //arvi:unordered <why>.
+//
+// The sink test is one level deep by design: it looks at calls made
+// textually inside the range body, identified by package (fmt, encoding/*)
+// or by method name (Write*, Encode, Sum, Fprint*). Order dependence
+// laundered through a helper function is caught by the nondet analyzer's
+// call-path walk on the deterministic tiers instead.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "map ranges feeding encoders, hashes, writers or responses must iterate sorted keys",
+	Run:  run,
+}
+
+// sinkPackages are stdlib packages whose calls emit or encode bytes.
+var sinkPackages = map[string]bool{
+	"fmt":           true,
+	"encoding/json": true,
+	"encoding/csv":  true,
+	"encoding/gob":  true,
+}
+
+// sinkMethods are method names that emit bytes on any plausible receiver
+// (io.Writer, strings.Builder, bytes.Buffer, hash.Hash, http.ResponseWriter,
+// json.Encoder, csv.Writer).
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"WriteAll":    true,
+	"Sum":         true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sink := findSink(info, rs.Body)
+			if sink == nil {
+				return true
+			}
+			if d, ok := pass.World.LineDirective(rs.Pos(), "unordered"); ok {
+				if d.Arg == "" {
+					pass.Reportf(rs.Pos(), "//arvi:unordered needs a justification")
+				}
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map range feeds %s; iterate sorted keys (or justify with //arvi:unordered <why>)", sink.desc)
+			return true
+		})
+	}
+	return nil
+}
+
+type sinkUse struct{ desc string }
+
+// findSink returns the first output sink called inside the range body.
+func findSink(info *types.Info, body *ast.BlockStmt) *sinkUse {
+	var found *sinkUse
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Method call: sink-named methods on any receiver.
+		if s, ok := info.Selections[sel]; ok {
+			if s.Kind() == types.MethodVal && sinkMethods[sel.Sel.Name] {
+				found = &sinkUse{desc: methodDesc(s)}
+			}
+			return true
+		}
+		// Package-qualified call: sink packages.
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if pkg := fn.Pkg(); pkg != nil && sinkPackages[pkg.Path()] {
+				found = &sinkUse{desc: pkg.Name() + "." + fn.Name()}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func methodDesc(s *types.Selection) string {
+	recv := s.Recv().String()
+	if i := strings.LastIndexByte(recv, '/'); i >= 0 {
+		recv = recv[i+1:]
+	}
+	return recv + "." + s.Obj().Name()
+}

@@ -1,0 +1,40 @@
+// Package c exercises the detmap analyzer: map ranges that feed output
+// sinks are flagged, the sort-the-keys idiom and justified unordered
+// ranges are not.
+package c
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func emit(m map[string]int, b *strings.Builder) int {
+	for k, v := range m { // want `map range feeds fmt.Println`
+		fmt.Println(k, v)
+	}
+	for k := range m { // want `map range feeds .strings.Builder.WriteString`
+		b.WriteString(k)
+	}
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+	//arvi:unordered every iteration writes the same single byte
+	for range m {
+		b.WriteByte('.')
+	}
+	//arvi:unordered
+	for k := range m { // want `needs a justification`
+		fmt.Println(k)
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //arvi: annotation comment. The grammar (documented in
+// DESIGN.md's static contracts section):
+//
+//	//arvi:hotpath            — on a func: must be allocation-free (hotalloc)
+//	//arvi:scratch            — on a field/var: legal append destination in hot code
+//	//arvi:cold               — on a statement: error/panic path, exempt from hotalloc
+//	//arvi:dyncall <why>      — on a call line: indirect call allowed in hot code
+//	//arvi:det                — on a func: determinism root (nondet walks from here)
+//	//arvi:len <dim>          — on a field or method: bitvec length dimension tag
+//	//arvi:lencheck <why>     — on a kernel call line: unproven lengths, justified
+//	//arvi:unordered <why>    — on a map range line: order cannot reach output
+//	//arvi:nondet-ok <why>    — on a line: nondeterminism source allowed in det path
+//	//arvi:errdrop-ok <why>   — on a line: discarded error is intentional
+//
+// Directives that carry <why> demand a non-empty justification; the
+// analyzers reject a bare suppression.
+type Directive struct {
+	Name string // "hotpath", "lencheck", ...
+	Arg  string // justification or dimension tag; "" if none given
+	Pos  token.Pos
+	Line int
+}
+
+// parseDirectives extracts every //arvi: directive in the file, keyed by
+// the line the comment appears on.
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	out := make(map[int][]Directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//arvi:")
+			if !ok {
+				continue
+			}
+			name, arg, _ := strings.Cut(text, " ")
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], Directive{
+				Name: name,
+				Arg:  strings.TrimSpace(arg),
+				Pos:  c.Pos(),
+				Line: line,
+			})
+		}
+	}
+	return out
+}
+
+// directivesFor returns the directives attached to a declaration's doc
+// comment (or a field's doc or trailing comment).
+func directivesIn(byLine map[int][]Directive, fset *token.FileSet, groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		start := fset.Position(g.Pos()).Line
+		end := fset.Position(g.End()).Line
+		for line := start; line <= end; line++ {
+			out = append(out, byLine[line]...)
+		}
+	}
+	return out
+}
+
+// LineDirective reports whether a directive of the given name is present
+// on the line of pos or the line directly above it (covering both trailing
+// and leading comment placement), returning it if so.
+func (w *World) LineDirective(pos token.Pos, name string) (Directive, bool) {
+	p := w.Fset.Position(pos)
+	byLine, ok := w.directives[p.Filename]
+	if !ok {
+		return Directive{}, false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}

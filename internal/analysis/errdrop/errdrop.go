@@ -1,0 +1,231 @@
+// Package errdrop implements the arvivet analyzer that keeps error values
+// from disappearing.
+//
+// The sim/server tiers promise the errors.Join partial-result contract:
+// a sweep returns every cell it could compute plus the joined errors of
+// the cells it could not. That contract dies silently the moment a callee
+// error is dropped on the floor, so errdrop flags:
+//
+//   - call statements whose result includes an error that nobody reads
+//     (e.g. a bare os.Remove(...) or w.Write(...)). Explicitly assigning
+//     the error to _ is allowed — it is visible intent a reviewer can
+//     veto — as are println-to-stderr style calls and writers that
+//     document they cannot fail (strings.Builder, bytes.Buffer, hash.Hash).
+//   - short variable declarations that shadow an error variable from an
+//     outer scope of the same function (outside if/for/switch init
+//     clauses) while the outer error is still live — read again after the
+//     shadowing scope closes, before being rewritten. That is the classic
+//     way a checked error silently replaces the one that was supposed to
+//     be returned; shadows of a dead error are the ordinary check-and-fail
+//     idiom and stay quiet.
+//
+// Suppress a deliberate drop with //arvi:errdrop-ok <why> on the line.
+package errdrop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "error results must be read, explicitly discarded, or justified; no shadowed errors",
+	Run:  run,
+}
+
+// neverFails lists methods whose error result is documented to always be
+// nil; dropping it is idiomatic, not a contract violation.
+var neverFails = map[string]bool{
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(hash.Hash).Write":              true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	inits := initStmts(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDroppedCall(pass, call)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && !inits[n] {
+				checkShadowedError(pass, fd, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkDroppedCall flags a call statement whose error result is unread.
+func checkDroppedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if !returnsError(info, call) {
+		return
+	}
+	if name := calleeName(info, call); name != "" {
+		if neverFails[name] {
+			return
+		}
+		// Diagnostic printing to the user's terminal: the write either
+		// works or there is nowhere to report that it did not.
+		if strings.HasPrefix(name, "fmt.Print") || strings.HasPrefix(name, "fmt.Fprint") {
+			return
+		}
+	}
+	if d, ok := pass.World.LineDirective(call.Pos(), "errdrop-ok"); ok {
+		if d.Arg == "" {
+			pass.Reportf(call.Pos(), "//arvi:errdrop-ok needs a justification")
+		}
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is dropped (handle it, assign to _, or justify with //arvi:errdrop-ok)", callDesc(info, call))
+}
+
+// checkShadowedError flags `x, err := ...` where err redeclares an
+// error-typed variable of an outer scope in the same function.
+func checkShadowedError(pass *analysis.Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue // not newly declared here, or not an error
+		}
+		scope := obj.Parent()
+		if scope == nil || scope.Parent() == nil {
+			continue
+		}
+		_, outer := scope.Parent().LookupParent(id.Name, as.Pos())
+		ov, ok := outer.(*types.Var)
+		if !ok || !isErrorType(ov.Type()) {
+			continue
+		}
+		// Only function-local shadowing: the outer declaration must live
+		// inside this function.
+		if ov.Pos() <= fd.Pos() || ov.Pos() >= fd.End() {
+			continue
+		}
+		// The shadow is only hazardous if the outer error is read after
+		// the shadowing scope closes while still holding its stale value.
+		if !analysis.VarReadAfter(info, fd.Body, ov, scope.End()) {
+			continue
+		}
+		if d, ok := pass.World.LineDirective(as.Pos(), "errdrop-ok"); ok {
+			if d.Arg == "" {
+				pass.Reportf(as.Pos(), "//arvi:errdrop-ok needs a justification")
+			}
+			continue
+		}
+		pass.Reportf(as.Pos(), "declaration of %q shadows the error variable declared at %s (use = or rename)",
+			id.Name, pass.World.Fset.Position(ov.Pos()))
+	}
+}
+
+// initStmts collects the init clauses of if/for/switch statements, where
+// `err :=` shadowing is the scoped-check idiom rather than a bug.
+func initStmts(body *ast.BlockStmt) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				out[n.Init] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// calleeName renders the callee in the form used by the neverFails table:
+// pkg.Func, (pkg.Type).Method or (*pkg.Type).Method.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.FullName()
+		}
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return ""
+}
+
+// callDesc names the call for the diagnostic, falling back to "call" for
+// indirect calls.
+func callDesc(info *types.Info, call *ast.CallExpr) string {
+	if name := calleeName(info, call); name != "" {
+		return name
+	}
+	return "call"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,38 @@
+// Package e exercises the errdrop analyzer: dropped error results and
+// live shadowed error variables are flagged; explicit discards, justified
+// drops, init-clause scoping and never-failing writers are not.
+package e
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drops(path string) error {
+	os.Remove(path) // want `result of os.Remove includes an error that is dropped`
+	_ = os.Remove(path)
+	//arvi:errdrop-ok best-effort cleanup of a temp file
+	os.Remove(path)
+	//arvi:errdrop-ok
+	os.Remove(path) // want `needs a justification`
+	var b strings.Builder
+	b.WriteString("builders cannot fail")
+	fmt.Println("stdout printing is exempt")
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Stat(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	data := make([]byte, 4)
+	if len(data) > 0 {
+		_, err := f.Read(data) // want `shadows the error variable`
+		_ = err
+	}
+	_ = f.Close()
+	return err
+}

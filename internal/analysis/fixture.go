@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// NewWorld builds a World directly from checked packages; the fixture
+// runner uses it where Load is the production entry point.
+func NewWorld(fset *token.FileSet, module string, pkgs []*Package) *World {
+	return buildWorld(fset, module, pkgs)
+}
+
+// LoadFixture loads the single package in dir (every *.go file) as a
+// World, for analysistest-style fixtures under testdata. Imports —
+// including module-internal ones like repro/internal/bitvec — resolve
+// from compiler export data via `go list -export`, so fixtures may
+// exercise the real kernel APIs. The fixture package itself is
+// type-checked from source, so its //arvi: directives index normally.
+func LoadFixture(dir string) (*World, error) {
+	module, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no fixture sources in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+
+	exportFiles := make(map[string]string)
+	delete(imports, "unsafe")
+	if len(imports) > 0 {
+		args := make([]string, 0, len(imports))
+		for path := range imports {
+			args = append(args, path)
+		}
+		sort.Strings(args)
+		listed, err := goList(dir, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exportFiles[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &worldImporter{srcPkgs: nil, exp: gc},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkgPath := "fixture/" + files[0].Name.Name
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", dir, err)
+	}
+	pkg := &Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	return buildWorld(fset, module, []*Package{pkg}), nil
+}

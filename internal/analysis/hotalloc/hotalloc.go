@@ -1,0 +1,291 @@
+// Package hotalloc implements the arvivet analyzer that keeps
+// //arvi:hotpath functions allocation-free.
+//
+// The simulator's per-instruction kernel (DDT insert, bitvec kernels, the
+// cpu engine step, the predictors) promises zero allocations per
+// instruction; PR 4 proved it with runtime AllocsPerRun guards. hotalloc
+// turns that promise into a build-time contract: inside an annotated
+// function every allocation-inducing construct is a diagnostic —
+// make/new, slice and map literals, address-taken composite literals,
+// append to anything but a caller-supplied parameter or an //arvi:scratch
+// buffer, closures, go/defer, channel operations, map writes, string
+// concatenation and string<->[]byte conversions, conversions to interface
+// types, and panic (which boxes its argument).
+//
+// Calls from hot code must stay on the hot path: a static call is legal
+// only if the callee is itself //arvi:hotpath, a builtin, or in a small
+// allowlisted set of leaf stdlib packages (math, math/bits). Indirect
+// calls (func values, interface methods) defeat the analysis and require
+// an //arvi:dyncall justification on the call line. Error and panic
+// branches that are provably off the per-instruction path are exempted by
+// an //arvi:cold directive on the enclosing statement.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//arvi:hotpath functions must not allocate and may only call hot or allowlisted code",
+	Run:  run,
+}
+
+// stdlibAllowed are out-of-module packages hot code may call freely:
+// allocation-free leaf math kernels.
+var stdlibAllowed = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.World.Hotpath[fn] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one hotpath function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:   pass,
+		info:   pass.Pkg.Info,
+		params: paramObjects(pass.Pkg.Info, fd),
+		cold:   coldRanges(pass, fd.Body),
+	}
+	ast.Inspect(fd.Body, c.visit)
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	params map[types.Object]bool
+	cold   []posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// coldRanges collects the spans of statements annotated //arvi:cold
+// (error and panic branches off the per-instruction path).
+func coldRanges(pass *analysis.Pass, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if _, ok := pass.World.LineDirective(stmt.Pos(), "cold"); ok {
+			out = append(out, posRange{stmt.Pos(), stmt.End()})
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func (c *checker) inCold(pos token.Pos) bool {
+	for _, r := range c.cold {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.inCold(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		c.reportf(n.Pos(), "closure in hot path (allocates; hoist or pass state explicitly)")
+		return false // the literal's body is not on this hot path
+	case *ast.GoStmt:
+		c.reportf(n.Pos(), "go statement in hot path")
+	case *ast.DeferStmt:
+		c.reportf(n.Pos(), "defer in hot path")
+	case *ast.SendStmt:
+		c.reportf(n.Pos(), "channel send in hot path")
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.ARROW:
+			c.reportf(n.Pos(), "channel receive in hot path")
+		case token.AND:
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				c.reportf(n.Pos(), "address-taken composite literal in hot path (heap-allocates)")
+			}
+		}
+	case *ast.CompositeLit:
+		switch c.info.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			c.reportf(n.Pos(), "slice literal in hot path (allocates)")
+		case *types.Map:
+			c.reportf(n.Pos(), "map literal in hot path (allocates)")
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(c.info.TypeOf(n)) {
+			c.reportf(n.Pos(), "string concatenation in hot path (allocates)")
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if _, isMap := c.info.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+					c.reportf(ix.Pos(), "map write in hot path (may grow and allocate)")
+				}
+			}
+		}
+	case *ast.CallExpr:
+		c.checkCall(n)
+	}
+	return true
+}
+
+// checkCall classifies one call in hot code: builtin, conversion, static
+// call (must be hot or allowlisted) or indirect call (needs //arvi:dyncall).
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Conversions.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			c.checkBuiltin(call, b.Name())
+			return
+		}
+	}
+	if fn := analysis.StaticCallee(c.info, call); fn != nil {
+		c.checkStaticCall(call, fn)
+		return
+	}
+	// Indirect: a func value or interface method. The analysis cannot see
+	// the target, so the call must carry a justified //arvi:dyncall.
+	if d, ok := c.pass.World.LineDirective(call.Pos(), "dyncall"); ok {
+		if d.Arg == "" {
+			c.reportf(call.Pos(), "//arvi:dyncall needs a justification")
+		}
+		return
+	}
+	c.reportf(call.Pos(), "indirect call in hot path (unanalyzable; annotate //arvi:dyncall <why> if the target is hot)")
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	from := c.info.TypeOf(call.Args[0])
+	switch {
+	case isString(to) && !isString(from) && !isUntypedOrNumeric(from):
+		c.reportf(call.Pos(), "conversion to string in hot path (allocates)")
+	case isByteOrRuneSlice(to) && isString(from):
+		c.reportf(call.Pos(), "string-to-slice conversion in hot path (allocates)")
+	case types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()):
+		c.reportf(call.Pos(), "conversion to interface in hot path (boxes the value)")
+	}
+}
+
+func (c *checker) checkBuiltin(call *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		c.reportf(call.Pos(), "make in hot path (allocates)")
+	case "new":
+		c.reportf(call.Pos(), "new in hot path (allocates)")
+	case "panic":
+		c.reportf(call.Pos(), "panic in hot path (boxes its argument; mark the branch //arvi:cold if unreachable per instruction)")
+	case "append":
+		c.checkAppend(call)
+	}
+	// len, cap, copy, clear, delete, min, max and friends do not allocate.
+}
+
+// checkAppend allows appends only into caller-supplied parameters (the
+// caller owns the capacity) or //arvi:scratch buffers (pre-sized at
+// construction); anything else can grow on the per-instruction path.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[dst]
+		if c.params[obj] || c.pass.World.Scratch[obj] {
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[dst]; ok && c.pass.World.Scratch[sel.Obj()] {
+			return
+		}
+	}
+	c.reportf(call.Pos(), "append to non-scratch destination in hot path (may grow and allocate; mark the buffer //arvi:scratch if pre-sized)")
+}
+
+func (c *checker) checkStaticCall(call *ast.CallExpr, fn *types.Func) {
+	w := c.pass.World
+	if w.Hotpath[fn] {
+		return
+	}
+	if _, inModule := w.Decls[fn]; inModule {
+		c.reportf(call.Pos(), "call to non-hotpath function %s (annotate it //arvi:hotpath or move the call to an //arvi:cold branch)", fn.FullName())
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg != nil && stdlibAllowed[pkg.Path()] {
+		return
+	}
+	c.reportf(call.Pos(), "call to non-allowlisted function %s in hot path", fn.FullName())
+}
+
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedOrNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric|types.IsUntyped) != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,62 @@
+// Package a exercises the hotalloc analyzer: every construct that can
+// allocate on the per-instruction path is flagged, the sanctioned escape
+// hatches (scratch buffers, caller-supplied capacity, cold branches,
+// justified dynamic calls) are not.
+package a
+
+import (
+	"math/bits"
+	"strings"
+)
+
+type ring struct {
+	// buf is pre-sized at construction.
+	//arvi:scratch
+	buf []int
+	out []int
+	m   map[int]int
+}
+
+// helper is on the hot path with step.
+//
+//arvi:hotpath
+func helper(x int) int { return bits.OnesCount(uint(x)) }
+
+func coldHelper() int { return 0 }
+
+//arvi:hotpath
+func step(r *ring, dst []int, s string, raw []byte, ch chan int, fn func()) {
+	r.buf = append(r.buf, 1)
+	dst = append(dst, 2)
+	_ = dst
+	r.out = append(r.out, 3) // want `append to non-scratch destination`
+	_ = helper(4)
+	_ = len(r.buf)
+	_ = make([]int, 4) // want `make in hot path`
+	_ = new(int)       // want `new in hot path`
+	_ = []int{1, 2}    // want `slice literal in hot path`
+	_ = map[int]int{}  // want `map literal in hot path`
+	p := &ring{}       // want `address-taken composite literal`
+	_ = p
+	_ = ring{}
+	_ = s + "x"            // want `string concatenation in hot path`
+	_ = []byte(s)          // want `string-to-slice conversion in hot path`
+	_ = string(raw)        // want `conversion to string in hot path`
+	_ = any(r)             // want `conversion to interface in hot path`
+	r.m[1] = 2             // want `map write in hot path`
+	_ = coldHelper()       // want `call to non-hotpath function`
+	_ = strings.ToUpper(s) // want `call to non-allowlisted function`
+	fn()                   // want `indirect call in hot path`
+	fn()                   //arvi:dyncall the only registered callback is hot by construction
+	f := func() {}         // want `closure in hot path`
+	_ = f
+	defer helper(5) // want `defer in hot path`
+	go helper(6)    // want `go statement in hot path`
+	ch <- 1         // want `channel send in hot path`
+	<-ch            // want `channel receive in hot path`
+	if r.m == nil {
+		//arvi:cold
+		panic("table missing: " + s)
+	}
+	panic("boom") // want `panic in hot path`
+}

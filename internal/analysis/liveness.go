@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// VarReadAfter reports whether v is read after pos inside body before
+// being written again. It is the liveness test behind the shadowing
+// rules: an inner redeclaration of a name only matters if someone later
+// reads the outer variable expecting it to hold the inner result — a
+// fresh write in between re-establishes intent, and no later read means
+// the shadow cannot change behaviour.
+//
+// Reads and writes are classified syntactically: an identifier on the
+// left of an assignment (including short redeclarations that reuse the
+// variable), an IncDec statement, or a range clause is a write; every
+// other use is a read. Taking the variable's address counts as a read —
+// the analysis cannot track the pointer, so it stays conservative.
+func VarReadAfter(info *types.Info, body *ast.BlockStmt, v types.Object, pos token.Pos) bool {
+	writes := make(map[*ast.Ident]bool)
+	markWrite := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			writes[id] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				markWrite(n.Key)
+			}
+			if n.Value != nil {
+				markWrite(n.Value)
+			}
+		}
+		return true
+	})
+
+	type event struct {
+		pos   token.Pos
+		write bool
+	}
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v {
+			return true
+		}
+		events = append(events, event{pos: id.Pos(), write: writes[id]})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		if ev.pos <= pos {
+			continue
+		}
+		return !ev.write
+	}
+	return false
+}

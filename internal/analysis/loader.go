@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load builds a World for the packages matching patterns (resolved in
+// dir), using the standard toolchain as the source of truth:
+//
+//   - `go list -export -deps -json` enumerates the import graph in
+//     dependency order and compiles export data for every package.
+//   - Packages belonging to the current module are parsed and
+//     type-checked from source — in that dependency order, with each
+//     package's importer preferring the already-checked source packages —
+//     so one types.Object identity space spans the whole module and the
+//     World's annotation maps (keyed by *types.Func / *types.Var) resolve
+//     across package boundaries without fact serialization.
+//   - Out-of-module imports (the standard library) are loaded from the
+//     compiler's export data.
+//
+// Only non-test sources are loaded: the contracts the suite enforces are
+// production-tree properties, and `go list` applies build constraints, so
+// tag-gated files (e.g. bitvecdebug) follow the default build.
+func Load(dir string, patterns ...string) (*World, error) {
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exportFiles := make(map[string]string)
+	srcPkgs := make(map[string]*types.Package)
+	imp := &worldImporter{srcPkgs: srcPkgs}
+	imp.exp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+		inModule := lp.Module != nil && lp.Module.Path == modPath
+		if !inModule {
+			continue
+		}
+		pkg, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		srcPkgs[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no module packages matched %v", patterns)
+	}
+	return buildWorld(fset, modPath, pkgs), nil
+}
+
+// modulePath reports the module the directory belongs to.
+func modulePath(dir string) (string, error) {
+	out, err := runGo(dir, "list", "-m")
+	if err != nil {
+		return "", err
+	}
+	mod := strings.TrimSpace(string(out))
+	if mod == "" {
+		return "", fmt.Errorf("analysis: %s is not inside a module", dir)
+	}
+	return mod, nil
+}
+
+// goList runs `go list -export -deps -json` over the patterns and decodes
+// the package stream (dependency order: every package follows its deps).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// runGo executes the go tool in dir and returns stdout, folding stderr
+// into the error on failure.
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one module package from source.
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// worldImporter resolves imports for source-checked module packages:
+// module-internal imports come from the packages already checked from
+// source (dependency order guarantees they exist), everything else from
+// compiler export data.
+type worldImporter struct {
+	srcPkgs map[string]*types.Package
+	exp     types.Importer
+}
+
+func (im *worldImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.srcPkgs[path]; ok {
+		return p, nil
+	}
+	return im.exp.Import(path)
+}

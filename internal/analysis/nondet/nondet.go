@@ -1,0 +1,178 @@
+// Package nondet implements the arvivet analyzer that keeps
+// nondeterminism sources out of the deterministic tiers.
+//
+// Functions annotated //arvi:det are determinism roots: the program
+// fingerprint, the sim cache keys, the trace-store identity, CSV/JSON
+// rendering and the service response writers — everything whose output is
+// promised byte-identical given the same inputs. nondet builds the static
+// call graph of the module, walks it from every root, and inside the
+// reachable set flags:
+//
+//   - calls into the time package that read the clock (time.Now,
+//     time.Since, time.Until),
+//   - any call into math/rand or math/rand/v2,
+//   - format strings containing %p (pointer addresses vary per run), and
+//   - ranges over maps (iteration order is randomized; sort the keys).
+//
+// Suppress a clock/rand/%p finding with //arvi:nondet-ok <why> and a map
+// range with //arvi:unordered <why> (shared with detmap; one directive
+// answers both analyzers).
+//
+// The walk follows static calls only: a func value or interface method is
+// a graph edge nondet cannot see. On the hot replay path those indirect
+// calls already require //arvi:dyncall justifications from hotalloc, and
+// the deterministic tiers' own indirection (cpu.EventSource) is into
+// //arvi:hotpath code, which hotalloc bars from calling the clock-bearing
+// stdlib in the first place.
+package nondet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nondet pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nondet",
+	Doc:      "no clocks, rand, %p or unordered map iteration on //arvi:det call paths",
+	RunWorld: run,
+}
+
+// clockFuncs are time-package functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func run(pass *analysis.WorldPass) error {
+	w := pass.World
+
+	// BFS the static call graph from every det root, remembering which
+	// root first reached each function so diagnostics can say why the
+	// function is constrained.
+	rootOf := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	var roots []*types.Func
+	for fn := range w.DetRoot {
+		roots = append(roots, fn)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	for _, fn := range roots {
+		if _, seen := rootOf[fn]; seen {
+			continue
+		}
+		rootOf[fn] = fn
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := w.Decls[fn]
+		if info == nil || info.Decl.Body == nil {
+			continue
+		}
+		root := rootOf[fn]
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.StaticCallee(info.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, inModule := w.Decls[callee]; !inModule {
+				return true
+			}
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Check every reached function, in deterministic order.
+	var reached []*types.Func
+	for fn := range rootOf {
+		if w.Decls[fn] != nil {
+			reached = append(reached, fn)
+		}
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].FullName() < reached[j].FullName() })
+	for _, fn := range reached {
+		checkFunc(pass, fn, rootOf[fn])
+	}
+	return nil
+}
+
+// checkFunc scans one det-reachable function body for nondeterminism.
+func checkFunc(pass *analysis.WorldPass, fn, root *types.Func) {
+	w := pass.World
+	info := w.Decls[fn]
+	if info.Decl.Body == nil {
+		return
+	}
+	tinfo := info.Pkg.Info
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := analysis.StaticCallee(tinfo, n)
+			if callee != nil && callee.Pkg() != nil {
+				full := callee.Pkg().Path() + "." + callee.Name()
+				switch {
+				case clockFuncs[full]:
+					report(pass, n.Pos(), root, "reads the clock via %s", full)
+				case callee.Pkg().Path() == "math/rand" || callee.Pkg().Path() == "math/rand/v2":
+					report(pass, n.Pos(), root, "uses %s", full)
+				}
+			}
+			checkFormat(pass, tinfo, n, root)
+		case *ast.RangeStmt:
+			if _, isMap := tinfo.TypeOf(n.X).Underlying().(*types.Map); isMap {
+				if d, ok := w.LineDirective(n.Pos(), "unordered"); ok {
+					if d.Arg == "" {
+						pass.Reportf(n.Pos(), "//arvi:unordered needs a justification")
+					}
+					return true
+				}
+				report(pass, n.Pos(), root, "ranges over a map (iteration order is randomized; sort the keys or justify with //arvi:unordered <why>)")
+			}
+		}
+		return true
+	})
+}
+
+// checkFormat flags %p verbs in constant format strings passed to calls.
+func checkFormat(pass *analysis.WorldPass, info *types.Info, callExpr *ast.CallExpr, root *types.Func) {
+	for _, arg := range callExpr.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		s := constant.StringVal(tv.Value)
+		if strings.Contains(s, "%p") || strings.Contains(s, "%#p") {
+			report(pass, arg.Pos(), root, "formats a pointer address with %%p")
+		}
+	}
+}
+
+// report emits a diagnostic naming the det root that makes the position
+// deterministic-path, honoring //arvi:nondet-ok line suppressions.
+func report(pass *analysis.WorldPass, pos token.Pos, root *types.Func, format string, args ...any) {
+	if d, ok := pass.World.LineDirective(pos, "nondet-ok"); ok {
+		if d.Arg == "" {
+			pass.Reportf(pos, "//arvi:nondet-ok needs a justification")
+		}
+		return
+	}
+	args = append(args, root.FullName())
+	pass.Reportf(pos, format+" in a deterministic path (reachable from //arvi:det root %s)", args...)
+}

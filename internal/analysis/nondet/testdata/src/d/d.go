@@ -1,0 +1,38 @@
+// Package d exercises the nondet analyzer: clocks, rand, %p and map
+// ranges are forbidden in the call paths of //arvi:det roots, and code
+// not reachable from a root is unconstrained.
+package d
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Fingerprint is a determinism root; everything it calls inherits the
+// contract.
+//
+//arvi:det
+func Fingerprint(m map[string]int) string {
+	s := helper()
+	for k := range m { // want `ranges over a map`
+		s += k
+	}
+	//arvi:unordered accumulates an order-independent sum
+	for _, v := range m {
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+func helper() string {
+	t := time.Now() // want `reads the clock via time.Now`
+	_ = rand.Int()  // want `uses math/rand.Int`
+	//arvi:nondet-ok fixed seed would make this reproducible here
+	_ = rand.Uint32()
+	return fmt.Sprintf("%p", &t) // want `formats a pointer address`
+}
+
+func unconstrained() time.Time {
+	return time.Now()
+}

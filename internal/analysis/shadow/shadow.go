@@ -1,0 +1,92 @@
+// Package shadow implements the arvivet analyzer that flags suspicious
+// variable shadowing, standing in for the x/tools vet pass of the same
+// name (the dependency-free toolchain policy rules out importing it).
+//
+// A declaration shadows when an inner scope redeclares a name that an
+// outer scope of the same function also declares with the same type. That
+// is only worth reporting when it can change behaviour: the outer
+// variable must be referenced again after the inner scope closes —
+// otherwise the inner declaration, however named, cannot have been
+// intended to update it. This is the same "used after shadow scope"
+// heuristic the stock pass applies.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shadow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "inner declarations must not shadow same-typed outer variables that are used afterwards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			checkShadow(pass, fd, id, obj)
+		}
+		return true
+	})
+}
+
+// checkShadow reports obj (newly declared at id) if it shadows a
+// same-typed function-local variable that is read again after obj's
+// scope ends before being rewritten.
+func checkShadow(pass *analysis.Pass, fd *ast.FuncDecl, id *ast.Ident, obj types.Object) {
+	scope := obj.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return
+	}
+	_, outer := scope.Parent().LookupParent(id.Name, id.Pos())
+	ov, ok := outer.(*types.Var)
+	if !ok || ov.IsField() {
+		return
+	}
+	// Function-local outer variables only: package-level names are a
+	// different (deliberate) pattern, and fields never shadow.
+	if ov.Pos() <= fd.Pos() || ov.Pos() >= fd.End() {
+		return
+	}
+	if !types.Identical(obj.Type(), ov.Type()) {
+		return
+	}
+	// Behaviour can only diverge if the outer variable is read again
+	// after the shadowing scope closes, before anything rewrites it.
+	if !analysis.VarReadAfter(pass.Pkg.Info, fd.Body, ov, scope.End()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s (outer variable is read after this scope)",
+		id.Name, pass.World.Fset.Position(ov.Pos()))
+}

@@ -1,0 +1,50 @@
+// Package f exercises the shadow analyzer: an inner redeclaration is
+// flagged only when the outer variable is read again after the shadowing
+// scope closes while still holding its pre-shadow value.
+package f
+
+func liveShadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total := total + x // want `declaration of "total" shadows declaration`
+		_ = total
+	}
+	return total
+}
+
+func renamed(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		next := total + x
+		total = next
+	}
+	return total
+}
+
+func deadOuter(xs []int) int {
+	n := len(xs)
+	if n > 0 {
+		n := xs[0]
+		return n
+	}
+	return -1
+}
+
+func rewrittenBeforeRead(xs []int) int {
+	n := len(xs)
+	if n > 0 {
+		n := xs[0]
+		_ = n
+	}
+	n = 7
+	return n
+}
+
+func differentType(xs []int) int {
+	n := len(xs)
+	if n > 0 {
+		n := "inner"
+		_ = n
+	}
+	return n
+}

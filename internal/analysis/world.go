@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// World is the fully loaded module: every package with syntax and types in
+// one shared object-identity space, plus the module-wide //arvi: directive
+// index the analyzers consult. It plays the role go/analysis facts play in
+// the x/tools framework — cross-package annotation knowledge — as plain
+// maps, which the shared identity space makes sound.
+type World struct {
+	Fset   *token.FileSet
+	Module string
+	Pkgs   []*Package
+
+	// Hotpath marks functions annotated //arvi:hotpath.
+	Hotpath map[*types.Func]bool
+	// DetRoot marks functions annotated //arvi:det.
+	DetRoot map[*types.Func]bool
+	// Scratch marks fields and variables annotated //arvi:scratch.
+	Scratch map[types.Object]bool
+	// LenDim maps fields and methods annotated //arvi:len to their
+	// length-dimension tag (e.g. "entries", "physregs").
+	LenDim map[types.Object]string
+	// Decls locates the declaration of every module function.
+	Decls map[*types.Func]*FuncInfo
+
+	// Malformed records directive-grammar misuse (unknown names) found
+	// while indexing; the driver reports these like any diagnostic.
+	Malformed []Diagnostic
+
+	directives map[string]map[int][]Directive // filename -> line -> directives
+}
+
+// FuncInfo is a module function's declaration and the package that holds it.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// knownDirectives is the complete annotation grammar; anything else under
+// the //arvi: prefix is a typo worth failing on.
+var knownDirectives = map[string]bool{
+	"hotpath":    true,
+	"scratch":    true,
+	"cold":       true,
+	"dyncall":    true,
+	"det":        true,
+	"len":        true,
+	"lencheck":   true,
+	"unordered":  true,
+	"nondet-ok":  true,
+	"errdrop-ok": true,
+}
+
+// buildWorld indexes directives and declarations over the checked packages.
+func buildWorld(fset *token.FileSet, module string, pkgs []*Package) *World {
+	w := &World{
+		Fset:       fset,
+		Module:     module,
+		Pkgs:       pkgs,
+		Hotpath:    make(map[*types.Func]bool),
+		DetRoot:    make(map[*types.Func]bool),
+		Scratch:    make(map[types.Object]bool),
+		LenDim:     make(map[types.Object]string),
+		Decls:      make(map[*types.Func]*FuncInfo),
+		directives: make(map[string]map[int][]Directive),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			byLine := parseDirectives(fset, file)
+			w.directives[fset.Position(file.Pos()).Filename] = byLine
+			lines := make([]int, 0, len(byLine))
+			for line := range byLine {
+				lines = append(lines, line)
+			}
+			sort.Ints(lines)
+			for _, line := range lines {
+				for _, d := range byLine[line] {
+					if !knownDirectives[d.Name] {
+						w.Malformed = append(w.Malformed, Diagnostic{
+							Analyzer: "arvivet",
+							Pos:      fset.Position(d.Pos),
+							Message:  fmt.Sprintf("unknown directive //arvi:%s", d.Name),
+						})
+					}
+				}
+			}
+			w.indexFile(pkg, file, byLine)
+		}
+	}
+	return w
+}
+
+// indexFile records the declaration-attached directives of one file.
+func (w *World) indexFile(pkg *Package, file *ast.File, byLine map[int][]Directive) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		w.Decls[fn] = &FuncInfo{Decl: fd, Pkg: pkg}
+		for _, d := range directivesIn(byLine, w.Fset, fd.Doc) {
+			switch d.Name {
+			case "hotpath":
+				w.Hotpath[fn] = true
+			case "det":
+				w.DetRoot[fn] = true
+			case "len":
+				w.LenDim[fn] = d.Arg
+			}
+		}
+	}
+	// Field and variable annotations (scratch buffers, length dimensions)
+	// sit on struct fields and value specs anywhere in the file.
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				for _, d := range directivesIn(byLine, w.Fset, field.Doc, field.Comment) {
+					w.indexObjectDirective(pkg, d, field.Names)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, d := range directivesIn(byLine, w.Fset, n.Doc, n.Comment) {
+				w.indexObjectDirective(pkg, d, n.Names)
+			}
+		}
+		return true
+	})
+}
+
+func (w *World) indexObjectDirective(pkg *Package, d Directive, names []*ast.Ident) {
+	for _, name := range names {
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		switch d.Name {
+		case "scratch":
+			w.Scratch[obj] = true
+		case "len":
+			w.LenDim[obj] = d.Arg
+		}
+	}
+}
+
+// StaticCallee resolves a call expression to the declared function or
+// method it invokes, or nil for indirect calls (func values, interface
+// methods) and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// An interface method has no body to analyze; it is an indirect call.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return nil
+		}
+	}
+	return fn
+}
