@@ -4,6 +4,7 @@
 package e
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"strings"
@@ -19,6 +20,8 @@ func drops(path string) error {
 	var b strings.Builder
 	b.WriteString("builders cannot fail")
 	fmt.Println("stdout printing is exempt")
+	h := sha256.New()
+	h.Write([]byte(path)) // hash.Hash documents that Write never fails
 
 	f, err := os.Open(path)
 	if err != nil {
