@@ -122,7 +122,8 @@ func main() {
 		}
 		src := &haltCheckSource{src: rd}
 		st, err := eng.RunSource(b.Prog, src)
-		f.Close()
+		_ = f.Close() // read-only replay file
+
 		if err != nil {
 			fatal(err)
 		}

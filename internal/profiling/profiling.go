@@ -26,14 +26,18 @@ func StartCPU(path string) (stop func(), err error) {
 		return nil, fmt.Errorf("profiling: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("profiling: %w", err)
 	}
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			// A close failure here means a possibly truncated profile;
+			// stop() has no error return, so say so rather than hide it.
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
 		})
 	}, nil
 }
@@ -72,7 +76,7 @@ func WriteHeap(path string) error {
 	}
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("profiling: %w", err)
 	}
 	return f.Close()
