@@ -12,6 +12,8 @@ import (
 // metadata and their map order is not deterministic. Two programs with equal
 // fingerprints produce identical dynamic traces, which is the contract the
 // trace format and the simulation trace store key on.
+//
+//arvi:det
 func (p *Program) Fingerprint() [sha256.Size]byte {
 	h := sha256.New()
 	var scratch [8]byte
@@ -38,6 +40,8 @@ func (p *Program) Fingerprint() [sha256.Size]byte {
 
 // FingerprintHex returns Fingerprint as a hex string, convenient for cache
 // keys and file names.
+//
+//arvi:det
 func (p *Program) FingerprintHex() string {
 	fp := p.Fingerprint()
 	return hex.EncodeToString(fp[:])

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"maps"
+	"slices"
 
 	"repro/internal/isa"
 )
@@ -15,6 +17,8 @@ const progMagic = "DDTPROG1"
 // WriteTo serializes the program in a stable little-endian binary format:
 // magic, name, entry, data base, text (2 words per instruction), data
 // bytes, and the symbol table.
+//
+//arvi:det
 func (p *Program) WriteTo(w io.Writer) (int64, error) {
 	cw := &countWriter{w: w}
 	bw := bufio.NewWriter(cw)
@@ -60,11 +64,11 @@ func (p *Program) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint32(len(p.Symbols))); err != nil {
 		return cw.n, err
 	}
-	for name, val := range p.Symbols {
+	for _, name := range slices.Sorted(maps.Keys(p.Symbols)) {
 		if err := writeStr(name); err != nil {
 			return cw.n, err
 		}
-		if err := write(val); err != nil {
+		if err := write(p.Symbols[name]); err != nil {
 			return cw.n, err
 		}
 	}
