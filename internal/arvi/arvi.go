@@ -113,6 +113,8 @@ func MustNew(cfg Config) *Predictor {
 func (p *Predictor) Config() Config { return p.cfg }
 
 // Stats returns a copy of the event counters.
+//
+//arvi:hotpath
 func (p *Predictor) Stats() Stats { return p.stats }
 
 // MakeKey computes the BVIT set index and the two tags for a branch at pc
@@ -121,6 +123,8 @@ func (p *Predictor) Stats() Stats { return p.stats }
 // branch PC bits; the ID tag is the IDTagBits-wide sum of the leaves'
 // logical register ids; the depth tag is the chain depth truncated to
 // DepthBits.
+//
+//arvi:hotpath
 func (p *Predictor) MakeKey(pc uint64, leaves []LeafValue, depth int) Key {
 	vmask := uint32(1)<<p.cfg.ValueBits - 1
 	// PC[13:3]-style slice: fold two pc fields so nearby branches spread.
@@ -137,6 +141,7 @@ func (p *Predictor) MakeKey(pc uint64, leaves []LeafValue, depth int) Key {
 	}
 }
 
+//arvi:hotpath
 func (p *Predictor) set(k Key) []entry {
 	base := int(k.Set) * p.cfg.Ways
 	return p.sets[base : base+p.cfg.Ways]
@@ -145,6 +150,8 @@ func (p *Predictor) set(k Key) []entry {
 // Lookup probes the BVIT. On a tag match it returns the stored direction
 // and hit=true; otherwise hit=false and the caller should fall back to the
 // level-1 prediction.
+//
+//arvi:hotpath
 func (p *Predictor) Lookup(k Key) (pred, hit bool) {
 	pred, hit, _, _ = p.LookupEx(k)
 	return pred, hit
@@ -156,6 +163,8 @@ func (p *Predictor) Lookup(k Key) (pred, hit bool) {
 // actually steer fetch: entries that have proven ineffective, or that are
 // still oscillating, keep training but do not override the level-1
 // prediction.
+//
+//arvi:hotpath
 func (p *Predictor) LookupEx(k Key) (pred, hit bool, perf uint8, strong bool) {
 	p.stats.Lookups++
 	for i := range p.set(k) {
@@ -172,6 +181,8 @@ func (p *Predictor) LookupEx(k Key) (pred, hit bool, perf uint8, strong bool) {
 // replacement victim on a miss. usedForPrediction tells the predictor
 // whether its output actually steered fetch, which drives the Heil
 // performance counters.
+//
+//arvi:hotpath
 func (p *Predictor) Update(k Key, taken, usedForPrediction bool) {
 	s := p.set(k)
 	for i := range s {
@@ -239,6 +250,8 @@ func (p *Predictor) Name() string {
 }
 
 // Reset clears table contents and statistics.
+//
+//arvi:hotpath
 func (p *Predictor) Reset() {
 	for i := range p.sets {
 		p.sets[i] = entry{}

@@ -5,4 +5,6 @@ package bitvec
 // assertSameLen is compiled away in release builds; the equal-length
 // contract is documented in the package comment and enforced only under
 // the bitvecdebug build tag.
+//
+//arvi:hotpath
 func assertSameLen(a, b Vec) {}

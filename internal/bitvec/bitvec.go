@@ -26,21 +26,31 @@ import "math/bits"
 type Vec []uint64
 
 // WordsFor returns the number of 64-bit words needed for n bits.
+//
+//arvi:hotpath
 func WordsFor(n int) int { return (n + 63) / 64 }
 
 // New returns a zeroed vector capable of holding n bits.
 func New(n int) Vec { return make(Vec, WordsFor(n)) }
 
 // Set sets bit i.
+//
+//arvi:hotpath
 func (v Vec) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
 
 // Clear clears bit i.
+//
+//arvi:hotpath
 func (v Vec) Clear(i int) { v[i>>6] &^= 1 << (uint(i) & 63) }
 
 // Get reports whether bit i is set.
+//
+//arvi:hotpath
 func (v Vec) Get(i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Reset zeroes the vector.
+//
+//arvi:hotpath
 func (v Vec) Reset() {
 	clear(v)
 }
@@ -48,6 +58,8 @@ func (v Vec) Reset() {
 // Fill sets every bit, including any padding bits past the creator's
 // nominal length (callers that AND against a Filled mask never see the
 // padding, because real operands keep their padding clear).
+//
+//arvi:hotpath
 func (v Vec) Fill() {
 	for i := range v {
 		v[i] = ^uint64(0)
@@ -55,12 +67,16 @@ func (v Vec) Fill() {
 }
 
 // CopyFrom overwrites v with src.
+//
+//arvi:hotpath
 func (v Vec) CopyFrom(src Vec) {
 	assertSameLen(v, src)
 	copy(v, src)
 }
 
 // Or sets v |= a.
+//
+//arvi:hotpath
 func (v Vec) Or(a Vec) {
 	assertSameLen(v, a)
 	for i := range v {
@@ -69,6 +85,8 @@ func (v Vec) Or(a Vec) {
 }
 
 // And sets v &= a.
+//
+//arvi:hotpath
 func (v Vec) And(a Vec) {
 	assertSameLen(v, a)
 	for i := range v {
@@ -77,6 +95,8 @@ func (v Vec) And(a Vec) {
 }
 
 // AndNot sets v &^= a.
+//
+//arvi:hotpath
 func (v Vec) AndNot(a Vec) {
 	assertSameLen(v, a)
 	for i := range v {
@@ -85,6 +105,8 @@ func (v Vec) AndNot(a Vec) {
 }
 
 // OrOf sets v = a | b (v may alias a or b).
+//
+//arvi:hotpath
 func (v Vec) OrOf(a, b Vec) {
 	assertSameLen(v, a)
 	assertSameLen(v, b)
@@ -95,6 +117,8 @@ func (v Vec) OrOf(a, b Vec) {
 
 // OrAnd sets v |= a & m in one fused pass — the masked-accumulate kernel of
 // the DDT's lazy column invalidation (a is a matrix row, m the keep mask).
+//
+//arvi:hotpath
 func (v Vec) OrAnd(a, m Vec) {
 	assertSameLen(v, a)
 	assertSameLen(v, m)
@@ -105,6 +129,8 @@ func (v Vec) OrAnd(a, m Vec) {
 
 // OrAndInto sets v = (a | b) & m in one fused pass (v may alias any
 // operand): the two-source dependence-chain combine with a validity mask.
+//
+//arvi:hotpath
 func (v Vec) OrAndInto(a, b, m Vec) {
 	assertSameLen(v, a)
 	assertSameLen(v, b)
@@ -117,6 +143,8 @@ func (v Vec) OrAndInto(a, b, m Vec) {
 // OrOfAndNot sets v = a | (b &^ m) in one fused pass (v may alias any
 // operand). No hot path uses it yet; it rounds out the fused-kernel set
 // for callers composing masked chain merges.
+//
+//arvi:hotpath
 func (v Vec) OrOfAndNot(a, b, m Vec) {
 	assertSameLen(v, a)
 	assertSameLen(v, b)
@@ -127,6 +155,8 @@ func (v Vec) OrOfAndNot(a, b, m Vec) {
 }
 
 // SetRange sets bits [lo, hi). An empty range is a no-op.
+//
+//arvi:hotpath
 func (v Vec) SetRange(lo, hi int) {
 	if lo >= hi {
 		return
@@ -146,6 +176,8 @@ func (v Vec) SetRange(lo, hi int) {
 }
 
 // ClearRange clears bits [lo, hi). An empty range is a no-op.
+//
+//arvi:hotpath
 func (v Vec) ClearRange(lo, hi int) {
 	if lo >= hi {
 		return
@@ -165,6 +197,8 @@ func (v Vec) ClearRange(lo, hi int) {
 }
 
 // Any reports whether any bit is set.
+//
+//arvi:hotpath
 func (v Vec) Any() bool {
 	for _, w := range v {
 		if w != 0 {
@@ -175,6 +209,8 @@ func (v Vec) Any() bool {
 }
 
 // Count returns the number of set bits.
+//
+//arvi:hotpath
 func (v Vec) Count() int {
 	n := 0
 	for _, w := range v {
@@ -186,6 +222,8 @@ func (v Vec) Count() int {
 // FirstBitFrom returns the lowest set bit index >= from, or -1 when no such
 // bit exists. It is the software form of a priority encoder with a start
 // enable: one trailing-zeros scan per word, no per-bit iteration.
+//
+//arvi:hotpath
 func (v Vec) FirstBitFrom(from int) int {
 	if from < 0 {
 		from = 0
@@ -210,6 +248,8 @@ func (v Vec) FirstBitFrom(from int) int {
 // downward). core.DDT.Depth needs only the FirstBitFrom direction; this is
 // the other half of a hardware priority-encoder pair, kept for offline
 // tools and future circular-window scans.
+//
+//arvi:hotpath
 func (v Vec) MaxBitBelow(limit int) int {
 	if limit <= 0 {
 		return -1
@@ -245,6 +285,8 @@ func (v Vec) ForEach(fn func(i int)) {
 }
 
 // Equal reports whether v and a hold identical bits.
+//
+//arvi:hotpath
 func (v Vec) Equal(a Vec) bool {
 	if len(v) != len(a) {
 		return false

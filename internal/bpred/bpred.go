@@ -18,9 +18,13 @@ import "fmt"
 type Counter2 uint8
 
 // Predict returns the counter's direction.
+//
+//arvi:hotpath
 func (c Counter2) Predict() bool { return c >= 2 }
 
 // Bump moves the counter toward the outcome and returns the new value.
+//
+//arvi:hotpath
 func (c Counter2) Bump(taken bool) Counter2 {
 	if taken {
 		if c < 3 {
@@ -71,11 +75,15 @@ func NewBimodal(entries int) (*Bimodal, error) {
 }
 
 // Predict implements Predictor.
+//
+//arvi:hotpath
 func (b *Bimodal) Predict(pc uint64, _ uint64) bool {
 	return b.table[pc&b.mask].Predict()
 }
 
 // Update implements Predictor.
+//
+//arvi:hotpath
 func (b *Bimodal) Update(pc uint64, _ uint64, taken bool) {
 	i := pc & b.mask
 	b.table[i] = b.table[i].Bump(taken)
@@ -111,17 +119,22 @@ func NewGShare(entries int, histBits uint) (*GShare, error) {
 	}, nil
 }
 
+//arvi:hotpath
 func (g *GShare) index(pc, hist uint64) uint64 {
 	h := hist & ((1 << g.histBits) - 1)
 	return (pc ^ h) & g.mask
 }
 
 // Predict implements Predictor.
+//
+//arvi:hotpath
 func (g *GShare) Predict(pc, hist uint64) bool {
 	return g.table[g.index(pc, hist)].Predict()
 }
 
 // Update implements Predictor.
+//
+//arvi:hotpath
 func (g *GShare) Update(pc, hist uint64, taken bool) {
 	i := g.index(pc, hist)
 	g.table[i] = g.table[i].Bump(taken)
@@ -179,6 +192,8 @@ func NewGskew2Bc(entriesPerBank int) (*Gskew2Bc, error) {
 // skew implements the inter-bank skewing functions: a lightweight version
 // of the EV8 H/H^-1 functions (distinct odd multipliers per bank) that
 // decorrelates conflict aliasing between banks.
+//
+//arvi:hotpath
 func skew(x uint64, bank uint64) uint64 {
 	x ^= x >> 17
 	x *= 0x9e3779b97f4a7c15 + 2*bank // distinct odd constant per bank
@@ -186,18 +201,22 @@ func skew(x uint64, bank uint64) uint64 {
 	return x
 }
 
+//arvi:hotpath
 func (p *Gskew2Bc) idxBim(pc uint64) uint64 { return pc & p.mask }
 
+//arvi:hotpath
 func (p *Gskew2Bc) idxG0(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h0) - 1)
 	return skew(pc^(h<<1), 1) & p.mask
 }
 
+//arvi:hotpath
 func (p *Gskew2Bc) idxG1(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h1) - 1)
 	return skew(pc^(h<<1), 2) & p.mask
 }
 
+//arvi:hotpath
 func (p *Gskew2Bc) idxMeta(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h0) - 1)
 	return skew(pc^(h<<1), 3) & p.mask
@@ -205,6 +224,8 @@ func (p *Gskew2Bc) idxMeta(pc, hist uint64) uint64 {
 
 // Predict implements Predictor: meta chooses between the bimodal direction
 // and the majority of {BIM, G0, G1} (e-gskew vote).
+//
+//arvi:hotpath
 func (p *Gskew2Bc) Predict(pc, hist uint64) bool {
 	bim := p.bim[p.idxBim(pc)].Predict()
 	if !p.meta[p.idxMeta(pc, hist)].Predict() {
@@ -215,6 +236,7 @@ func (p *Gskew2Bc) Predict(pc, hist uint64) bool {
 	return majority(bim, g0, g1)
 }
 
+//arvi:hotpath
 func majority(a, b, c bool) bool {
 	n := 0
 	if a {
@@ -233,6 +255,8 @@ func majority(a, b, c bool) bool {
 // counter trains toward whichever component was correct; the voting banks
 // update only when the overall prediction was wrong or when they
 // participated in a correct majority (strengthening).
+//
+//arvi:hotpath
 func (p *Gskew2Bc) Update(pc, hist uint64, taken bool) {
 	iB, i0, i1, iM := p.idxBim(pc), p.idxG0(pc, hist), p.idxG1(pc, hist), p.idxMeta(pc, hist)
 	bim := p.bim[iB].Predict()
@@ -282,6 +306,8 @@ func (p *Gskew2Bc) Name() string { return p.name }
 // Reset returns every bank to the weakly-taken initial state, exactly as
 // NewGskew2Bc builds it, so a pooled engine can reuse the tables instead of
 // re-allocating them.
+//
+//arvi:hotpath
 func (p *Gskew2Bc) Reset() {
 	for _, bank := range [4][]Counter2{p.bim, p.g0, p.g1, p.meta} {
 		for i := range bank {
@@ -324,14 +350,19 @@ func NewConfidence(entries int, threshold uint8) (*Confidence, error) {
 	}, nil
 }
 
+//arvi:hotpath
 func (c *Confidence) index(pc, hist uint64) uint64 { return (pc ^ hist) & c.mask }
 
 // High reports whether the branch is currently high-confidence.
+//
+//arvi:hotpath
 func (c *Confidence) High(pc, hist uint64) bool {
 	return c.table[c.index(pc, hist)] >= c.Threshold
 }
 
 // Update trains the estimator with the level-1 predictor's correctness.
+//
+//arvi:hotpath
 func (c *Confidence) Update(pc, hist uint64, correct bool) {
 	i := c.index(pc, hist)
 	if correct {
@@ -347,6 +378,8 @@ func (c *Confidence) Update(pc, hist uint64, correct bool) {
 func (c *Confidence) SizeBytes() int { return len(c.table) / 2 }
 
 // Reset clears every counter to the freshly built state.
+//
+//arvi:hotpath
 func (c *Confidence) Reset() {
 	clear(c.table)
 }
@@ -357,6 +390,8 @@ type History struct {
 }
 
 // Push shifts the outcome into the history.
+//
+//arvi:hotpath
 func (h *History) Push(taken bool) {
 	h.Bits <<= 1
 	if taken {

@@ -85,8 +85,9 @@ type DDT struct {
 	cfg   Config
 	words int // words per row
 
-	rows  []uint64   // PhysRegs rows × words, flat
-	valid bitvec.Vec // over entries
+	rows []uint64 // PhysRegs rows × words, flat
+	//arvi:len entries
+	valid bitvec.Vec
 
 	// Lazy column invalidation (see the package comment).
 	seq      int64   // monotone allocation counter; 0 = nothing inserted
@@ -101,7 +102,8 @@ type DDT struct {
 	marks    []uint64 // Entries × 2*regWords
 	regWords int
 
-	owner  []PhysReg // entry -> target register (NoPReg if none)
+	owner []PhysReg // entry -> target register (NoPReg if none)
+	//arvi:len entries
 	isLoad bitvec.Vec
 
 	head, tail, count int
@@ -109,10 +111,19 @@ type DDT struct {
 	depCount []int32 // optional Section 3 extension
 
 	// scratch buffers reused across calls
+
+	//arvi:scratch
+	//arvi:len entries
 	chainBuf bitvec.Vec
-	keepBuf  bitvec.Vec
-	setBuf   bitvec.Vec
-	tmpBuf   bitvec.Vec
+	//arvi:scratch
+	//arvi:len entries
+	keepBuf bitvec.Vec
+	//arvi:scratch
+	//arvi:len physregs
+	setBuf bitvec.Vec
+	//arvi:scratch
+	//arvi:len physregs
+	tmpBuf bitvec.Vec
 }
 
 // NewDDT allocates a DDT.
@@ -159,6 +170,8 @@ func MustNewDDT(cfg Config) *DDT {
 // left dirty: a row is only ever read through its stamp, and stamp zero
 // masks every live entry, so stale matrix content is unreachable — the
 // reset cost is O(Entries + PhysRegs), not O(Entries × PhysRegs).
+//
+//arvi:hotpath
 func (d *DDT) Reset() {
 	d.seq = 0
 	clear(d.rowStamp)
@@ -178,17 +191,30 @@ func (d *DDT) Reset() {
 func (d *DDT) Config() Config { return d.cfg }
 
 // Len returns the number of in-flight (valid) entries.
+//
+//arvi:hotpath
 func (d *DDT) Len() int { return d.count }
 
 // Full reports whether every entry is occupied.
+//
+//arvi:hotpath
 func (d *DDT) Full() bool { return d.count == d.cfg.Entries }
 
 // Head returns the entry index that the next Insert will use.
+//
+//arvi:hotpath
 func (d *DDT) Head() int { return d.head }
 
 // Tail returns the oldest in-flight entry index.
+//
+//arvi:hotpath
 func (d *DDT) Tail() int { return d.tail }
 
+// row returns the Entries-wide dependence row of register r, aliasing the
+// flat matrix.
+//
+//arvi:hotpath
+//arvi:len entries
 func (d *DDT) row(r PhysReg) bitvec.Vec {
 	off := int(r) * d.words
 	return bitvec.Vec(d.rows[off : off+d.words])
@@ -196,6 +222,8 @@ func (d *DDT) row(r PhysReg) bitvec.Vec {
 
 // entryAt returns the entry index of the live instruction with the given
 // age (1 = most recently inserted).
+//
+//arvi:hotpath
 func (d *DDT) entryAt(age int) int {
 	e := d.head - age
 	if e < 0 {
@@ -209,6 +237,8 @@ func (d *DDT) entryAt(age int) int {
 // below the head whose bits in that row are stale aliases and must be
 // masked on read. allocSeq is monotone over the live window (FIFO
 // allocation), so a binary search over ages suffices.
+//
+//arvi:hotpath
 func (d *DDT) staleWidth(stamp int64) int {
 	n := d.count
 	if n == 0 || d.allocSeq[d.entryAt(1)] <= stamp {
@@ -235,6 +265,8 @@ func (d *DDT) staleWidth(stamp int64) int {
 // source row (the aliased source then contributes nothing, exactly like the
 // wired read-modify-write). Stale row bits — entries re-allocated since the
 // row was written — are masked per source via staleWidth.
+//
+//arvi:hotpath
 func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 	dst.Reset()
 	for _, s := range srcs {
@@ -244,6 +276,7 @@ func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 		k := d.staleWidth(d.rowStamp[s])
 		switch {
 		case k == 0:
+			//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
 			dst.Or(d.row(s))
 		case k == d.count:
 			// Every live entry is younger than the row: nothing genuine
@@ -257,9 +290,11 @@ func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 				keep.ClearRange(start+d.cfg.Entries, d.cfg.Entries)
 				keep.ClearRange(0, d.head)
 			}
+			//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
 			dst.OrAnd(d.row(s), keep)
 		}
 	}
+	//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
 	dst.And(d.valid)
 }
 
@@ -268,8 +303,11 @@ func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 // stores); srcs are the source physical registers (duplicates allowed).
 // isLoad marks chain terminators for the RSE. It returns the allocated
 // entry index, or an error when the table is full.
+//
+//arvi:hotpath
 func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 	if d.Full() {
+		//arvi:cold callers check Full before inserting; this is the misuse path
 		return 0, fmt.Errorf("core: DDT full (%d entries)", d.cfg.Entries)
 	}
 	e := d.head
@@ -331,6 +369,7 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 	return e, nil
 }
 
+//arvi:hotpath
 func (d *DDT) next(e int) int {
 	e++
 	if e == d.cfg.Entries {
@@ -339,6 +378,7 @@ func (d *DDT) next(e int) int {
 	return e
 }
 
+//arvi:hotpath
 func (d *DDT) prev(e int) int {
 	if e == 0 {
 		return d.cfg.Entries - 1
@@ -352,6 +392,8 @@ func (d *DDT) prev(e int) int {
 // Config().Entries bits. It is the allocation-free form of Chain for
 // callers reading chains per instruction (the timing engine, the SMT
 // study, ddtviz).
+//
+//arvi:hotpath
 func (d *DDT) ChainInto(dst bitvec.Vec, srcs []PhysReg) {
 	d.gatherChain(dst, srcs)
 }
@@ -368,8 +410,11 @@ func (d *DDT) Chain(srcs ...PhysReg) bitvec.Vec {
 // Commit retires the oldest entry: its valid bit is cleared (removing it
 // from all future chain reads) and the tail pointer advances. It returns
 // the retired entry index.
+//
+//arvi:hotpath
 func (d *DDT) Commit() (int, error) {
 	if d.count == 0 {
+		//arvi:cold commit on an empty table is a caller bug, not a steady state
 		return 0, fmt.Errorf("core: commit on empty DDT")
 	}
 	e := d.tail
@@ -386,8 +431,11 @@ func (d *DDT) Commit() (int, error) {
 // Rollback squashes all entries younger than or equal to the given count of
 // squashed instructions: it rewinds the head pointer by n entries, clearing
 // their valid bits, exactly as the ROB pointer rewind the paper describes.
+//
+//arvi:hotpath
 func (d *DDT) Rollback(n int) error {
 	if n < 0 || n > d.count {
+		//arvi:cold out-of-range rollback is a caller bug, not a steady state
 		return fmt.Errorf("core: rollback %d of %d in-flight", n, d.count)
 	}
 	for i := 0; i < n; i++ {
@@ -403,20 +451,29 @@ func (d *DDT) Rollback(n int) error {
 }
 
 // InFlight reports whether entry e currently holds a live instruction.
+//
+//arvi:hotpath
 func (d *DDT) InFlight(e int) bool { return d.valid.Get(e) }
 
 // Owner returns the target register of the instruction at entry e
 // (NoPReg if the entry is free or targetless).
+//
+//arvi:hotpath
 func (d *DDT) Owner(e int) PhysReg { return d.owner[e] }
 
 // EntryIsLoad reports whether the live entry e holds a load.
+//
+//arvi:hotpath
 func (d *DDT) EntryIsLoad(e int) bool { return d.valid.Get(e) && d.isLoad.Get(e) }
 
 // DepCount returns the number of instructions inserted after entry e whose
 // dependence chains include e (the Section 3 counter extension). The DDT
 // must have been configured with TrackDepCounts.
+//
+//arvi:hotpath
 func (d *DDT) DepCount(e int) int {
 	if d.depCount == nil {
+		//arvi:cold misconfiguration trap, unreachable once construction succeeds
 		panic("core: DepCount requires Config.TrackDepCounts")
 	}
 	return int(d.depCount[e])
@@ -425,6 +482,8 @@ func (d *DDT) DepCount(e int) int {
 // Age returns how many allocations ago entry e was inserted, relative to
 // the current head (1 = the most recently inserted entry). This is the
 // circular head-to-entry distance used for the chain depth key.
+//
+//arvi:hotpath
 func (d *DDT) Age(e int) int {
 	diff := d.head - e
 	if diff <= 0 {
@@ -440,6 +499,8 @@ func (d *DDT) Age(e int) int {
 // wrapped past it and are older than every entry below it, so the
 // furthest-back member is the lowest set bit >= head when one exists, else
 // the lowest set bit overall. An empty chain has depth 0.
+//
+//arvi:hotpath
 func (d *DDT) Depth(chain bitvec.Vec) int {
 	if e := chain.FirstBitFrom(d.head); e >= 0 {
 		return d.head - e + d.cfg.Entries
@@ -460,6 +521,8 @@ func (d *DDT) Depth(chain bitvec.Vec) int {
 // marks before the branch itself has been inserted (the branch's column is
 // part of the enable in hardware). The returned vector aliases internal
 // scratch and is valid until the next DDT mutation or extraction.
+//
+//arvi:hotpath
 func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
 	s, t := d.setBuf, d.tmpBuf
 	s.Reset()
@@ -490,6 +553,8 @@ func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
 // branch's source registers, the extracted leaf register set, and the depth
 // key, computed in one call. The returned vectors alias internal scratch
 // buffers and are valid until the next DDT mutation or LeafSet call.
+//
+//arvi:hotpath
 func (d *DDT) LeafSet(branchSrcs []PhysReg) (chain bitvec.Vec, set bitvec.Vec, depth int) {
 	d.gatherChain(d.chainBuf, branchSrcs)
 	set = d.ExtractSet(d.chainBuf, branchSrcs)

@@ -24,6 +24,8 @@ type slotLimiter struct {
 }
 
 // take grants a slot at the earliest cycle >= c and returns it.
+//
+//arvi:hotpath
 func (s *slotLimiter) take(c int64) int64 {
 	if c > s.cycle {
 		s.cycle, s.used = c, 0
@@ -58,11 +60,14 @@ func newIssueLimiter(width int) *issueLimiter {
 
 // reset restores the freshly built state (stamp 0 rows with zero counts
 // are indistinguishable from untouched ones at cycle 0).
+//
+//arvi:hotpath
 func (l *issueLimiter) reset() {
 	clear(l.counts)
 	clear(l.stamps)
 }
 
+//arvi:hotpath
 func (l *issueLimiter) take(c int64) int64 {
 	for {
 		i := c & l.mask
@@ -87,6 +92,8 @@ type funcUnits struct {
 
 // issue finds the earliest cycle >= ready at which a unit is free, books it
 // and returns the cycle.
+//
+//arvi:hotpath
 func (f *funcUnits) issue(ready int64, busy int) int64 {
 	best := 0
 	for i := 1; i < len(f.nextFree); i++ {
@@ -195,11 +202,16 @@ type Engine struct {
 	st Stats
 
 	// Scratch, pre-sized by NewEngine and reused every event.
-	srcPregs  []core.PhysReg
-	leafBuf   []arvi.LeafValue
+
+	//arvi:scratch
+	srcPregs []core.PhysReg
+	//arvi:scratch
+	leafBuf []arvi.LeafValue
+	//arvi:scratch
 	srcRegBuf []isa.Reg
-	wpUndo    []wpUndo
-	evBuf     vm.Event // RunSource's event cursor: a local would escape
+	//arvi:scratch
+	wpUndo []wpUndo
+	evBuf  vm.Event // RunSource's event cursor: a local would escape
 	// through the EventSource interface call and heap-allocate per run
 }
 
@@ -208,6 +220,8 @@ const rasDepth = 64
 
 // rasPush pushes a predicted return address, dropping the oldest entry
 // when the stack is full.
+//
+//arvi:hotpath
 func (e *Engine) rasPush(v int64) {
 	if e.rasLen == rasDepth {
 		e.rasStart = (e.rasStart + 1) & (rasDepth - 1)
@@ -218,6 +232,8 @@ func (e *Engine) rasPush(v int64) {
 }
 
 // rasPop pops the youngest return address; ok is false on an empty stack.
+//
+//arvi:hotpath
 func (e *Engine) rasPop() (v int64, ok bool) {
 	if e.rasLen == 0 {
 		return 0, false
@@ -227,6 +243,8 @@ func (e *Engine) rasPop() (v int64, ok bool) {
 }
 
 // freePop takes the oldest free physical register (FIFO).
+//
+//arvi:hotpath
 func (e *Engine) freePop() core.PhysReg {
 	p := e.freeRing[e.freeHead]
 	e.freeHead++
@@ -238,6 +256,8 @@ func (e *Engine) freePop() core.PhysReg {
 }
 
 // freePush returns a register to the back of the free list.
+//
+//arvi:hotpath
 func (e *Engine) freePush(p core.PhysReg) {
 	i := e.freeHead + e.freeLen
 	if i >= len(e.freeRing) {
@@ -250,6 +270,8 @@ func (e *Engine) freePush(p core.PhysReg) {
 // freePushFront puts a register back at the front of the free list — the
 // wrong-path recovery undo, which must restore the exact pre-speculation
 // allocation order.
+//
+//arvi:hotpath
 func (e *Engine) freePushFront(p core.PhysReg) {
 	e.freeHead--
 	if e.freeHead < 0 {
@@ -322,6 +344,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 // over a run, leaving configuration-derived allocations in place. It is
 // shared by NewEngine and Reset, so a reset engine is bit-for-bit
 // equivalent to a fresh one (pinned by TestEngineResetDeterminism).
+//
+//arvi:hotpath
 func (e *Engine) resetArchState() {
 	for l := 0; l < isa.NumRegs; l++ {
 		e.mapTable[l] = core.PhysReg(l)
@@ -363,6 +387,8 @@ func (e *Engine) resetArchState() {
 // a sweep can reuse one engine per configuration instead of churning the
 // allocator per matrix cell. A reset engine produces bit-identical
 // statistics to a new one.
+//
+//arvi:hotpath
 func (e *Engine) Reset() {
 	e.hier.Reset()
 	e.l1.Reset()
@@ -417,15 +443,18 @@ func (e *Engine) Run(p *prog.Program) (Stats, error) {
 
 // RunSource replays an externally supplied trace of the given program
 // (e.g. one recorded by package trace) through the timing model.
+//
+//arvi:hotpath
 func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 	e.prog = p
 	ev := &e.evBuf
 	var n int64
 	for e.cfg.MaxInsts <= 0 || n < e.cfg.MaxInsts {
-		if err := src.Next(ev); err != nil {
+		if err := src.Next(ev); err != nil { //arvi:dyncall EventSource impls (VM, trace cursor, replay reader) are allocation-audited
 			if err == io.EOF {
 				break
 			}
+			//arvi:cold a failing trace source aborts the run; per-instruction it never fires
 			return e.st, fmt.Errorf("cpu: trace source failed: %w", err)
 		}
 		e.process(ev)
@@ -449,6 +478,8 @@ func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 // now: its DDT entry is freed and the physical register it displaced
 // returns to the free list — exactly the in-order commit the hardware
 // performs.
+//
+//arvi:hotpath
 func (e *Engine) advanceFrontier(seq, now int64) {
 	for e.frontier < seq {
 		idx := e.frontier % int64(len(e.commitRing))
@@ -456,6 +487,7 @@ func (e *Engine) advanceFrontier(seq, now int64) {
 			return
 		}
 		if _, err := e.ddt.Commit(); err != nil {
+			//arvi:cold invariant trap; Commit cannot fail while frontier < seq
 			panic("cpu: DDT/frontier desync: " + err.Error())
 		}
 		if old := e.prevMapRing[idx]; old != core.NoPReg {
@@ -469,6 +501,8 @@ func (e *Engine) advanceFrontier(seq, now int64) {
 }
 
 // process replays one trace event through the timing model.
+//
+//arvi:hotpath
 func (e *Engine) process(ev *vm.Event) {
 	in := ev.Inst
 	seq := ev.Seq
@@ -528,6 +562,7 @@ func (e *Engine) process(ev *vm.Event) {
 	var displaced = core.NoPReg
 	if in.HasDest() {
 		if e.freeLen == 0 {
+			//arvi:cold invariant trap; the ring holds ROB+8 spare registers
 			panic("cpu: free list exhausted (rename invariant violated)")
 		}
 		dest = e.freePop()
@@ -535,6 +570,7 @@ func (e *Engine) process(ev *vm.Event) {
 		e.mapTable[in.Rd] = dest
 	}
 	if _, err := e.ddt.Insert(dest, e.srcPregs, in.IsLoad()); err != nil {
+		//arvi:cold invariant trap; the ROB occupancy stall keeps the table un-full
 		panic("cpu: DDT insert failed: " + err.Error())
 	}
 	ri := seq % int64(len(e.prevMapRing))
@@ -613,6 +649,8 @@ func (e *Engine) process(ev *vm.Event) {
 // executeLoad computes a load's completion cycle: store-to-load forwarding
 // from the LSQ when an older in-flight store matches the word address,
 // otherwise a cache hierarchy access.
+//
+//arvi:hotpath
 func (e *Engine) executeLoad(ev *vm.Event, seq, issueC int64) int64 {
 	e.st.Loads++
 	addrW := ev.Addr &^ 7
@@ -629,6 +667,8 @@ func (e *Engine) executeLoad(ev *vm.Event, seq, issueC int64) int64 {
 
 // findForwardingStore returns the youngest older store to the same word
 // still in the store queue at cycle at, or nil.
+//
+//arvi:hotpath
 func (e *Engine) findForwardingStore(seq int64, addrW uint64, at int64) *storeRec {
 	var best *storeRec
 	for i := range e.stores {
@@ -650,6 +690,8 @@ func (e *Engine) findForwardingStore(seq int64, addrW uint64, at int64) *storeRe
 // which the loaded value would have been available had the load been moved
 // back as far as its address operands (and conflicting older stores,
 // resolved by run-time disambiguation) allow.
+//
+//arvi:hotpath
 func (e *Engine) hoistAvailability(ev *vm.Event, seq, addrReady, doneC, issueC int64) int64 {
 	start := addrReady
 	addrW := ev.Addr &^ 7
@@ -676,6 +718,8 @@ func (e *Engine) hoistAvailability(ev *vm.Event, seq, addrReady, doneC, issueC i
 
 // predictBranch performs the full two-level prediction for a conditional
 // branch fetched at fetchC and applies training updates.
+//
+//arvi:hotpath
 func (e *Engine) predictBranch(ev *vm.Event, fetchC int64) {
 	in := ev.Inst
 	pc := uint64(ev.PC)
@@ -782,6 +826,8 @@ func (e *Engine) predictBranch(ev *vm.Event, fetchC int64) {
 // predictJump models unconditional control flow: direct jumps are fully
 // predicted (1-cycle taken bubble); JR uses a return-address stack pushed
 // by JAL, with a misprediction redirect on a wrong target.
+//
+//arvi:hotpath
 func (e *Engine) predictJump(ev *vm.Event, fetchC int64) {
 	in := ev.Inst
 	e.pendingOverride = 1 // taken redirect bubble
@@ -803,6 +849,8 @@ func (e *Engine) predictJump(ev *vm.Event, fetchC int64) {
 
 // resolveControl applies the front-end redirect cost decided during
 // prediction, now that the resolution cycle is known.
+//
+//arvi:hotpath
 func (e *Engine) resolveControl(ev *vm.Event, fetchC, doneC int64) {
 	if e.pendingMispredict {
 		if t := doneC + 1; t > e.nextFetchMin {
@@ -822,6 +870,8 @@ func (e *Engine) resolveControl(ev *vm.Event, fetchC, doneC int64) {
 // the branch instance as calculated or load. The set is iterated with a
 // direct word scan — a ForEach closure here escapes (it captures class by
 // reference) and would heap-allocate on every predicted branch.
+//
+//arvi:hotpath
 func (e *Engine) resolveLeaves(set bitvec.Vec, fetchC int64) ([]arvi.LeafValue, BranchClass) {
 	e.leafBuf = e.leafBuf[:0]
 	class := ClassCalculated

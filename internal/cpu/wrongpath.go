@@ -26,6 +26,8 @@ type wpUndo struct {
 // rename map, free list and shadow state are restored from the checkpoint.
 // The net effect on simulation state is nil; the value is exercising the
 // recovery machinery under the full pipeline.
+//
+//arvi:hotpath
 func (e *Engine) injectWrongPath(ev *vm.Event) {
 	in := ev.Inst
 	// The wrong path is the direction fetch actually followed: the target
@@ -66,6 +68,7 @@ func (e *Engine) injectWrongPath(ev *vm.Event) {
 			e.meta[dest].isLoad = win.IsLoad()
 		}
 		if _, err := e.ddt.Insert(dest, e.srcPregs, win.IsLoad()); err != nil {
+			//arvi:cold invariant trap; the loop breaks before the table fills
 			panic("cpu: wrong-path DDT insert failed: " + err.Error())
 		}
 		inserted++
@@ -87,6 +90,7 @@ func (e *Engine) injectWrongPath(ev *vm.Event) {
 	// the free ring so the pre-speculation allocation order is restored
 	// exactly.
 	if err := e.ddt.Rollback(inserted); err != nil {
+		//arvi:cold invariant trap; inserted never exceeds the in-flight count
 		panic("cpu: wrong-path rollback failed: " + err.Error())
 	}
 	for i := len(e.wpUndo) - 1; i >= 0; i-- {

@@ -116,6 +116,8 @@ type Inst struct {
 }
 
 // HasDest reports whether the instruction writes a destination register.
+//
+//arvi:hotpath
 func (i Inst) HasDest() bool {
 	switch i.Op {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
@@ -128,15 +130,23 @@ func (i Inst) HasDest() bool {
 }
 
 // IsLoad reports whether the instruction reads data memory.
+//
+//arvi:hotpath
 func (i Inst) IsLoad() bool { return i.Op == OpLw || i.Op == OpLb }
 
 // IsStore reports whether the instruction writes data memory.
+//
+//arvi:hotpath
 func (i Inst) IsStore() bool { return i.Op == OpSw || i.Op == OpSb }
 
 // IsMem reports whether the instruction accesses data memory.
+//
+//arvi:hotpath
 func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
 
 // IsCondBranch reports whether the instruction is a conditional branch.
+//
+//arvi:hotpath
 func (i Inst) IsCondBranch() bool {
 	switch i.Op {
 	case OpBeq, OpBne, OpBlt, OpBge, OpBltz, OpBgez:
@@ -147,16 +157,22 @@ func (i Inst) IsCondBranch() bool {
 
 // IsJump reports whether the instruction is an unconditional control
 // transfer (J, JAL, JR).
+//
+//arvi:hotpath
 func (i Inst) IsJump() bool {
 	return i.Op == OpJ || i.Op == OpJal || i.Op == OpJr
 }
 
 // IsControl reports whether the instruction can redirect the PC.
+//
+//arvi:hotpath
 func (i Inst) IsControl() bool { return i.IsCondBranch() || i.IsJump() }
 
 // SrcRegs appends the logical source registers the instruction reads to dst
 // and returns the extended slice. r0 is included when named (it still renames
 // to the canonical zero physical register). Immediate forms read only Rs1.
+//
+//arvi:hotpath
 func (i Inst) SrcRegs(dst []Reg) []Reg {
 	switch i.Op {
 	case OpNop, OpLi, OpJ, OpJal, OpHalt:
@@ -184,6 +200,8 @@ const (
 )
 
 // FU returns the functional-unit class for the instruction.
+//
+//arvi:hotpath
 func (i Inst) FU() FUClass {
 	switch {
 	case i.Op == OpMul || i.Op == OpDiv || i.Op == OpRem:
@@ -197,6 +215,8 @@ func (i Inst) FU() FUClass {
 
 // ExecLatency returns the execution latency in cycles, excluding any memory
 // hierarchy latency for loads (the timing core adds cache latency).
+//
+//arvi:hotpath
 func (i Inst) ExecLatency() int {
 	switch i.Op {
 	case OpMul:

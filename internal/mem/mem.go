@@ -64,6 +64,8 @@ func MustNewCache(name string, sizeB, ways, lineB, hitLat int) *Cache {
 
 // Access looks up addr, updating LRU state and filling the line on a miss.
 // It returns true on a hit.
+//
+//arvi:hotpath
 func (c *Cache) Access(addr uint64) bool {
 	set := int((addr >> c.lineBits) & c.setMask)
 	tag := addr >> c.lineBits
@@ -95,6 +97,7 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+//arvi:hotpath
 func (c *Cache) touch(base, way int) {
 	old := c.lru[base+way]
 	for w := 0; w < c.Ways; w++ {
@@ -107,6 +110,8 @@ func (c *Cache) touch(base, way int) {
 
 // Install fills the line containing addr without touching hit/miss
 // statistics. It is used by the front end's next-line prefetcher.
+//
+//arvi:hotpath
 func (c *Cache) Install(addr uint64) {
 	set := int((addr >> c.lineBits) & c.setMask)
 	tag := addr >> c.lineBits
@@ -134,9 +139,13 @@ func (c *Cache) Install(addr uint64) {
 }
 
 // Accesses returns the total access count.
+//
+//arvi:hotpath
 func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }
 
 // MissRate returns misses/accesses (0 when unused).
+//
+//arvi:hotpath
 func (c *Cache) MissRate() float64 {
 	if t := c.Accesses(); t > 0 {
 		return float64(c.Misses) / float64(t)
@@ -145,6 +154,8 @@ func (c *Cache) MissRate() float64 {
 }
 
 // Reset clears contents and statistics.
+//
+//arvi:hotpath
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
@@ -192,6 +203,8 @@ func MustNewTLB(name string, entries, ways int, pageB, missLat int) *TLB {
 
 // Access translates addr, returning the added latency (0 on hit, MissLat on
 // a TLB miss).
+//
+//arvi:hotpath
 func (t *TLB) Access(addr uint64) int {
 	if t.cache.Access((addr >> t.pageBits) << 3) {
 		return 0
@@ -200,10 +213,16 @@ func (t *TLB) Access(addr uint64) int {
 }
 
 // Hits and Misses expose the underlying counters.
-func (t *TLB) Hits() int64   { return t.cache.Hits }
+//
+//arvi:hotpath
+func (t *TLB) Hits() int64 { return t.cache.Hits }
+
+//arvi:hotpath
 func (t *TLB) Misses() int64 { return t.cache.Misses }
 
 // Reset clears contents and statistics.
+//
+//arvi:hotpath
 func (t *TLB) Reset() { t.cache.Reset() }
 
 // Hierarchy bundles the full Table 2 memory system.
@@ -250,6 +269,8 @@ func NewHierarchy(lat Latencies) *Hierarchy {
 
 // DataAccess returns the total latency of a data reference to addr
 // (load or store timing), walking DTLB, L1D, L2 and memory.
+//
+//arvi:hotpath
 func (h *Hierarchy) DataAccess(addr uint64) int {
 	lat := h.DTLB.Access(addr)
 	if h.L1D.Access(addr) {
@@ -266,6 +287,8 @@ func (h *Hierarchy) DataAccess(addr uint64) int {
 // pc is an instruction index; instructions are modelled 8 bytes each.
 // A next-line prefetcher installs the sequentially following line so that
 // straight-line code pays the miss latency only on fetch redirects.
+//
+//arvi:hotpath
 func (h *Hierarchy) FetchAccess(pc int) int {
 	addr := uint64(pc) << 3
 	lat := h.ITLB.Access(addr)
@@ -280,6 +303,8 @@ func (h *Hierarchy) FetchAccess(pc int) int {
 }
 
 // Reset clears every structure and its statistics.
+//
+//arvi:hotpath
 func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()

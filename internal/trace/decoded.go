@@ -96,9 +96,13 @@ func Decode(p *prog.Program, r io.Reader) (*Decoded, error) {
 }
 
 // Len returns the number of recorded events.
+//
+//arvi:hotpath
 func (d *Decoded) Len() int64 { return int64(len(d.recs)) }
 
 // Prog returns the program the trace was recorded from.
+//
+//arvi:hotpath
 func (d *Decoded) Prog() *prog.Program { return d.prog }
 
 // MemBytes estimates the resident size of the decoded record store; the
@@ -144,6 +148,8 @@ func (d *Decoded) Cursor() *Cursor { return &Cursor{d: d} }
 
 // Next fills ev with the next event, returning io.EOF at the end of the
 // trace. It implements cpu.EventSource.
+//
+//arvi:hotpath
 func (c *Cursor) Next(ev *vm.Event) error {
 	if c.i >= int64(len(c.d.recs)) {
 		return io.EOF
