@@ -136,6 +136,7 @@ func (s *Server) Coalesced() int64 { return s.coalesced.Load() }
 
 // --- response plumbing ---------------------------------------------------
 
+//arvi:det
 func jsonBody(v any) []byte {
 	// MarshalIndent with a one-space indent plus trailing newline matches
 	// the CLI exporters' json.Encoder(SetIndent("", " ")) byte for byte,
@@ -171,7 +172,9 @@ func writeResponse(w http.ResponseWriter, resp *response, shared bool) {
 		w.Header().Set("X-Coalesced", "1")
 	}
 	w.WriteHeader(resp.status)
-	w.Write(resp.body)
+	// A short write means the client went away; there is no channel left
+	// to report that on.
+	_, _ = w.Write(resp.body)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -235,6 +238,8 @@ func (s *Server) checkBudget(perCell int64, cells int) error {
 // key. The parts are the same content identities the result cache uses
 // (Spec/Config cache keys, study keys), so two requests coalesce exactly
 // when they would hit the same cache entries in the same order.
+//
+//arvi:det
 func hashParts(kind string, parts ...string) string {
 	h := sha256.New()
 	for _, p := range parts {
@@ -674,6 +679,8 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 
 // renderArtifact produces the artifact's text tables, simulating (through
 // the engine's cache and trace store) whatever cells it needs.
+//
+//arvi:det
 func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, error) {
 	var out strings.Builder
 	emit := func(t sim.Table) error { return t.Render(&out) }

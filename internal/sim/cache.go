@@ -45,6 +45,8 @@ func (c *Cache) Dir() string { return c.dir }
 
 // Key returns the cache key for a spec: a hex SHA-256 over the spec's
 // identity and the fingerprint of its derived configuration.
+//
+//arvi:det
 func (c *Cache) Key(spec Spec) string { return CacheKey(spec, spec.Config()) }
 
 // CacheKey computes the content-hash key for an explicit (spec, config)
@@ -54,6 +56,8 @@ func (c *Cache) Key(spec Spec) string { return CacheKey(spec, spec.Config()) }
 // paper-default 8) share one entry instead of simulating twice. Exposed
 // for tests and external tooling that wants to locate or invalidate
 // specific cells.
+//
+//arvi:det
 func CacheKey(spec Spec, cfg cpu.Config) string {
 	return hashKey(struct {
 		Version     int
@@ -63,6 +67,8 @@ func CacheKey(spec Spec, cfg cpu.Config) string {
 }
 
 // hashKey hashes a plain identity value into a hex cache key.
+//
+//arvi:det
 func hashKey(id any) string {
 	b, err := json.Marshal(id)
 	if err != nil {
@@ -95,7 +101,7 @@ func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil || e.Version != cacheVersion || e.Key != key {
 		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
-		os.Remove(c.path(key))
+		_ = os.Remove(c.path(key))
 		return cpu.Stats{}, false
 	}
 	return e.Stats, true
@@ -120,16 +126,16 @@ func (c *Cache) writeAtomic(key string, b []byte) error {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	return nil
@@ -170,11 +176,11 @@ func (c *Cache) getStudy(key, kind string, out any) bool {
 	if err := json.Unmarshal(b, &e); err != nil ||
 		e.Version != cacheVersion || e.Key != key || e.Kind != kind {
 		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
-		os.Remove(c.path(key))
+		_ = os.Remove(c.path(key))
 		return false
 	}
 	if err := json.Unmarshal(e.Stats, out); err != nil {
-		os.Remove(c.path(key))
+		_ = os.Remove(c.path(key))
 		return false
 	}
 	return true

@@ -31,6 +31,8 @@ type Record struct {
 // Records flattens the populated cells of the matrix into tidy rows (one
 // per benchmark × depth × mode, suite order). Missing cells are skipped,
 // so a partial grid exports exactly what completed.
+//
+//arvi:det
 func (m *Matrix) Records(depths []int) []Record {
 	var out []Record
 	for _, b := range workload.Names {
@@ -69,6 +71,8 @@ func (m *Matrix) Records(depths []int) []Record {
 // WriteCSV exports the populated result matrix as tidy CSV (one row per
 // benchmark × depth × mode) for external plotting: IPC, normalized IPC,
 // accuracy, class accuracies and load-branch fraction.
+//
+//arvi:det
 func (m *Matrix) WriteCSV(w io.Writer, depths []int) error {
 	cw := csv.NewWriter(w)
 	header := []string{
@@ -115,6 +119,8 @@ type jsonExport struct {
 // WriteJSON exports the populated matrix cells as indented JSON, raw
 // Stats included, for downstream tooling that wants more than the CSV's
 // derived metrics.
+//
+//arvi:det
 func (m *Matrix) WriteJSON(w io.Writer, depths []int) error {
 	cells := m.Records(depths)
 	if cells == nil {

@@ -18,6 +18,8 @@ type Table struct {
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
 // Render writes the table as aligned text.
+//
+//arvi:det
 func (t *Table) Render(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
 		return err

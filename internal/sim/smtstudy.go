@@ -163,6 +163,8 @@ func (e *Engine) RunSMTGrid(mixes []workload.Mix, policies []smt.Policy, cfg smt
 
 // SMTThroughputTable renders the study's headline: combined IPC per mix
 // under each policy, with the smart policies' speedup over round-robin.
+//
+//arvi:det
 func SMTThroughputTable(g *SMTGrid) Table {
 	t := Table{
 		Title: fmt.Sprintf("SMT fetch policies: combined throughput (IPC), %d-wide fetch, %d-entry shared window",
@@ -206,6 +208,8 @@ func SMTThroughputTable(g *SMTGrid) Table {
 
 // SMTBalanceTable renders per-thread retired instructions per mix and
 // policy — the starvation view the throughput headline hides.
+//
+//arvi:det
 func SMTBalanceTable(g *SMTGrid) Table {
 	t := Table{
 		Title:  "SMT fetch policies: per-thread retired instructions",
@@ -245,6 +249,8 @@ type SMTRecord struct {
 
 // Records flattens the populated cells into tidy rows (mix-major, policy
 // order). Missing cells are skipped.
+//
+//arvi:det
 func (g *SMTGrid) Records() []SMTRecord {
 	var out []SMTRecord
 	for _, m := range g.Mixes {
@@ -265,6 +271,8 @@ func (g *SMTGrid) Records() []SMTRecord {
 }
 
 // WriteCSV exports the populated grid as tidy CSV for external plotting.
+//
+//arvi:det
 func (g *SMTGrid) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"mix", "policy", "ipc", "cycles", "total_insts", "peak_window"}); err != nil {
@@ -287,6 +295,8 @@ func (g *SMTGrid) WriteCSV(w io.Writer) error {
 }
 
 // WriteJSON exports the populated grid cells as indented JSON.
+//
+//arvi:det
 func (g *SMTGrid) WriteJSON(w io.Writer) error {
 	cells := g.Records()
 	if cells == nil {

@@ -104,6 +104,8 @@ func runStudy[R any](e *Engine, s Study) (stats R, simErr, cacheErr error) {
 // studyKey computes a study's cache key and returns the marshalled
 // identity alongside it, so callers that need both (the lookup/write-back
 // cycle) marshal the identity once.
+//
+//arvi:det
 func studyKey(s Study) (key string, id []byte, err error) {
 	id, err = json.Marshal(s.Identity())
 	if err != nil {
@@ -120,6 +122,8 @@ func studyKey(s Study) (key string, id []byte, err error) {
 // over the cache format version, the study kind, and the JSON encoding of
 // the study's identity. Exposed for tests and external tooling that wants
 // to locate or invalidate specific cells.
+//
+//arvi:det
 func StudyKey(s Study) (string, error) {
 	key, _, err := studyKey(s)
 	return key, err

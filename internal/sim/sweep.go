@@ -110,6 +110,8 @@ func (e *Engine) RunCutAtLoadsSweep(benches []string, depth int, maxInsts int64)
 
 // sweepTable renders one metric of a sweep grid, marking unpopulated cells
 // "n/a" so partially completed (or partially failed) sweeps still render.
+//
+//arvi:det
 func sweepTable(s *SweepResult, metric string, cell func(cpu.Stats) string) Table {
 	t := Table{
 		Title:  fmt.Sprintf("Ablation: %s — %s, %d-cycle pipeline (%s)", s.Label, metric, s.Depth, s.Mode),
@@ -131,8 +133,11 @@ func sweepTable(s *SweepResult, metric string, cell func(cpu.Stats) string) Tabl
 
 // sweepBenches recovers the benchmark rows present in the grid, in the
 // canonical suite order first and any extras after.
+//
+//arvi:det
 func sweepBenches(s *SweepResult) []string {
 	seen := make(map[string]bool)
+	//arvi:unordered builds a set; membership is order-independent
 	for k := range s.m {
 		seen[k.bench] = true
 	}
@@ -144,6 +149,7 @@ func sweepBenches(s *SweepResult) []string {
 		}
 	}
 	extras := make([]string, 0, len(seen))
+	//arvi:unordered collected into extras and sorted below
 	for b := range seen {
 		extras = append(extras, b)
 	}

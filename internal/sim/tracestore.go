@@ -123,6 +123,8 @@ func (s *TraceStore) MemUsed() int64 {
 
 // Path returns the on-disk location for a program/budget pair (even when
 // the store is memory-only and will never write it).
+//
+//arvi:det
 func (s *TraceStore) Path(p *prog.Program, budget int64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%d.trc", p.FingerprintHex(), budget))
 }
@@ -176,7 +178,7 @@ func (s *TraceStore) acquire(p *prog.Program, budget int64) (*trace.Decoded, err
 	if s.dir != "" {
 		if f, err := os.Open(path); err == nil {
 			dec, derr := trace.Decode(p, f)
-			f.Close()
+			_ = f.Close()
 			if derr == nil {
 				s.diskHits.Add(1)
 				return dec, nil
@@ -184,7 +186,7 @@ func (s *TraceStore) acquire(p *prog.Program, budget int64) (*trace.Decoded, err
 			// Corrupt, truncated or foreign file under our name: remove it
 			// and fall through to a fresh recording (self-heal, like the
 			// result cache).
-			os.Remove(path)
+			_ = os.Remove(path)
 		}
 	}
 	s.recorded.Add(1)
@@ -209,16 +211,16 @@ func (s *TraceStore) persist(dec *trace.Decoded, path string) error {
 		return err
 	}
 	if _, err := dec.WriteTo(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return nil
@@ -233,6 +235,7 @@ func (s *TraceStore) evictLocked(keep traceKey) {
 	for s.memUsed > s.memBudget {
 		var victimKey traceKey
 		var victim *traceEntry
+		//arvi:unordered min-scan over unique lastUse ticks; the victim is order-independent
 		for k, e := range s.entries {
 			if !e.done || k == keep {
 				continue

@@ -198,6 +198,8 @@ func (e *Engine) RunVPredGrid(benches []string, predictors []string, params VPre
 
 // vpredTable renders one metric across the grid's predictor × selection
 // columns, marking unpopulated cells n/a.
+//
+//arvi:det
 func vpredTable(g *VPredGrid, metric string, cell func(vpred.Result) string) Table {
 	t := Table{
 		Title: fmt.Sprintf("Selective value prediction: %s (DDT dependents >= %d vs all instructions)",
@@ -251,6 +253,8 @@ type VPredRecord struct {
 
 // Records flattens the populated cells into tidy rows (bench-major).
 // Missing cells are skipped.
+//
+//arvi:det
 func (g *VPredGrid) Records() []VPredRecord {
 	var out []VPredRecord
 	for _, b := range g.Benches {
@@ -273,6 +277,8 @@ func (g *VPredGrid) Records() []VPredRecord {
 }
 
 // WriteCSV exports the populated grid as tidy CSV for external plotting.
+//
+//arvi:det
 func (g *VPredGrid) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"bench", "predictor", "selective", "insts", "candidates", "predictions", "correct", "coverage", "accuracy"}
@@ -298,6 +304,8 @@ func (g *VPredGrid) WriteCSV(w io.Writer) error {
 }
 
 // WriteJSON exports the populated grid cells as indented JSON.
+//
+//arvi:det
 func (g *VPredGrid) WriteJSON(w io.Writer) error {
 	cells := g.Records()
 	if cells == nil {
