@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// hotcoverExempt lists module functions a benchkit timed region may call
+// without carrying //arvi:hotpath, each with the reason the hot-path
+// contract does not apply to it. Keep this list justified and short: an
+// entry here is a hole in what the trajectory numbers guard.
+var hotcoverExempt = map[string]string{
+	"(*repro/internal/trace.Decoded).Cursor": "allocates one per-replay cursor by design; amortised over the full replay it starts",
+}
+
+// TestBenchmarkBodiesAreHotpath asserts that every module function called
+// from a benchkit timed region (the statements after b.ResetTimer) carries
+// //arvi:hotpath — so the code the BENCH_*.json trajectory measures is
+// exactly the code the hotalloc analyzer keeps allocation-free. A benchmark
+// that drifts onto an unannotated path fails here rather than silently
+// reporting numbers the static contracts no longer cover.
+func TestBenchmarkBodiesAreHotpath(t *testing.T) {
+	world, err := analysis.Load("../..", "./internal/benchkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benchPkg *analysis.Package
+	for _, p := range world.Pkgs {
+		if strings.HasSuffix(p.Path, "/benchkit") {
+			benchPkg = p
+		}
+	}
+	if benchPkg == nil {
+		t.Fatal("benchkit package not loaded")
+	}
+
+	timedBodies := 0
+	for _, file := range benchPkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasBenchParam(benchPkg.Info, fd) {
+				continue
+			}
+			timed := timedRegion(benchPkg.Info, fd.Body)
+			if timed == nil {
+				continue // no ResetTimer: a wrapper delegating to a shared body
+			}
+			timedBodies++
+			for _, stmt := range timed {
+				checkTimedStmt(t, world, benchPkg, fd, stmt)
+			}
+		}
+	}
+	if timedBodies == 0 {
+		t.Fatal("found no timed benchmark bodies; did benchkit change shape?")
+	}
+}
+
+// checkTimedStmt reports every static call in stmt that targets an
+// unannotated, unexempted module function.
+func checkTimedStmt(t *testing.T, world *analysis.World, pkg *analysis.Package, fd *ast.FuncDecl, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.StaticCallee(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != world.Module && !strings.HasPrefix(path, world.Module+"/") {
+			return true // stdlib (testing.B methods and the like)
+		}
+		if world.Hotpath[fn] {
+			return true
+		}
+		if _, ok := hotcoverExempt[fn.FullName()]; ok {
+			return true
+		}
+		pos := world.Fset.Position(call.Pos())
+		t.Errorf("%s: timed region of %s calls %s, which is not //arvi:hotpath (annotate it, or add a justified hotcoverExempt entry)",
+			pos, fd.Name.Name, fn.FullName())
+		return true
+	})
+}
+
+// hasBenchParam reports whether fd takes a *testing.B parameter.
+func hasBenchParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok &&
+			types.TypeString(tv.Type, nil) == "*testing.B" {
+			return true
+		}
+	}
+	return false
+}
+
+// timedRegion returns the statements after the last top-level
+// b.ResetTimer() call, or nil if the body never resets the timer.
+func timedRegion(info *types.Info, body *ast.BlockStmt) []ast.Stmt {
+	last := -1
+	for i, stmt := range body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn := analysis.StaticCallee(info, call); fn != nil &&
+			fn.FullName() == "(*testing.B).ResetTimer" {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return body.List[last+1:]
+}
