@@ -7,22 +7,31 @@
 //
 // Usage:
 //
-//	benchjson                          # 1s per benchmark, writes BENCH_pr4.json
+//	benchjson                          # 1s per benchmark, writes BENCH_pr6.json
 //	benchjson -benchtime 100x          # fixed iteration count (CI smoke)
-//	benchjson -out BENCH_pr5.json -pr pr5
+//	benchjson -out BENCH_pr7.json -pr pr7
+//	benchjson -baseline BENCH_pr4.json # fail if ns/inst regresses >10%
 //
 // The trajectory convention: every perf-focused PR appends a new
 // BENCH_<pr>.json generated at its head rather than editing older files,
 // so the repository accumulates a comparable history of ns/op, allocs/op
 // and simulated-MIPS headline numbers (see README "Performance").
+//
+// With -baseline, the freshly measured ns_per_inst headline is compared
+// against the baseline file's and the run fails when it regressed by more
+// than -max-regress (default 10%). An improvement or an in-tolerance jitter
+// passes; a missing headline on either side fails loudly rather than
+// silently skipping the gate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"maps"
 	"os"
 	"runtime"
+	"slices"
 	"testing"
 	"time"
 
@@ -45,15 +54,19 @@ type benchFile struct {
 	GOARCH        string             `json:"goarch"`
 	GeneratedUnix int64              `json:"generated_unix"`
 	Benchtime     string             `json:"benchtime"`
+	Note          string             `json:"note,omitempty"`
 	AllocGuards   map[string]float64 `json:"alloc_guards"`
 	Benchmarks    []benchResult      `json:"benchmarks"`
 	Headline      map[string]float64 `json:"headline"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output path for the trajectory record")
-	pr := flag.String("pr", "pr4", "PR label recorded in the file")
+	out := flag.String("out", "BENCH_pr6.json", "output path for the trajectory record")
+	pr := flag.String("pr", "pr6", "PR label recorded in the file")
 	benchtime := flag.String("benchtime", "", `per-benchmark budget ("2s" or "100x"; empty = testing default)`)
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to gate the ns/inst headline against (empty = no gate)")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/inst regression vs -baseline")
+	note := flag.String("note", "", "free-form measurement context recorded in the file (machine load, caveats)")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -69,8 +82,8 @@ func main() {
 		"ddt_insert_commit_leafset_allocs_per_op": benchkit.InsertLeafSetAllocs(),
 	}
 	failed := false
-	for name, v := range guards {
-		if v != 0 {
+	for _, name := range slices.Sorted(maps.Keys(guards)) {
+		if v := guards[name]; v != 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION: %s = %.2f, want 0\n", name, v)
 			failed = true
 		}
@@ -97,6 +110,7 @@ func main() {
 		GOARCH:        runtime.GOARCH,
 		GeneratedUnix: time.Now().Unix(),
 		Benchtime:     *benchtime,
+		Note:          *note,
 		AllocGuards:   guards,
 		Headline:      map[string]float64{},
 	}
@@ -129,6 +143,13 @@ func main() {
 		}
 	}
 
+	if *baseline != "" {
+		if err := gateHeadline(*baseline, file.Headline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: TRAJECTORY REGRESSION:", err)
+			os.Exit(1)
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -137,7 +158,7 @@ func main() {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(file); err != nil {
-		f.Close()
+		_ = f.Close()
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -146,4 +167,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+}
+
+// gateHeadline compares the fresh ns_per_inst headline against the baseline
+// trajectory file and returns an error when it regressed beyond the allowed
+// fraction. Headlines missing on either side are an error: a gate that can
+// silently skip itself guards nothing.
+func gateHeadline(baselinePath string, headline map[string]float64, maxRegress float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	old, ok := base.Headline["ns_per_inst"]
+	if !ok || old <= 0 {
+		return fmt.Errorf("%s has no ns_per_inst headline to gate against", baselinePath)
+	}
+	cur, ok := headline["ns_per_inst"]
+	if !ok || cur <= 0 {
+		return fmt.Errorf("this run produced no ns_per_inst headline (EngineMIPS did not report it)")
+	}
+	ratio := cur / old
+	fmt.Fprintf(os.Stderr, "benchjson: ns/inst %.1f vs %s (%s) %.1f: %+.1f%%\n",
+		cur, base.PR, baselinePath, old, (ratio-1)*100)
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("ns_per_inst %.1f is %.1f%% worse than %s's %.1f (allowed %.0f%%)",
+			cur, (ratio-1)*100, base.PR, old, maxRegress*100)
+	}
+	return nil
 }
