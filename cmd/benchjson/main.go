@@ -7,15 +7,22 @@
 //
 // Usage:
 //
-//	benchjson                          # 1s per benchmark, writes BENCH_pr6.json
+//	benchjson                          # 1s per benchmark, writes BENCH_pr7.json
 //	benchjson -benchtime 100x          # fixed iteration count (CI smoke)
-//	benchjson -out BENCH_pr7.json -pr pr7
-//	benchjson -baseline BENCH_pr4.json # fail if ns/inst regresses >10%
+//	benchjson -out BENCH_pr8.json -pr pr8
+//	benchjson -baseline BENCH_pr6.json # fail if ns/inst regresses >10%
+//	benchjson -samples 5               # best-of-5 per benchmark
 //
 // The trajectory convention: every perf-focused PR appends a new
 // BENCH_<pr>.json generated at its head rather than editing older files,
 // so the repository accumulates a comparable history of ns/op, allocs/op
 // and simulated-MIPS headline numbers (see README "Performance").
+//
+// Each benchmark is run -samples times (default 3) and the fastest sample
+// by ns/op is recorded — one testing.Benchmark run in a noisy container
+// showed ~13% run-to-run variance, enough for the trajectory gate to flag
+// noise as regression, and the minimum is the standard robust estimator
+// for a lower-bounded timing distribution.
 //
 // With -baseline, the freshly measured ns_per_inst headline is compared
 // against the baseline file's and the run fails when it regressed by more
@@ -44,6 +51,7 @@ type benchResult struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
+	Samples     int                `json:"samples,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -61,14 +69,19 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output path for the trajectory record")
-	pr := flag.String("pr", "pr6", "PR label recorded in the file")
+	out := flag.String("out", "BENCH_pr7.json", "output path for the trajectory record")
+	pr := flag.String("pr", "pr7", "PR label recorded in the file")
 	benchtime := flag.String("benchtime", "", `per-benchmark budget ("2s" or "100x"; empty = testing default)`)
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to gate the ns/inst headline against (empty = no gate)")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/inst regression vs -baseline")
+	samples := flag.Int("samples", 3, "runs per benchmark; the fastest by ns/op is recorded")
 	note := flag.String("note", "", "free-form measurement context recorded in the file (machine load, caveats)")
 	testing.Init()
 	flag.Parse()
+	if *samples < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -samples must be at least 1")
+		os.Exit(2)
+	}
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -79,7 +92,9 @@ func main() {
 	// Allocation regression guards run first: a trajectory file must never
 	// record a state where the steady-state DDT path allocates.
 	guards := map[string]float64{
-		"ddt_insert_commit_leafset_allocs_per_op": benchkit.InsertLeafSetAllocs(),
+		"ddt_insert_commit_leafset_allocs_per_op":         benchkit.InsertLeafSetAllocs(),
+		"ddt_rob512_insert_commit_leafset_allocs_per_op":  benchkit.InsertLeafSetAllocsAt(benchkit.WideROB512Config),
+		"ddt_rob1024_insert_commit_leafset_allocs_per_op": benchkit.InsertLeafSetAllocsAt(benchkit.WideROB1024Config),
 	}
 	failed := false
 	for _, name := range slices.Sorted(maps.Keys(guards)) {
@@ -99,6 +114,9 @@ func main() {
 		{"DDTInsert", benchkit.DDTInsert},
 		{"DDTInsertROB256", benchkit.DDTInsertROB256},
 		{"LeafSet", benchkit.LeafSet},
+		{"LeafSetWrapped", benchkit.LeafSetWrapped},
+		{"LeafSetROB512", benchkit.LeafSetROB512},
+		{"LeafSetROB1024", benchkit.LeafSetROB1024},
 		{"BitvecKernels", benchkit.BitvecKernels},
 		{"EngineMIPS", benchkit.EngineThroughput},
 	}
@@ -115,30 +133,41 @@ func main() {
 		Headline:      map[string]float64{},
 	}
 	for _, bm := range benches {
-		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bm.name)
-		r := testing.Benchmark(bm.fn)
-		if r.N == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s did not run (failed benchmark body?)\n", bm.name)
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchjson: running %s (best of %d)...\n", bm.name, *samples)
+		// Best-of-N: the fastest sample by ns/op, with its own metrics, so
+		// run-to-run container noise cannot trip the trajectory gate.
+		var best testing.BenchmarkResult
+		bestNs := 0.0
+		for s := 0; s < *samples; s++ {
+			r := testing.Benchmark(bm.fn)
+			if r.N == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s did not run (failed benchmark body?)\n", bm.name)
+				os.Exit(1)
+			}
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if s == 0 || ns < bestNs {
+				best, bestNs = r, ns
+			}
 		}
 		res := benchResult{
 			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  best.N,
+			NsPerOp:     bestNs,
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+			Samples:     *samples,
 		}
-		if len(r.Extra) > 0 {
+		if len(best.Extra) > 0 {
 			res.Metrics = map[string]float64{}
-			for k, v := range r.Extra {
+			for k, v := range best.Extra {
 				res.Metrics[k] = v
 			}
 		}
 		file.Benchmarks = append(file.Benchmarks, res)
-		if mips, ok := r.Extra["sim_MIPS"]; ok {
+		if mips, ok := best.Extra["sim_MIPS"]; ok {
 			file.Headline["sim_MIPS"] = mips
 		}
-		if nsInst, ok := r.Extra["ns/inst"]; ok {
+		if nsInst, ok := best.Extra["ns/inst"]; ok {
 			file.Headline["ns_per_inst"] = nsInst
 		}
 	}

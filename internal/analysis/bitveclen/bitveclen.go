@@ -2,7 +2,8 @@
 // bitvec equal-length contract statically.
 //
 // Every binary bitvec kernel (CopyFrom, Or, And, AndNot, OrOf, OrAnd,
-// OrAndInto, OrOfAndNot) requires all operands to be the same length; the
+// OrAndInto, OrOfAndNot, and the summary-guided OrSparse, OrAndSparse,
+// AndSparse) requires all operands to be the same length; the
 // kernels trust it and index unchecked (the bitvecdebug build tag adds
 // runtime assertions, but the default build has none). bitveclen proves
 // the lengths equal at each call site when every operand's provenance
@@ -42,14 +43,17 @@ var Analyzer = &analysis.Analyzer{
 // vecKernels are the Vec methods whose receiver and every argument must
 // be equal length.
 var vecKernels = map[string]bool{
-	"CopyFrom":   true,
-	"Or":         true,
-	"And":        true,
-	"AndNot":     true,
-	"OrOf":       true,
-	"OrAnd":      true,
-	"OrAndInto":  true,
-	"OrOfAndNot": true,
+	"CopyFrom":    true,
+	"Or":          true,
+	"And":         true,
+	"AndNot":      true,
+	"OrOf":        true,
+	"OrAnd":       true,
+	"OrAndInto":   true,
+	"OrOfAndNot":  true,
+	"OrSparse":    true,
+	"OrAndSparse": true,
+	"AndSparse":   true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -92,12 +96,29 @@ func checkCall(pass *analysis.Pass, bvPath string, env map[types.Object]ast.Expr
 		if !ok {
 			return
 		}
-		operands := append([]ast.Expr{sel.X}, call.Args...)
+		// Only Vec-typed arguments carry the contract; the sparse kernels
+		// also take a uint64 summary, which is not a vector operand.
+		operands := []ast.Expr{sel.X}
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && isVec(tv.Type, bvPath) {
+				operands = append(operands, arg)
+			}
+		}
 		if allSameProvenance(pass, info, env, operands) {
 			return
 		}
 		requireJustification(pass, call, "cannot prove the operands of "+fn.Name()+" are equal length")
 	}
+}
+
+// isVec reports whether t is bitvec.Vec (possibly named via alias).
+func isVec(t types.Type, bvPath string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Vec" && obj.Pkg() != nil && obj.Pkg().Path() == bvPath
 }
 
 // requireJustification demands a justified //arvi:lencheck on the call line.

@@ -36,7 +36,15 @@ func kernels(t, u *table, n int, other bitvec.Vec, m []uint64, words int) {
 	t.chain.AndNot(other) // want `needs a justification`
 	alias := t.valid
 	alias.CopyFrom(t.chain)
-	bitvec.ClearColumn(m, words, 0) // want `ClearColumn`
+	// Summary-guided sparse kernels carry the same equal-length contract
+	// on their Vec operands; the uint64 summary is not a vector operand.
+	_ = t.chain.OrSparse(t.row(1), 0)
+	_ = t.chain.OrAndSparse(t.row(2), t.valid, 0)
+	_ = t.chain.AndSparse(t.valid, 0)
+	_ = t.chain.OrSparse(other, 0)             // want `cannot prove the operands of OrSparse`
+	_ = t.chain.OrAndSparse(t.set, t.valid, 0) // want `cannot prove the operands of OrAndSparse`
+	_ = t.chain.AndSparse(other, 0)            // want `cannot prove the operands of AndSparse`
+	bitvec.ClearColumn(m, words, 0)            // want `ClearColumn`
 	//arvi:lencheck m is rows strides of words uint64s
 	bitvec.ClearColumn(m, words, 1)
 }

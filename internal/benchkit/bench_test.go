@@ -13,15 +13,24 @@ import (
 func BenchmarkDDTInsert(b *testing.B)       { benchkit.DDTInsert(b) }
 func BenchmarkDDTInsertROB256(b *testing.B) { benchkit.DDTInsertROB256(b) }
 func BenchmarkLeafSet(b *testing.B)         { benchkit.LeafSet(b) }
+func BenchmarkLeafSetWrapped(b *testing.B)  { benchkit.LeafSetWrapped(b) }
+func BenchmarkLeafSetROB512(b *testing.B)   { benchkit.LeafSetROB512(b) }
+func BenchmarkLeafSetROB1024(b *testing.B)  { benchkit.LeafSetROB1024(b) }
 func BenchmarkBitvecKernels(b *testing.B)   { benchkit.BitvecKernels(b) }
 func BenchmarkEngineMIPS(b *testing.B)      { benchkit.EngineThroughput(b) }
 
 // TestSteadyStateDDTPathAllocFree is the allocation regression guard for
 // the steady-state Insert+Commit+LeafSet path: it must not allocate at
-// all. cmd/benchjson enforces the same invariant in CI before emitting the
-// trajectory file.
+// all, at the default or the wide-machine geometries. cmd/benchjson
+// enforces the same invariant in CI before emitting the trajectory file.
 func TestSteadyStateDDTPathAllocFree(t *testing.T) {
 	if avg := benchkit.InsertLeafSetAllocs(); avg != 0 {
 		t.Errorf("steady-state Insert+Commit+LeafSet allocates %.2f/op, want 0", avg)
+	}
+	if avg := benchkit.InsertLeafSetAllocsAt(benchkit.WideROB512Config); avg != 0 {
+		t.Errorf("ROB-512 Insert+Commit+LeafSet allocates %.2f/op, want 0", avg)
+	}
+	if avg := benchkit.InsertLeafSetAllocsAt(benchkit.WideROB1024Config); avg != 0 {
+		t.Errorf("ROB-1024 Insert+Commit+LeafSet allocates %.2f/op, want 0", avg)
 	}
 }

@@ -59,10 +59,36 @@ func ddtInsert(b *testing.B, cfg core.Config) {
 	}
 }
 
+// WideROB512Config and WideROB1024Config are the wide-machine geometries
+// the trajectory tracks: ROB 512/1024 with an engine-style register file
+// (ROB + architectural + slack). They pin the incremental RSE's O(active
+// chain) claim — the read cost at these windows must match the Table 2
+// geometry, not scale with the window.
+var (
+	WideROB512Config  = core.Config{Entries: 512, PhysRegs: 552}
+	WideROB1024Config = core.Config{Entries: 1024, PhysRegs: 1064}
+)
+
 // LeafSet measures the ARVI front-end read (chain gather + RSE extract +
 // depth key) over a long dependence chain at the Table 2 geometry.
 func LeafSet(b *testing.B) {
-	d := core.MustNewDDT(core.Config{Entries: 256, PhysRegs: 296})
+	leafSetChain(b, core.Config{Entries: 256, PhysRegs: 296})
+}
+
+// LeafSetROB512 is LeafSet at the 512-entry wide-machine geometry: the same
+// 200-instruction chain, so any window-size term in the read cost shows up
+// as a delta against LeafSet.
+func LeafSetROB512(b *testing.B) {
+	leafSetChain(b, WideROB512Config)
+}
+
+// LeafSetROB1024 is LeafSet at the 1024-entry wide-machine geometry.
+func LeafSetROB1024(b *testing.B) {
+	leafSetChain(b, WideROB1024Config)
+}
+
+func leafSetChain(b *testing.B, cfg core.Config) {
+	d := core.MustNewDDT(cfg)
 	prev := core.PhysReg(32)
 	if _, err := d.Insert(prev, nil, false); err != nil {
 		b.Fatal(err)
@@ -79,6 +105,60 @@ func LeafSet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, set, depth := d.LeafSet(srcs)
+		if depth == 0 || set == nil {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// LeafSetWrapped measures the front-end read in the wrapped steady state
+// the plain LeafSet body never reaches: a full sliding window (one Insert
+// and one Commit per read) whose head cycles past the table boundary, so
+// Depth's wrap branch (FirstBitFrom(head) hit), the circular stale-mask
+// keep build and the incremental chain delta are all on the timed path. The
+// second branch source is the register written 200 inserts earlier, forcing
+// the partial stale-width branch rather than the all-fresh fast path.
+func LeafSetWrapped(b *testing.B) {
+	const (
+		window  = 200
+		regs    = 260 // target recycle period, longer than the window
+		regBase = 32
+	)
+	d := core.MustNewDDT(core.Config{Entries: 256, PhysRegs: 296})
+	var hist [window]core.PhysReg
+	prev := core.PhysReg(regBase)
+	if _, err := d.Insert(prev, nil, false); err != nil {
+		b.Fatal(err)
+	}
+	hist[0] = prev
+	srcs := make([]core.PhysReg, 1)
+	branch := make([]core.PhysReg, 2)
+	for i := 1; i < window; i++ {
+		tgt := core.PhysReg(regBase + i%regs)
+		srcs[0] = prev
+		if _, err := d.Insert(tgt, srcs, i%7 == 0); err != nil {
+			b.Fatal(err)
+		}
+		hist[i%window] = tgt
+		prev = tgt
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := window + i
+		tgt := core.PhysReg(regBase + j%regs)
+		srcs[0] = prev
+		if _, err := d.Insert(tgt, srcs, j%7 == 0); err != nil {
+			b.Fatal(err)
+		}
+		hist[j%window] = tgt
+		prev = tgt
+		if _, err := d.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		branch[0] = prev
+		branch[1] = hist[(j+1)%window] // target written ~200 inserts ago
+		_, set, depth := d.LeafSet(branch)
 		if depth == 0 || set == nil {
 			b.Fatal("empty result")
 		}
@@ -152,11 +232,17 @@ func EngineThroughput(b *testing.B) {
 }
 
 // InsertLeafSetAllocs returns the average allocations of one steady-state
-// Insert+Commit+LeafSet round — the regression guard value that must stay
-// at zero (also enforced by TestSteadyStateDDTPathAllocFree and by
-// cmd/benchjson in CI).
+// Insert+Commit+LeafSet round at the default geometry — the regression
+// guard value that must stay at zero (also enforced by
+// TestSteadyStateDDTPathAllocFree and by cmd/benchjson in CI).
 func InsertLeafSetAllocs() float64 {
-	d := core.MustNewDDT(DDTInsertConfig)
+	return InsertLeafSetAllocsAt(DDTInsertConfig)
+}
+
+// InsertLeafSetAllocsAt is InsertLeafSetAllocs at an arbitrary geometry;
+// cmd/benchjson guards the wide-machine configurations through it.
+func InsertLeafSetAllocsAt(cfg core.Config) float64 {
+	d := core.MustNewDDT(cfg)
 	srcs := []core.PhysReg{3, 7}
 	for i := 0; i < 40; i++ {
 		if _, err := d.Insert(core.PhysReg(32+i), srcs, false); err != nil {

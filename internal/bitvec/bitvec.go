@@ -6,8 +6,8 @@
 // # Equal-length contract
 //
 // A Vec does not carry its bit length; all binary operations (Or, And,
-// AndNot, OrOf, OrAnd, OrAndInto, CopyFrom, Equal-by-content users) require
-// operands of equal word length. Operands of different lengths are a caller
+// AndNot, OrOf, OrAnd, OrAndInto, OrSparse, OrAndSparse, AndSparse,
+// CopyFrom, Equal-by-content users) require operands of equal word length. Operands of different lengths are a caller
 // bug: the release build indexes by the receiver's length, so a short
 // operand panics with an index-out-of-range at some interior word and a
 // long operand is silently truncated. Build with
@@ -140,6 +140,95 @@ func (v Vec) OrAndInto(a, b, m Vec) {
 	}
 }
 
+// Word summaries — the sparse/dense hybrid row representation.
+//
+// A summary is a uint64 with bit w set when word w of the vector may be
+// nonzero (a superset of the truly nonzero words: a set flag over a zero
+// word wastes one word read, a clear flag over a nonzero word loses bits).
+// Wide machines keep mostly-empty dependence rows; the *Sparse kernels
+// take the row's summary and skip the dead words, falling back to a plain
+// dense pass when the summary says most words are live. One uint64 covers
+// 64 words = 4096 bits, which bounds the vectors it can summarise;
+// core.Config.validate enforces the bound for DDT rows.
+
+// OrSparse sets v |= a for the words flagged in sum, skipping words the
+// summary proves zero, and returns the flags of words of v that are
+// nonzero after the pass (a summary delta for the caller to accumulate).
+// Words of a outside sum must be zero — the caller's summary invariant.
+//
+//arvi:hotpath
+func (v Vec) OrSparse(a Vec, sum uint64) uint64 {
+	assertSameLen(v, a)
+	var nz uint64
+	if bits.OnesCount64(sum) >= len(v)-(len(v)>>2) {
+		// Dense fallback: unflagged words of a are zero, so a full pass
+		// is equivalent and avoids the per-word decode.
+		for i := range v {
+			v[i] |= a[i]
+			if v[i] != 0 {
+				nz |= 1 << uint(i)
+			}
+		}
+		return nz
+	}
+	for s := sum; s != 0; s &= s - 1 {
+		i := bits.TrailingZeros64(s)
+		v[i] |= a[i]
+		if v[i] != 0 {
+			nz |= 1 << uint(i)
+		}
+	}
+	return nz
+}
+
+// OrAndSparse sets v |= a & m for the words flagged in sum — the
+// masked-accumulate kernel of the DDT's lazy column invalidation, guided
+// by the row's word summary — and returns the flags of words of v that
+// are nonzero after the pass. Words of a outside sum must be zero.
+//
+//arvi:hotpath
+func (v Vec) OrAndSparse(a, m Vec, sum uint64) uint64 {
+	assertSameLen(v, a)
+	assertSameLen(v, m)
+	var nz uint64
+	if bits.OnesCount64(sum) >= len(v)-(len(v)>>2) {
+		for i := range v {
+			v[i] |= a[i] & m[i]
+			if v[i] != 0 {
+				nz |= 1 << uint(i)
+			}
+		}
+		return nz
+	}
+	for s := sum; s != 0; s &= s - 1 {
+		i := bits.TrailingZeros64(s)
+		v[i] |= a[i] & m[i]
+		if v[i] != 0 {
+			nz |= 1 << uint(i)
+		}
+	}
+	return nz
+}
+
+// AndSparse sets v &= a for the words flagged in sum and returns sum with
+// the flags of words that became zero cleared — the exact new summary of
+// v, provided v's words outside sum were already zero (the caller's
+// summary invariant; gatherChain guarantees it by building v from a full
+// clear plus summary-guided ORs only).
+//
+//arvi:hotpath
+func (v Vec) AndSparse(a Vec, sum uint64) uint64 {
+	assertSameLen(v, a)
+	for s := sum; s != 0; s &= s - 1 {
+		i := bits.TrailingZeros64(s)
+		v[i] &= a[i]
+		if v[i] == 0 {
+			sum &^= 1 << uint(i)
+		}
+	}
+	return sum
+}
+
 // OrOfAndNot sets v = a | (b &^ m) in one fused pass (v may alias any
 // operand). No hot path uses it yet; it rounds out the fused-kernel set
 // for callers composing masked chain merges.
@@ -245,11 +334,12 @@ func (v Vec) FirstBitFrom(from int) int {
 
 // MaxBitBelow returns the highest set bit index < limit, or -1 when no such
 // bit exists: the complementary priority encoder (leading-zeros scan
-// downward). core.DDT.Depth needs only the FirstBitFrom direction; this is
-// the other half of a hardware priority-encoder pair, kept for offline
-// tools and future circular-window scans.
-//
-//arvi:hotpath
+// downward). core.DDT.Depth needs only the FirstBitFrom direction and the
+// incremental leaf scan iterates summary-guided words, so nothing on the
+// per-instruction closure calls this; it is deliberately NOT //arvi:hotpath.
+// It exists for offline tools, and demoting it keeps the hotalloc proof
+// surface honest — a future hot caller must either re-annotate it (pulling
+// it back under the allocation-free contract) or stay off it.
 func (v Vec) MaxBitBelow(limit int) int {
 	if limit <= 0 {
 		return -1

@@ -292,3 +292,100 @@ func TestClearColumn(t *testing.T) {
 		}
 	}
 }
+
+// summaryOf computes the exact word summary of v: bit w set iff word w is
+// nonzero. The reference the sparse kernels are checked against.
+func summaryOf(v Vec) uint64 {
+	var sum uint64
+	for i, w := range v {
+		if w != 0 {
+			sum |= 1 << uint(i)
+		}
+	}
+	return sum
+}
+
+// TestSparseKernelsAgainstDense drives OrSparse/OrAndSparse/AndSparse with
+// randomized vectors and both exact and overapproximate summaries, checking
+// bit-for-bit equivalence with the dense kernels plus the returned-summary
+// contract (a superset of the nonzero words; exact for AndSparse).
+func TestSparseKernelsAgainstDense(t *testing.T) {
+	const bits = 6 * 64 // 6 words: spans sparse and dense-fallback paths
+	rng := func(seed uint64) func() uint64 {
+		s := seed
+		return func() uint64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return s
+		}
+	}
+	next := rng(0x9e3779b97f4a7c15)
+	for iter := 0; iter < 2000; iter++ {
+		a, m, base := New(bits), New(bits), New(bits)
+		// Random density per word so some iterations hit the dense
+		// fallback (most words live) and some the per-flag loop.
+		liveWords := int(next() % 7)
+		for w := 0; w < liveWords; w++ {
+			a[int(next()%uint64(len(a)))] = next()
+		}
+		for i := range m {
+			m[i] = next()
+		}
+		for i := range base {
+			if next()%3 == 0 {
+				base[i] = next()
+			}
+		}
+		sum := summaryOf(a)
+		if iter%2 == 1 {
+			sum |= next() & next() // overapproximate: extra flags over zero words
+		}
+
+		// OrSparse == Or when a's summary invariant holds.
+		gotV, wantV := base.Clone(), base.Clone()
+		nz := gotV.OrSparse(a, sum)
+		wantV.Or(a)
+		if !gotV.Equal(wantV) {
+			t.Fatalf("iter %d: OrSparse diverged from Or", iter)
+		}
+		// The returned flags never mark a zero word, and every summary-
+		// flagged word left nonzero is marked (both paths visit all of
+		// sum's words; the dense fallback may legitimately flag nonzero
+		// base words outside sum).
+		for i := range gotV {
+			if nz&(1<<uint(i)) != 0 && gotV[i] == 0 {
+				t.Fatalf("iter %d: OrSparse flagged zero word %d", iter, i)
+			}
+			if sum&(1<<uint(i)) != 0 && gotV[i] != 0 && nz&(1<<uint(i)) == 0 {
+				t.Fatalf("iter %d: OrSparse missed nonzero word %d", iter, i)
+			}
+		}
+
+		// OrAndSparse == OrAnd.
+		gotV, wantV = base.Clone(), base.Clone()
+		nz = gotV.OrAndSparse(a, m, sum)
+		wantV.OrAnd(a, m)
+		if !gotV.Equal(wantV) {
+			t.Fatalf("iter %d: OrAndSparse diverged from OrAnd", iter)
+		}
+		for i := range gotV {
+			if nz&(1<<uint(i)) != 0 && gotV[i] == 0 {
+				t.Fatalf("iter %d: OrAndSparse flagged zero word %d", iter, i)
+			}
+		}
+
+		// AndSparse == And given the receiver's summary invariant
+		// (unflagged receiver words are zero); returned summary is exact.
+		got2 := a.Clone() // a's nonzero words are exactly flagged by summaryOf(a)
+		want2 := a.Clone()
+		out := got2.AndSparse(m, summaryOf(a))
+		want2.And(m)
+		if !got2.Equal(want2) {
+			t.Fatalf("iter %d: AndSparse diverged from And", iter)
+		}
+		if out != summaryOf(got2) {
+			t.Fatalf("iter %d: AndSparse summary %b, want exact %b", iter, out, summaryOf(got2))
+		}
+	}
+}

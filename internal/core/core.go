@@ -37,9 +37,27 @@
 // (register, entry) cell. Loads leave their cells unset — they terminate
 // dependence chains for ARVI. Reading the RSE with a chain bit vector as the
 // column enable yields the branch's leaf register set: registers used as a
-// source by some enabled instruction and produced by none. The two mark
-// planes are stored fused per entry (source words then target words) so one
-// clear and one sequential pass cover both.
+// source by some enabled instruction and produced by none. The hardware
+// OR-reduces the enabled columns combinationally every cycle; software
+// paying that reduction per branch made ExtractSet the dominant kernel, so
+// this implementation maintains the reduction incrementally instead. Each
+// entry stores its marks sparsely (at most maxEntryMarks distinct source
+// registers plus one target — the ISA carries at most two sources), and the
+// table keeps running aggregates over the most recently extracted chain:
+// per-register multiset counters (srcCnt/tgtCnt) and their nonzero-bit
+// projections (aggS/aggT). ExtractSet diffs the requested chain against the
+// previous one word by word, retracting departed entries and adopting new
+// ones, so a read costs O(chain delta) instead of O(chain × registers);
+// insert evicts the reused slot from the tracked chain before overwriting
+// its marks, and commit/rollback need no bookkeeping at all because chains
+// are always masked by the valid vector before extraction. The invariant,
+// delta rules and rollback argument are spelled out in
+// DESIGN.md's incremental RSE maintenance section.
+//
+// Dependence rows additionally carry a 64-bit word summary (rowSum, bit w
+// set when row word w may be nonzero) so chain gathering on wide machines
+// skips dead words; the summary is exact at row-write time and a superset
+// forever after, which is all the sparse bitvec kernels require.
 package core
 
 import (
@@ -73,9 +91,18 @@ type Config struct {
 	TrackDepCounts bool
 }
 
+// maxEntryMarks bounds the distinct source registers one entry can mark in
+// the RSE. The ISA encodes at most two sources per instruction; four leaves
+// slack for synthetic tests while keeping per-entry mark storage fixed.
+const maxEntryMarks = 4
+
 func (c Config) validate() error {
 	if c.Entries <= 0 || c.PhysRegs <= 0 {
 		return fmt.Errorf("core: non-positive DDT dimensions %+v", c)
+	}
+	if c.Entries > 4096 {
+		// The per-row word summary is a single uint64: 64 words, 4096 bits.
+		return fmt.Errorf("core: %d entries exceeds the 4096 row-summary limit", c.Entries)
 	}
 	return nil
 }
@@ -94,13 +121,32 @@ type DDT struct {
 	rowStamp []int64 // per register: seq when its row was last written
 	allocSeq []int64 // per entry: seq when its current occupant arrived
 
-	// RSE mark planes, fused and transposed for software efficiency: per
-	// entry, regWords source-mark words followed by regWords target-mark
-	// words. The hardware stores the same information as 2-bit cells per
-	// (register, entry); the representation change is exact, verified
-	// against the paper's worked example.
-	marks    []uint64 // Entries × 2*regWords
-	regWords int
+	// rowSum[r] bit w is set when word w of register r's row may be
+	// nonzero: exact when the row is written, a superset afterwards (bits
+	// in the row can only go stale, never appear). Guides the sparse chain
+	// gather so wide mostly-empty rows skip dead words.
+	rowSum []uint64
+
+	// RSE marks, stored sparsely per entry: up to maxEntryMarks distinct
+	// source registers (markSrcs/markLen) and one target (markTgt; NoPReg
+	// when targetless). Loads store no marks — they terminate chains. The
+	// hardware stores the same information as 2-bit cells per (register,
+	// entry); the representation change is exact.
+	markSrcs []PhysReg // Entries × maxEntryMarks
+	markLen  []uint8   // per entry: live prefix of its markSrcs block
+	markTgt  []PhysReg // per entry
+
+	// Incremental RSE aggregates over lastChain, the chain most recently
+	// passed to ExtractSet: srcCnt[r]/tgtCnt[r] count the lastChain entries
+	// marking register r, and aggS/aggT hold their nonzero bits, so the
+	// leaf set is aggS &^ aggT with no per-entry reduction at read time.
+	srcCnt, tgtCnt []uint16
+	//arvi:len physregs
+	aggS bitvec.Vec
+	//arvi:len physregs
+	aggT bitvec.Vec
+	//arvi:len entries
+	lastChain bitvec.Vec
 
 	owner []PhysReg // entry -> target register (NoPReg if none)
 	//arvi:len entries
@@ -121,9 +167,6 @@ type DDT struct {
 	//arvi:scratch
 	//arvi:len physregs
 	setBuf bitvec.Vec
-	//arvi:scratch
-	//arvi:len physregs
-	tmpBuf bitvec.Vec
 }
 
 // NewDDT allocates a DDT.
@@ -132,19 +175,29 @@ func NewDDT(cfg Config) (*DDT, error) {
 		return nil, err
 	}
 	d := &DDT{
-		cfg:      cfg,
-		words:    bitvec.WordsFor(cfg.Entries),
-		valid:    bitvec.New(cfg.Entries),
-		rowStamp: make([]int64, cfg.PhysRegs),
-		allocSeq: make([]int64, cfg.Entries),
-		owner:    make([]PhysReg, cfg.Entries),
-		isLoad:   bitvec.New(cfg.Entries),
-		regWords: bitvec.WordsFor(cfg.PhysRegs),
+		cfg:       cfg,
+		words:     bitvec.WordsFor(cfg.Entries),
+		valid:     bitvec.New(cfg.Entries),
+		rowStamp:  make([]int64, cfg.PhysRegs),
+		allocSeq:  make([]int64, cfg.Entries),
+		rowSum:    make([]uint64, cfg.PhysRegs),
+		markSrcs:  make([]PhysReg, cfg.Entries*maxEntryMarks),
+		markLen:   make([]uint8, cfg.Entries),
+		markTgt:   make([]PhysReg, cfg.Entries),
+		srcCnt:    make([]uint16, cfg.PhysRegs),
+		tgtCnt:    make([]uint16, cfg.PhysRegs),
+		aggS:      bitvec.New(cfg.PhysRegs),
+		aggT:      bitvec.New(cfg.PhysRegs),
+		lastChain: bitvec.New(cfg.Entries),
+		owner:     make([]PhysReg, cfg.Entries),
+		isLoad:    bitvec.New(cfg.Entries),
 	}
 	d.rows = make([]uint64, cfg.PhysRegs*d.words)
-	d.marks = make([]uint64, cfg.Entries*2*d.regWords)
 	for i := range d.owner {
 		d.owner[i] = NoPReg
+	}
+	for i := range d.markTgt {
+		d.markTgt[i] = NoPReg
 	}
 	if cfg.TrackDepCounts {
 		d.depCount = make([]int32, cfg.Entries)
@@ -152,7 +205,6 @@ func NewDDT(cfg Config) (*DDT, error) {
 	d.chainBuf = bitvec.New(cfg.Entries)
 	d.keepBuf = bitvec.New(cfg.Entries)
 	d.setBuf = bitvec.New(cfg.PhysRegs)
-	d.tmpBuf = bitvec.New(cfg.PhysRegs)
 	return d, nil
 }
 
@@ -166,10 +218,12 @@ func MustNewDDT(cfg Config) *DDT {
 }
 
 // Reset returns the table to its freshly constructed state without
-// re-allocating. The dependence matrix and mark planes are deliberately
-// left dirty: a row is only ever read through its stamp, and stamp zero
-// masks every live entry, so stale matrix content is unreachable — the
-// reset cost is O(Entries + PhysRegs), not O(Entries × PhysRegs).
+// re-allocating. The dependence matrix, its word summaries and the sparse
+// marks are deliberately left dirty: a row is only ever read through its
+// stamp (stamp zero masks every live entry, so stale matrix content and its
+// summary are unreachable), and marks are only ever read through lastChain,
+// which Reset empties — the reset cost is O(Entries + PhysRegs), not
+// O(Entries × PhysRegs).
 //
 //arvi:hotpath
 func (d *DDT) Reset() {
@@ -185,6 +239,11 @@ func (d *DDT) Reset() {
 	if d.depCount != nil {
 		clear(d.depCount)
 	}
+	clear(d.srcCnt)
+	clear(d.tgtCnt)
+	d.aggS.Reset()
+	d.aggT.Reset()
+	d.lastChain.Reset()
 }
 
 // Config returns the table's configuration.
@@ -260,15 +319,18 @@ func (d *DDT) staleWidth(stamp int64) int {
 	return lo
 }
 
-// gatherChain writes (OR of valid source-row bits) & valid into dst: the
-// reset-then-accumulate order matches the hardware read, so dst may alias a
-// source row (the aliased source then contributes nothing, exactly like the
-// wired read-modify-write). Stale row bits — entries re-allocated since the
-// row was written — are masked per source via staleWidth.
+// gatherChain writes (OR of valid source-row bits) & valid into dst and
+// returns its exact word summary: the reset-then-accumulate order matches
+// the hardware read, so dst may alias a source row (the aliased source then
+// contributes nothing, exactly like the wired read-modify-write). Stale row
+// bits — entries re-allocated since the row was written — are masked per
+// source via staleWidth. Row reads are summary-guided: only words rowSum
+// flags are touched, so wide mostly-empty rows cost their live words.
 //
 //arvi:hotpath
-func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
+func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) uint64 {
 	dst.Reset()
+	var sum uint64
 	for _, s := range srcs {
 		if s == NoPReg {
 			continue
@@ -277,7 +339,7 @@ func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 		switch {
 		case k == 0:
 			//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
-			dst.Or(d.row(s))
+			sum |= dst.OrSparse(d.row(s), d.rowSum[s])
 		case k == d.count:
 			// Every live entry is younger than the row: nothing genuine
 			// can survive the valid mask, skip the row read entirely.
@@ -291,18 +353,19 @@ func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) {
 				keep.ClearRange(0, d.head)
 			}
 			//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
-			dst.OrAnd(d.row(s), keep)
+			sum |= dst.OrAndSparse(d.row(s), keep, d.rowSum[s])
 		}
 	}
 	//arvi:lencheck dst is Entries-wide by ChainInto's documented contract
-	dst.And(d.valid)
+	return dst.AndSparse(d.valid, sum)
 }
 
 // Insert allocates the next instruction entry and updates the target row.
 // tgt is NoPReg for instructions without a register destination (branches,
-// stores); srcs are the source physical registers (duplicates allowed).
-// isLoad marks chain terminators for the RSE. It returns the allocated
-// entry index, or an error when the table is full.
+// stores); srcs are the source physical registers (duplicates allowed, at
+// most maxEntryMarks distinct for a non-load). isLoad marks chain
+// terminators for the RSE. It returns the allocated entry index, or an
+// error when the table is full.
 //
 //arvi:hotpath
 func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
@@ -310,35 +373,61 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 		//arvi:cold callers check Full before inserting; this is the misuse path
 		return 0, fmt.Errorf("core: DDT full (%d entries)", d.cfg.Entries)
 	}
+	if len(srcs) > maxEntryMarks && !isLoad && tooManyDistinct(srcs) {
+		//arvi:cold the ISA carries at most two sources; this is the misuse path
+		return 0, fmt.Errorf("core: more than %d distinct source registers", maxEntryMarks)
+	}
 	e := d.head
 	d.seq++
 	d.allocSeq[e] = d.seq
 
-	// RSE marks: one clear covers both fused planes; loads intentionally
-	// leave them unset (chain terminators, Figure 3's '*' cells).
-	rw := d.regWords
-	m := d.marks[e*2*rw : (e+1)*2*rw]
-	clear(m)
+	// The slot being reused may still be counted in the tracked chain's
+	// aggregates; retract it while its old marks are still readable.
+	if d.lastChain.Get(e) {
+		d.lastChain.Clear(e)
+		d.retractEntry(e)
+	}
+
+	// RSE marks, stored sparsely and deduplicated so each live (entry,
+	// register) pair counts once in the aggregates; loads intentionally
+	// store none (chain terminators, Figure 3's '*' cells).
+	n := 0
 	if !isLoad {
-		sm, tm := bitvec.Vec(m[:rw]), bitvec.Vec(m[rw:])
+		ms := d.markSrcs[e*maxEntryMarks : e*maxEntryMarks+maxEntryMarks]
 		for _, s := range srcs {
-			if s != NoPReg {
-				sm.Set(int(s))
+			if s == NoPReg {
+				continue
+			}
+			dup := false
+			for i := 0; i < n; i++ {
+				if ms[i] == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ms[n] = s
+				n++
 			}
 		}
-		if tgt != NoPReg {
-			tm.Set(int(tgt))
-		}
+	}
+	d.markLen[e] = uint8(n)
+	if !isLoad && tgt != NoPReg {
+		d.markTgt[e] = tgt
+	} else {
+		d.markTgt[e] = NoPReg
 	}
 
 	if tgt != NoPReg {
 		row := d.row(tgt)
+		var sum uint64
 		if isLoad && d.cfg.CutAtLoads {
 			row.Reset()
 		} else {
-			d.gatherChain(row, srcs)
+			sum = d.gatherChain(row, srcs)
 		}
 		row.Set(e)
+		d.rowSum[tgt] = sum | 1<<uint(e>>6)
 		d.rowStamp[tgt] = d.seq
 	}
 
@@ -367,6 +456,75 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 	d.head = d.next(e)
 	d.count++
 	return e, nil
+}
+
+// tooManyDistinct reports whether srcs names more than maxEntryMarks
+// distinct physical registers. Only reached when len(srcs) exceeds the
+// bound, which the ISA's two-source limit makes a misuse path; still
+// allocation-free since Insert's guard condition evaluates it inline.
+//
+//arvi:hotpath
+func tooManyDistinct(srcs []PhysReg) bool {
+	distinct := 0
+	for i, s := range srcs {
+		if s == NoPReg {
+			continue
+		}
+		seen := false
+		for _, p := range srcs[:i] {
+			if p == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			distinct++
+		}
+	}
+	return distinct > maxEntryMarks
+}
+
+// retractEntry removes entry e's marks from the aggregate counters; the
+// caller clears its lastChain bit. Must run against the same mark contents
+// adoptEntry counted — Insert therefore evicts a slot before rewriting it.
+//
+//arvi:hotpath
+func (d *DDT) retractEntry(e int) {
+	off := e * maxEntryMarks
+	for i := 0; i < int(d.markLen[e]); i++ {
+		s := d.markSrcs[off+i]
+		d.srcCnt[s]--
+		if d.srcCnt[s] == 0 {
+			d.aggS.Clear(int(s))
+		}
+	}
+	if t := d.markTgt[e]; t != NoPReg {
+		d.tgtCnt[t]--
+		if d.tgtCnt[t] == 0 {
+			d.aggT.Clear(int(t))
+		}
+	}
+}
+
+// adoptEntry adds entry e's marks to the aggregate counters; the caller
+// sets its lastChain bit.
+//
+//arvi:hotpath
+func (d *DDT) adoptEntry(e int) {
+	off := e * maxEntryMarks
+	for i := 0; i < int(d.markLen[e]); i++ {
+		s := d.markSrcs[off+i]
+		d.srcCnt[s]++
+		if d.srcCnt[s] == 1 {
+			d.aggS.Set(int(s))
+		}
+	}
+	if t := d.markTgt[e]; t != NoPReg {
+		d.tgtCnt[t]++
+		if d.tgtCnt[t] == 1 {
+			d.aggT.Set(int(t))
+		}
+	}
 }
 
 //arvi:hotpath
@@ -512,10 +670,17 @@ func (d *DDT) Depth(chain bitvec.Vec) int {
 }
 
 // ExtractSet implements the RSE read: given a chain bit vector (the column
-// enables), plus the predicted instruction's own source marks, it returns
-// the leaf register set as a bit vector over physical registers. A register
-// is in the set iff some enabled instruction reads it and no enabled
-// instruction writes it: included = S & ^T per Section 4.2.
+// enables, Config().Entries bits wide), plus the predicted instruction's
+// own source marks, it returns the leaf register set as a bit vector over
+// physical registers. A register is in the set iff some enabled instruction
+// reads it and no enabled instruction writes it: included = S & ^T per
+// Section 4.2.
+//
+// The read is incremental: the chain is diffed word by word against the
+// previously extracted one, retracting departed entries from the running
+// aggregates and adopting new ones, so the cost scales with the chain delta
+// since the last read rather than with the chain or window size (see
+// DESIGN.md's incremental RSE maintenance section).
 //
 // extraSrcs lets the caller include the branch's own source registers as S
 // marks before the branch itself has been inserted (the branch's column is
@@ -524,29 +689,75 @@ func (d *DDT) Depth(chain bitvec.Vec) int {
 //
 //arvi:hotpath
 func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
-	s, t := d.setBuf, d.tmpBuf
-	s.Reset()
-	t.Reset()
-	rw := d.regWords
-	for wi, w := range chain {
+	last := d.lastChain
+	for wi, cw := range chain {
+		lw := last[wi]
+		if cw == lw {
+			continue
+		}
+		last[wi] = cw
 		base := wi << 6
-		for w != 0 {
+		for rm := lw &^ cw; rm != 0; rm &= rm - 1 {
+			d.retractEntry(base + bits.TrailingZeros64(rm))
+		}
+		for ad := cw &^ lw; ad != 0; ad &= ad - 1 {
+			d.adoptEntry(base + bits.TrailingZeros64(ad))
+		}
+	}
+	set := d.setBuf
+	set.CopyFrom(d.aggS)
+	for _, r := range extraSrcs {
+		if r != NoPReg {
+			set.Set(int(r))
+		}
+	}
+	set.AndNot(d.aggT)
+	return set
+}
+
+// VerifyRSEAggregates recomputes the incremental aggregate state — the
+// per-register mark counters and their nonzero projections — from scratch
+// out of lastChain and the sparse marks, and checks the row summaries
+// against the rows they guard. It is the differential oracle for the
+// incremental ExtractSet path; test/debug use only, not a hot path.
+func (d *DDT) VerifyRSEAggregates() error {
+	srcCnt := make([]uint16, d.cfg.PhysRegs)
+	tgtCnt := make([]uint16, d.cfg.PhysRegs)
+	for wi, w := range d.lastChain {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
 			e := base + bits.TrailingZeros64(w)
-			w &= w - 1
-			m := d.marks[e*2*rw : (e+1)*2*rw]
-			for i := 0; i < rw; i++ {
-				s[i] |= m[i]
-				t[i] |= m[rw+i]
+			off := e * maxEntryMarks
+			for i := 0; i < int(d.markLen[e]); i++ {
+				srcCnt[d.markSrcs[off+i]]++
+			}
+			if t := d.markTgt[e]; t != NoPReg {
+				tgtCnt[t]++
 			}
 		}
 	}
-	for _, r := range extraSrcs {
-		if r != NoPReg {
-			s.Set(int(r))
+	for r := 0; r < d.cfg.PhysRegs; r++ {
+		if srcCnt[r] != d.srcCnt[r] {
+			return fmt.Errorf("core: srcCnt[%d] = %d, recompute says %d", r, d.srcCnt[r], srcCnt[r])
+		}
+		if tgtCnt[r] != d.tgtCnt[r] {
+			return fmt.Errorf("core: tgtCnt[%d] = %d, recompute says %d", r, d.tgtCnt[r], tgtCnt[r])
+		}
+		if d.aggS.Get(r) != (srcCnt[r] > 0) {
+			return fmt.Errorf("core: aggS bit %d disagrees with count %d", r, srcCnt[r])
+		}
+		if d.aggT.Get(r) != (tgtCnt[r] > 0) {
+			return fmt.Errorf("core: aggT bit %d disagrees with count %d", r, tgtCnt[r])
+		}
+		if d.rowStamp[r] > 0 {
+			for wi, w := range d.row(PhysReg(r)) {
+				if w != 0 && d.rowSum[r]&(1<<uint(wi)) == 0 {
+					return fmt.Errorf("core: rowSum[%d] misses nonzero word %d", r, wi)
+				}
+			}
 		}
 	}
-	s.AndNot(t)
-	return s
+	return nil
 }
 
 // LeafSet is the full ARVI front-end read: the dependence chain for the

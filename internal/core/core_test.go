@@ -574,9 +574,13 @@ func (r *fuzzRef) leafSet(chain map[int]bool, branchSrcs []PhysReg) map[PhysReg]
 // inserts, commits, misprediction rollbacks with rename-map restore, loads,
 // several full wraparounds past Entries — across the config matrix
 // (TrackDepCounts × CutAtLoads), checking every chain, the dependent
-// counters, the depth key and the full LeafSet read against the executable
-// reference model. This is the safety net for the lazy-invalidation
-// rewrite: any stale-bit aliasing the stamp masking misses shows up here.
+// counters, the depth key, the full LeafSet read and the incremental RSE
+// aggregate invariants against the executable reference model after every
+// mutation, then Resets the table and runs a second program on the pooled
+// instance (the engine-pool reuse path). This is the safety net for the
+// lazy-invalidation and incremental-aggregate rewrites: any stale-bit
+// aliasing the stamp masking misses, and any counter drift the delta
+// updates accumulate, shows up here.
 func TestRandomizedProgramFuzz(t *testing.T) {
 	for _, cfg := range []Config{
 		{Entries: 16, PhysRegs: 48},
@@ -588,140 +592,162 @@ func TestRandomizedProgramFuzz(t *testing.T) {
 		cfg := cfg
 		name := fmt.Sprintf("e%d_dep%v_cut%v", cfg.Entries, cfg.TrackDepCounts, cfg.CutAtLoads)
 		t.Run(name, func(t *testing.T) {
-			const (
-				logical = 8
-				steps   = 30000
-			)
+			const logical = 8
 			rng := rand.New(rand.NewSource(7))
 			d := newDDT(t, cfg)
-			ref := newFuzzRef(cfg.CutAtLoads)
-
-			// Miniature renamer with rollback checkpoints.
-			var mapTable [logical]PhysReg
-			var freeList []PhysReg
-			for p := logical; p < cfg.PhysRegs; p++ {
-				freeList = append(freeList, PhysReg(p))
-			}
-			for l := 0; l < logical; l++ {
-				mapTable[l] = PhysReg(l)
-			}
-			type slot struct {
-				entry      int
-				logicalDst int // -1 if none
-				newMapping PhysReg
-				oldMapping PhysReg
-			}
-			var window []slot
-			inserts := 0
-
-			for i := 0; i < steps; i++ {
-				switch op := rng.Intn(10); {
-				case d.Len() > 0 && (d.Full() || op < 3):
-					// Commit the oldest.
-					e, err := d.Commit()
-					if err != nil {
-						t.Fatal(err)
-					}
-					ref.commit(e)
-					old := window[0].oldMapping
-					window = window[1:]
-					if old != NoPReg {
-						freeList = append(freeList, old)
-					}
-				case d.Len() > 1 && op < 4:
-					// Misprediction rollback of 1..Len-1 youngest, with
-					// rename checkpoint restore (youngest first).
-					n := 1 + rng.Intn(d.Len()-1)
-					if err := d.Rollback(n); err != nil {
-						t.Fatal(err)
-					}
-					for k := 0; k < n; k++ {
-						s := window[len(window)-1]
-						window = window[:len(window)-1]
-						ref.rollback(s.entry)
-						if s.logicalDst >= 0 {
-							mapTable[s.logicalDst] = s.oldMapping
-							freeList = append([]PhysReg{s.newMapping}, freeList...)
-						}
-					}
-				default:
-					nsrc := rng.Intn(3)
-					var srcs []PhysReg
-					for k := 0; k < nsrc; k++ {
-						srcs = append(srcs, mapTable[rng.Intn(logical)])
-					}
-					isLoad := rng.Intn(5) == 0
-					tgt, old := NoPReg, NoPReg
-					ldst := -1
-					if rng.Intn(10) != 0 {
-						ldst = rng.Intn(logical)
-						tgt = freeList[0]
-						freeList = freeList[1:]
-						old = mapTable[ldst]
-						mapTable[ldst] = tgt
-					}
-					e, err := d.Insert(tgt, srcs, isLoad)
-					if err != nil {
-						t.Fatal(err)
-					}
-					inserts++
-					ref.insert(e, tgt, srcs, isLoad)
-					window = append(window, slot{entry: e, logicalDst: ldst, newMapping: tgt, oldMapping: old})
-				}
-
-				// Verify every live mapping's chain, plus depth/leaf reads.
-				for l := 0; l < logical; l++ {
-					p := mapTable[l]
-					chain := d.Chain(p)
-					got := setOf(chain)
-					want := ref.chain(p)
-					if len(got) != len(want) {
-						t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
-					}
-					for k := range want {
-						if !got[k] {
-							t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
-						}
-					}
-					// Depth must equal the max circular age over members.
-					wantDepth := 0
-					for e := range want {
-						if a := d.Age(e); a > wantDepth {
-							wantDepth = a
-						}
-					}
-					if got := d.Depth(chain); got != wantDepth {
-						t.Fatalf("step %d: depth(p%d) = %d, want %d", i, p, got, wantDepth)
-					}
-				}
-
-				if cfg.TrackDepCounts {
-					for _, s := range window {
-						if got, want := d.DepCount(s.entry), ref.depCount[s.entry]; got != want {
-							t.Fatalf("step %d: depCount(e%d) = %d, want %d", i, s.entry, got, want)
-						}
-					}
-				}
-
-				if i%7 == 0 {
-					// Full ARVI front-end read on a random branch.
-					branchSrcs := []PhysReg{mapTable[rng.Intn(logical)], mapTable[rng.Intn(logical)]}
-					chain, set, _ := d.LeafSet(branchSrcs)
-					wantLeaves := ref.leafSet(setOf(chain), branchSrcs)
-					gotLeaves := setOf(set)
-					if len(gotLeaves) != len(wantLeaves) {
-						t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
-					}
-					for r := range wantLeaves {
-						if !gotLeaves[int(r)] {
-							t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
-						}
-					}
-				}
-			}
-			if inserts < 4*cfg.Entries {
-				t.Fatalf("fuzz wrapped the table only %d/%d inserts", inserts, 4*cfg.Entries)
-			}
+			runProgram(t, d, rng, cfg, logical, 20000)
+			// Pooled-engine path: Reset must leave no reachable stale
+			// state — matrix, summaries, marks or aggregates.
+			d.Reset()
+			runProgram(t, d, rng, cfg, logical, 10000)
 		})
+	}
+}
+
+// runProgram drives one random renamed program against d, checking the
+// table against the reference model after every mutation.
+func runProgram(t *testing.T, d *DDT, rng *rand.Rand, cfg Config, logical, steps int) {
+	t.Helper()
+	ref := newFuzzRef(cfg.CutAtLoads)
+
+	// Miniature renamer with rollback checkpoints.
+	mapTable := make([]PhysReg, logical)
+	var freeList []PhysReg
+	for p := logical; p < cfg.PhysRegs; p++ {
+		freeList = append(freeList, PhysReg(p))
+	}
+	for l := 0; l < logical; l++ {
+		mapTable[l] = PhysReg(l)
+	}
+	type slot struct {
+		entry      int
+		logicalDst int // -1 if none
+		newMapping PhysReg
+		oldMapping PhysReg
+	}
+	var window []slot
+	inserts := 0
+
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(10); {
+		case d.Len() > 0 && (d.Full() || op < 3):
+			// Commit the oldest.
+			e, err := d.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.commit(e)
+			old := window[0].oldMapping
+			window = window[1:]
+			if old != NoPReg {
+				freeList = append(freeList, old)
+			}
+		case d.Len() > 1 && op < 4:
+			// Misprediction rollback of 1..Len-1 youngest, with
+			// rename checkpoint restore (youngest first).
+			n := 1 + rng.Intn(d.Len()-1)
+			if err := d.Rollback(n); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < n; k++ {
+				s := window[len(window)-1]
+				window = window[:len(window)-1]
+				ref.rollback(s.entry)
+				if s.logicalDst >= 0 {
+					mapTable[s.logicalDst] = s.oldMapping
+					freeList = append([]PhysReg{s.newMapping}, freeList...)
+				}
+			}
+		default:
+			nsrc := rng.Intn(3)
+			var srcs []PhysReg
+			for k := 0; k < nsrc; k++ {
+				srcs = append(srcs, mapTable[rng.Intn(logical)])
+			}
+			isLoad := rng.Intn(5) == 0
+			tgt, old := NoPReg, NoPReg
+			ldst := -1
+			if rng.Intn(10) != 0 {
+				ldst = rng.Intn(logical)
+				tgt = freeList[0]
+				freeList = freeList[1:]
+				old = mapTable[ldst]
+				mapTable[ldst] = tgt
+			}
+			e, err := d.Insert(tgt, srcs, isLoad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inserts++
+			ref.insert(e, tgt, srcs, isLoad)
+			window = append(window, slot{entry: e, logicalDst: ldst, newMapping: tgt, oldMapping: old})
+		}
+
+		// Verify every live mapping's chain, plus depth/leaf reads.
+		for l := 0; l < logical; l++ {
+			p := mapTable[l]
+			chain := d.Chain(p)
+			got := setOf(chain)
+			want := ref.chain(p)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("step %d: chain(p%d) = %v, want %v", i, p, keys(got), keys(want))
+				}
+			}
+			// Depth must equal the max circular age over members.
+			wantDepth := 0
+			for e := range want {
+				if a := d.Age(e); a > wantDepth {
+					wantDepth = a
+				}
+			}
+			if got := d.Depth(chain); got != wantDepth {
+				t.Fatalf("step %d: depth(p%d) = %d, want %d", i, p, got, wantDepth)
+			}
+		}
+
+		if cfg.TrackDepCounts {
+			for _, s := range window {
+				if got, want := d.DepCount(s.entry), ref.depCount[s.entry]; got != want {
+					t.Fatalf("step %d: depCount(e%d) = %d, want %d", i, s.entry, got, want)
+				}
+			}
+		}
+
+		// Full ARVI front-end read on a random branch after every
+		// mutation: the incremental leaf set and depth key against
+		// the from-scratch reference recompute.
+		branchSrcs := []PhysReg{mapTable[rng.Intn(logical)], mapTable[rng.Intn(logical)]}
+		chain, set, depth := d.LeafSet(branchSrcs)
+		wantLeaves := ref.leafSet(setOf(chain), branchSrcs)
+		gotLeaves := setOf(set)
+		if len(gotLeaves) != len(wantLeaves) {
+			t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
+		}
+		for r := range wantLeaves {
+			if !gotLeaves[int(r)] {
+				t.Fatalf("step %d: leafSet = %v, want %v", i, keys(gotLeaves), wantLeaves)
+			}
+		}
+		wantDepth := 0
+		for e := range setOf(chain) {
+			if a := d.Age(e); a > wantDepth {
+				wantDepth = a
+			}
+		}
+		if depth != wantDepth {
+			t.Fatalf("step %d: LeafSet depth = %d, want %d", i, depth, wantDepth)
+		}
+		// The running aggregate counters must match a from-scratch
+		// recompute over the tracked chain and sparse marks.
+		if err := d.VerifyRSEAggregates(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if inserts < 4*cfg.Entries {
+		t.Fatalf("fuzz wrapped the table only %d/%d inserts", inserts, 4*cfg.Entries)
 	}
 }

@@ -37,6 +37,35 @@ func TestWrongPathInjectionIsTransparent(t *testing.T) {
 	}
 }
 
+// TestWrongPathInjectionKeepsAggregatesCoherent pins the incremental RSE
+// against the wrong-path undo: injected inserts evict tracked slots from
+// the running aggregates, the rollback leaves their marks in place, and
+// subsequent LeafSet reads must still diff cleanly. A drifted counter would
+// not necessarily change the run's stats (the leaf set could coincide), so
+// the aggregate state is checked directly after the run.
+func TestWrongPathInjectionKeepsAggregatesCoherent(t *testing.T) {
+	for _, bench := range []string{"gcc", "li"} {
+		p := workload.ByName(bench).Prog
+		cfg := DefaultConfig(20, PredARVICurrent)
+		cfg.MaxInsts = 40_000
+		cfg.WrongPathInject = true
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		stats, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if stats.Mispredicts == 0 {
+			t.Fatalf("%s: no mispredicts — injection path never exercised", bench)
+		}
+		if err := e.ddt.VerifyRSEAggregates(); err != nil {
+			t.Errorf("%s: aggregates drifted after wrong-path bursts: %v", bench, err)
+		}
+	}
+}
+
 // TestWrongPathInjectionBaselineMode covers injection under the baseline
 // predictor (no ARVI reads between insert and rollback).
 func TestWrongPathInjectionBaselineMode(t *testing.T) {
