@@ -1,0 +1,592 @@
+// Package cfg builds intra-function control-flow graphs over go/ast, the
+// flow-sensitive tier underneath the arvivet analyzers (nilness, hotpanic,
+// the CFG-aware shadow liveness and bitveclen provenance). It is purely
+// syntactic — no type information is needed to build a graph — and
+// stdlib-only, playing the role golang.org/x/tools/go/cfg plays for the
+// x/tools analyzers. The lowering rules and the analyses built on top are
+// documented in DESIGN.md's flow-sensitive contracts section.
+//
+// A Graph is a list of basic blocks. Block 0 is the entry; a distinguished
+// exit block collects every return edge and holds the function's deferred
+// calls (they run between any return and the actual exit, which is what
+// makes liveness through defers come out right). Within a block, Nodes are
+// the statements and condition expressions in evaluation order.
+//
+// Branching is explicit so dataflow analyses can refine facts per edge:
+//
+//   - A block with Cond != nil ends in a boolean branch: Succs[0] is the
+//     true edge, Succs[1] the false edge. Short-circuit && and || are split
+//     into separate condition blocks, so every Cond is an atomic condition
+//     and a refinement like "x != nil" or "i < len(s)" applies exactly on
+//     its edge.
+//   - A block with Range != nil is a range-loop header: Succs[0] iterates
+//     (the key/value facts hold there), Succs[1] leaves the loop.
+//   - Any other block with multiple successors (select, switch case tests)
+//     chooses nondeterministically as far as the analyses are concerned.
+//
+// panic calls terminate their block with no successors; return edges go to
+// the exit block; goto, labeled break and labeled continue resolve to their
+// targets. Statements made unreachable by a terminator land in successor-
+// less, predecessor-less blocks so analyses still see their syntax.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Name labels the graph in dumps (the function name).
+	Name string
+	// Blocks holds every block; Blocks[0] is the entry. Order is stable
+	// for a given body (creation order), so dumps are deterministic.
+	Blocks []*Block
+	// Exit is the single exit block: every return edge lands here, and its
+	// Nodes are the function's deferred calls in reverse lexical order.
+	Exit *Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  string
+	// Nodes are the statements and condition expressions evaluated in this
+	// block, in order. When Cond is set it is also the last node.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the atomic boolean condition the block
+	// branches on: Succs[0] is the true edge, Succs[1] the false edge.
+	Cond ast.Expr
+	// Range, when non-nil, marks a range-loop header: Succs[0] is the
+	// iteration edge (loop body), Succs[1] the done edge.
+	Range *ast.RangeStmt
+	Succs []*Block
+	Preds []*Block
+}
+
+// builder threads the current block through statement construction.
+type builder struct {
+	g     *Graph
+	cur   *Block
+	exit  *Block
+	scope []ctrlScope
+	// labels maps a label name to its target block (the statement after
+	// the label), created on demand so forward gotos resolve.
+	labels map[string]*Block
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// labeled break/continue resolve to the right construct.
+	pendingLabel string
+}
+
+// ctrlScope is one enclosing breakable construct; continueTo is nil for
+// switch and select.
+type ctrlScope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+// Build constructs the CFG of one function body. The name only labels
+// dumps; pass the function's name (or a synthetic one for func literals).
+func Build(name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Name: name}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	entry := b.newBlock("entry")
+	b.exit = b.newBlock("exit")
+	g.Exit = b.exit
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(b.exit)
+
+	// Deferred calls run between every return and the real exit; surface
+	// them in the exit block in reverse lexical order (LIFO, as close as a
+	// static order gets to the dynamic one).
+	var defers []ast.Node
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				defers = append(defers, d.Call)
+			}
+		}
+	}
+	for i := len(defers) - 1; i >= 0; i-- {
+		b.exit.Nodes = append(b.exit.Nodes, defers[i])
+	}
+
+	g.prune()
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// prune drops empty unreachable stub blocks (no nodes, no predecessors —
+// the fresh blocks opened after return/panic/goto when nothing followed)
+// and renumbers. Unreachable blocks that hold statements are kept so
+// analyses still see their syntax.
+func (g *Graph) prune() {
+	for {
+		nPreds := make(map[*Block]int)
+		for _, blk := range g.Blocks {
+			for _, s := range blk.Succs {
+				nPreds[s]++
+			}
+		}
+		kept := g.Blocks[:0]
+		removed := false
+		for _, blk := range g.Blocks {
+			if blk != g.Blocks[0] && blk != g.Exit && len(blk.Nodes) == 0 && nPreds[blk] == 0 {
+				removed = true
+				continue
+			}
+			kept = append(kept, blk)
+		}
+		g.Blocks = kept
+		if !removed {
+			break
+		}
+		dead := make(map[*Block]bool)
+		for _, blk := range g.Blocks {
+			dead[blk] = false
+		}
+		for _, blk := range g.Blocks {
+			succs := blk.Succs[:0]
+			for _, s := range blk.Succs {
+				if _, ok := dead[s]; ok {
+					succs = append(succs, s)
+				}
+			}
+			blk.Succs = succs
+		}
+	}
+	for i, blk := range g.Blocks {
+		blk.Index = i
+	}
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an unconditional edge to dst and leaves
+// no current block.
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+		b.cur = nil
+	}
+}
+
+// startUnreachable opens a fresh block for statements that follow a
+// terminator; it has no predecessors.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.startUnreachable()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		b.startUnreachable()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+		// nothing
+	case *ast.LabeledStmt:
+		target := b.labelBlock(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil // panic: no fallthrough to the next statement
+			b.startUnreachable()
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+		b.startUnreachable()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	default:
+		// Assign, IncDec, Decl, Send, Defer, Go: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scope) - 1; i >= 0; i-- {
+			if label == "" || b.scope[i].label == label {
+				b.jump(b.scope[i].breakTo)
+				b.startUnreachable()
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.scope) - 1; i >= 0; i-- {
+			if b.scope[i].continueTo != nil && (label == "" || b.scope[i].label == label) {
+				b.jump(b.scope[i].continueTo)
+				b.startUnreachable()
+				return
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.labelBlock(s.Label.Name))
+			b.startUnreachable()
+			return
+		}
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt; nothing to do here.
+		return
+	}
+	// Malformed branch (no matching scope): treat as a terminator so the
+	// graph stays well formed on code the type checker would reject anyway.
+	b.cur = nil
+	b.startUnreachable()
+}
+
+// cond splits e into atomic condition blocks: the current block chain
+// evaluates e and branches to t when true, f when false.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	if b.cur == nil {
+		b.startUnreachable()
+	}
+	leaf := ast.Unparen(e)
+	b.cur.Nodes = append(b.cur.Nodes, leaf)
+	b.cur.Cond = leaf
+	b.cur.Succs = append(b.cur.Succs, t, f)
+	b.cur = nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	els := done
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+	}
+	b.cond(s.Cond, then, els)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(done)
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		contTo = post
+	}
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cond(s.Cond, body, done)
+	} else {
+		b.jump(body)
+	}
+	b.cur = body
+	b.scope = append(b.scope, ctrlScope{label: label, breakTo: done, continueTo: contTo})
+	b.stmtList(s.Body.List)
+	b.scope = b.scope[:len(b.scope)-1]
+	b.jump(contTo)
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.jump(head)
+	head.Nodes = append(head.Nodes, s)
+	head.Range = s
+	head.Succs = append(head.Succs, body, done)
+	b.cur = body
+	b.scope = append(b.scope, ctrlScope{label: label, breakTo: done, continueTo: head})
+	b.stmtList(s.Body.List)
+	b.scope = b.scope[:len(b.scope)-1]
+	b.jump(head)
+	b.cur = done
+}
+
+// switchStmt lowers an expression switch to a chain of case tests. With a
+// tag, each test block holds the clause's expressions and branches
+// two ways (matched body / next test) without a refinable condition; a
+// tagless switch is an if/else-if chain, so each case expression becomes an
+// atomic condition block. The default clause runs after every test misses.
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	done := b.newBlock("switch.done")
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	var defaultBody *Block
+	for i, c := range clauses {
+		bodies[i] = b.newBlock("case.body")
+		if c.List == nil {
+			defaultBody = bodies[i]
+		}
+	}
+	noMatch := done
+	if defaultBody != nil {
+		noMatch = defaultBody
+	}
+
+	// Test chain in source order, skipping default.
+	for i, c := range clauses {
+		if c.List == nil {
+			continue
+		}
+		// Where a miss goes: the next non-default test, else noMatch.
+		next := noMatch
+		for j := i + 1; j < len(clauses); j++ {
+			if clauses[j].List != nil {
+				next = b.newBlock("case.test")
+				break
+			}
+		}
+		if s.Tag == nil {
+			// if/else-if chain: each expression is an atomic condition.
+			var or ast.Expr = c.List[0]
+			for _, e := range c.List[1:] {
+				or = &ast.BinaryExpr{X: or, OpPos: e.Pos(), Op: token.LOR, Y: e}
+			}
+			b.cond(or, bodies[i], next)
+		} else {
+			if b.cur == nil {
+				b.startUnreachable()
+			}
+			for _, e := range c.List {
+				b.cur.Nodes = append(b.cur.Nodes, e)
+			}
+			b.cur.Succs = append(b.cur.Succs, bodies[i], next)
+			b.cur = nil
+		}
+		if next != noMatch {
+			b.cur = next
+		}
+	}
+	if b.cur != nil {
+		// No non-default tests at all: fall straight through.
+		b.jump(noMatch)
+	}
+
+	b.scope = append(b.scope, ctrlScope{label: label, breakTo: done})
+	for i, c := range clauses {
+		b.cur = bodies[i]
+		b.stmtList(c.Body)
+		if fallsThrough(c.Body) && i+1 < len(clauses) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(done)
+		}
+	}
+	b.scope = b.scope[:len(b.scope)-1]
+	b.cur = done
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	done := b.newBlock("typeswitch.done")
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	var defaultBody *Block
+	for i, c := range clauses {
+		bodies[i] = b.newBlock("typecase.body")
+		if c.List == nil {
+			defaultBody = bodies[i]
+		}
+	}
+	noMatch := done
+	if defaultBody != nil {
+		noMatch = defaultBody
+	}
+	for i, c := range clauses {
+		if c.List == nil {
+			continue
+		}
+		next := noMatch
+		for j := i + 1; j < len(clauses); j++ {
+			if clauses[j].List != nil {
+				next = b.newBlock("typecase.test")
+				break
+			}
+		}
+		if b.cur == nil {
+			b.startUnreachable()
+		}
+		b.cur.Succs = append(b.cur.Succs, bodies[i], next)
+		b.cur = nil
+		if next != noMatch {
+			b.cur = next
+		}
+	}
+	if b.cur != nil {
+		b.jump(noMatch)
+	}
+	b.scope = append(b.scope, ctrlScope{label: label, breakTo: done})
+	for i, c := range clauses {
+		b.cur = bodies[i]
+		b.stmtList(c.Body)
+		b.jump(done) // no fallthrough in type switches
+	}
+	b.scope = b.scope[:len(b.scope)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		b.startUnreachable()
+		head = b.cur
+	}
+	done := b.newBlock("select.done")
+	b.cur = nil
+	b.scope = append(b.scope, ctrlScope{label: label, breakTo: done})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.comm")
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	b.scope = b.scope[:len(b.scope)-1]
+	// select{} with no clauses blocks forever: done is unreachable then.
+	b.cur = done
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	bs, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && bs.Tok == token.FALLTHROUGH
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+// Purely syntactic (cfg has no type information): a local function named
+// panic would be misclassified, which only makes the graph conservative
+// for code nobody writes.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

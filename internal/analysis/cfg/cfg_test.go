@@ -1,0 +1,98 @@
+package cfg_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dumps")
+
+// TestGoldenDumps builds the CFG of every function in testdata/funcs.go and
+// compares the dumps against testdata/funcs.golden — pinning the graph
+// shapes for the tricky constructs (labeled goto, select, wrapped range,
+// short-circuit conditions, switch fallthrough, defer/panic/return edges).
+func TestGoldenDumps(t *testing.T) {
+	fset := token.NewFileSet()
+	src := filepath.Join("testdata", "funcs.go")
+	f, err := parser.ParseFile(fset, src, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := cfg.Build(fd.Name.Name, fd.Body)
+		sb.WriteString(g.Dump(fset))
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "funcs.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dumps differ from golden; run `go test ./internal/analysis/cfg -update` if the change is intended.\ngot:\n%s", got)
+	}
+}
+
+// TestEveryBlockConsistent checks structural invariants over the golden
+// corpus: cond blocks have exactly two successors with the cond as their
+// last node, range headers have exactly two successors, and preds mirror
+// succs.
+func TestEveryBlockConsistent(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := cfg.Build(fd.Name.Name, fd.Body)
+		for _, b := range g.Blocks {
+			if b.Cond != nil {
+				if len(b.Succs) != 2 {
+					t.Errorf("%s .%d: cond block has %d succs", g.Name, b.Index, len(b.Succs))
+				}
+				if len(b.Nodes) == 0 || b.Nodes[len(b.Nodes)-1] != ast.Node(b.Cond) {
+					t.Errorf("%s .%d: cond is not the last node", g.Name, b.Index)
+				}
+			}
+			if b.Range != nil && len(b.Succs) != 2 {
+				t.Errorf("%s .%d: range block has %d succs", g.Name, b.Index, len(b.Succs))
+			}
+			for _, s := range b.Succs {
+				found := false
+				for _, p := range s.Preds {
+					if p == b {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: edge .%d -> .%d missing from preds", g.Name, b.Index, s.Index)
+				}
+			}
+		}
+	}
+}

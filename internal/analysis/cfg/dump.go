@@ -1,0 +1,82 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph in a deterministic, diffable text form for golden
+// tests. One block per paragraph:
+//
+//	.2 for.head
+//	    i < len(xs)
+//	    if -> .3 else -> .4
+//
+// Nodes print as single-space-normalized source text; the terminator line
+// spells the branch kind (if/range/select or a plain ->). A block with no
+// successors prints "(terminal)".
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", g.Name)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, ".%d %s\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			if blk.Cond != nil && n == blk.Cond {
+				continue // rendered on the terminator line
+			}
+			fmt.Fprintf(&sb, "    %s\n", nodeText(fset, n))
+		}
+		sb.WriteString("    " + g.terminator(fset, blk) + "\n")
+	}
+	return sb.String()
+}
+
+func (g *Graph) terminator(fset *token.FileSet, blk *Block) string {
+	switch {
+	case blk.Cond != nil:
+		return fmt.Sprintf("if %s -> .%d else -> .%d",
+			nodeText(fset, blk.Cond), blk.Succs[0].Index, blk.Succs[1].Index)
+	case blk.Range != nil:
+		return fmt.Sprintf("range -> .%d done -> .%d",
+			blk.Succs[0].Index, blk.Succs[1].Index)
+	case len(blk.Succs) == 0:
+		return "(terminal)"
+	default:
+		parts := make([]string, len(blk.Succs))
+		for i, s := range blk.Succs {
+			parts[i] = fmt.Sprintf(".%d", s.Index)
+		}
+		return "-> " + strings.Join(parts, " ")
+	}
+}
+
+// nodeText renders one node as whitespace-normalized source text.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf strings.Builder
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The body is its own block; print only the header.
+		buf.WriteString("for ")
+		if rs.Key != nil {
+			printNode(&buf, fset, rs.Key)
+			if rs.Value != nil {
+				buf.WriteString(", ")
+				printNode(&buf, fset, rs.Value)
+			}
+			buf.WriteString(" " + rs.Tok.String() + " ")
+		}
+		buf.WriteString("range ")
+		printNode(&buf, fset, rs.X)
+	} else {
+		printNode(&buf, fset, n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+func printNode(sb *strings.Builder, fset *token.FileSet, n ast.Node) {
+	if err := printer.Fprint(sb, fset, n); err != nil {
+		fmt.Fprintf(sb, "<print error: %v>", err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package funcs is the golden-dump corpus for the CFG builder: each
+// function exercises one tricky shape. The file is parsed, never compiled.
+package funcs
+
+func straightLine(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(x int) int {
+	if x > 0 {
+		x--
+	} else {
+		x++
+	}
+	return x
+}
+
+func shortCircuit(p *int, n int) int {
+	if p != nil && *p > 0 || n < 0 {
+		return *p
+	}
+	return n
+}
+
+func forLoop(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+func wrappedRange(v []uint64, from int) int {
+	// A wrapped circular scan: range with break/continue back-edges.
+	for wi := range v {
+		if wi < from {
+			continue
+		}
+		if v[wi] != 0 {
+			return wi
+		}
+	}
+	for wi := range v {
+		if v[wi] != 0 {
+			return wi
+		}
+	}
+	return -1
+}
+
+func labeledGoto(n int) int {
+	i := 0
+retry:
+	i++
+	if i < n {
+		goto retry
+	}
+	return i
+}
+
+func labeledLoops(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, cell := range row {
+			if cell < 0 {
+				continue outer
+			}
+			if cell == 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}
+
+func switchTag(x int) string {
+	switch x {
+	case 0, 1:
+		return "small"
+	case 2:
+		fallthrough
+	case 3:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+func switchNoTag(x int) int {
+	switch {
+	case x > 10:
+		x /= 2
+	case x > 0:
+		x--
+	}
+	return x
+}
+
+func typeSwitch(v any) int {
+	switch t := v.(type) {
+	case int:
+		return t
+	case nil:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func selectLoop(a, b chan int, done chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case x := <-a:
+			total += x
+		case y := <-b:
+			total -= y
+		case <-done:
+			return total
+		}
+	}
+}
+
+func deferPanicReturn(f func() error) error {
+	defer close(make(chan int))
+	if f == nil {
+		panic("nil f")
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	return nil
+}

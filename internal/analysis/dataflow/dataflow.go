@@ -1,0 +1,189 @@
+// Package dataflow is a generic worklist solver for intra-function
+// dataflow problems over the CFGs built by internal/analysis/cfg.
+//
+// A client describes its problem as a Spec: a join-semilattice of facts F
+// with a per-node transfer function. The solver iterates to a fixpoint and
+// returns the fact at entry and exit of every reached block. Facts of
+// unreached blocks are left as zero values and flagged in Result.Reached —
+// analyzers must not report from them.
+//
+// The solver is deterministic: blocks are swept in index order (reverse
+// order for backward problems) until a full sweep changes nothing, so two
+// runs over the same graph always produce identical Results.
+package dataflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/cfg"
+)
+
+// Spec describes one dataflow problem over fact type F.
+//
+// F must form a join-semilattice under Join, with Equal as its equality.
+// The solver treats facts as values it owns: Transfer and Branch receive
+// clones and may mutate them freely.
+type Spec[F any] struct {
+	// Forward selects the direction. Forward problems seed the entry
+	// block with Boundary and propagate along successor edges; backward
+	// problems seed every successor-less block and propagate along
+	// predecessor edges.
+	Forward bool
+
+	// Boundary returns the fact at the boundary (function entry for
+	// forward problems, each exit for backward problems).
+	Boundary func() F
+
+	// Transfer applies one node's effect to a fact and returns the
+	// result. It may mutate its argument and return it.
+	Transfer func(n ast.Node, f F) F
+
+	// Branch, if non-nil, refines the fact flowing along one successor
+	// edge of a block — succ is the index into b.Succs (for cond blocks,
+	// 0 is the true edge and 1 the false edge; for range headers, 0 is
+	// the iterate edge and 1 the done edge). It receives a clone of the
+	// block's out fact and may mutate it. Ignored for backward problems.
+	Branch func(b *cfg.Block, f F, succ int) F
+
+	// Join merges src into dst and returns the result; it may mutate
+	// dst. Join must be an upper bound: information true in only one
+	// input must not survive.
+	Join func(dst, src F) F
+
+	// Clone returns an independent copy of f.
+	Clone func(f F) F
+
+	// Equal reports whether two facts carry the same information; the
+	// solver stops when a sweep leaves every fact Equal to its prior
+	// value.
+	Equal func(a, b F) bool
+}
+
+// Result holds the fixpoint. In[i] and Out[i] are the facts at entry and
+// exit of block i, in execution order — for backward problems In[i] is
+// still the fact before the block's first node and Out[i] the fact after
+// its last, i.e. information flows from Out to In.
+type Result[F any] struct {
+	In, Out []F
+	Reached []bool
+}
+
+// Solve runs spec over g to a fixpoint.
+func Solve[F any](g *cfg.Graph, spec Spec[F]) *Result[F] {
+	n := len(g.Blocks)
+	r := &Result[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
+	if n == 0 {
+		return r
+	}
+	var mark func(b *cfg.Block)
+	mark = func(b *cfg.Block) {
+		if r.Reached[b.Index] {
+			return
+		}
+		r.Reached[b.Index] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	mark(g.Blocks[0])
+	if spec.Forward {
+		solveForward(g, spec, r)
+	} else {
+		solveBackward(g, spec, r)
+	}
+	return r
+}
+
+func solveForward[F any](g *cfg.Graph, spec Spec[F], r *Result[F]) {
+	init := make([]bool, len(g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			i := b.Index
+			if !r.Reached[i] {
+				continue
+			}
+			var in F
+			seeded := false
+			if i == g.Blocks[0].Index {
+				in = spec.Boundary()
+				seeded = true
+			}
+			for _, p := range b.Preds {
+				if !r.Reached[p.Index] || !init[p.Index] {
+					continue
+				}
+				// A pred can have several edges to b (e.g. a cond whose
+				// branches converge); each edge contributes separately
+				// because Branch refines per edge.
+				for si, s := range p.Succs {
+					if s != b {
+						continue
+					}
+					ev := spec.Clone(r.Out[p.Index])
+					if spec.Branch != nil {
+						ev = spec.Branch(p, ev, si)
+					}
+					if !seeded {
+						in, seeded = ev, true
+					} else {
+						in = spec.Join(in, ev)
+					}
+				}
+			}
+			if !seeded {
+				continue // no initialized pred yet; a later sweep feeds it
+			}
+			out := spec.Clone(in)
+			for _, nd := range b.Nodes {
+				out = spec.Transfer(nd, out)
+			}
+			if !init[i] || !spec.Equal(r.In[i], in) || !spec.Equal(r.Out[i], out) {
+				changed = true
+			}
+			r.In[i], r.Out[i], init[i] = in, out, true
+		}
+	}
+}
+
+func solveBackward[F any](g *cfg.Graph, spec Spec[F], r *Result[F]) {
+	init := make([]bool, len(g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for bi := len(g.Blocks) - 1; bi >= 0; bi-- {
+			b := g.Blocks[bi]
+			i := b.Index
+			if !r.Reached[i] {
+				continue
+			}
+			var out F
+			seeded := false
+			if len(b.Succs) == 0 {
+				out = spec.Boundary()
+				seeded = true
+			}
+			for _, s := range b.Succs {
+				if !init[s.Index] {
+					continue
+				}
+				ev := spec.Clone(r.In[s.Index])
+				if !seeded {
+					out, seeded = ev, true
+				} else {
+					out = spec.Join(out, ev)
+				}
+			}
+			if !seeded {
+				continue
+			}
+			in := spec.Clone(out)
+			for ni := len(b.Nodes) - 1; ni >= 0; ni-- {
+				in = spec.Transfer(b.Nodes[ni], in)
+			}
+			if !init[i] || !spec.Equal(r.In[i], in) || !spec.Equal(r.Out[i], out) {
+				changed = true
+			}
+			r.In[i], r.Out[i], init[i] = in, out, true
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// set is the hand-built lattice used by every test here: a set of names,
+// with join either intersection (must-facts) or union (may-facts).
+type set map[string]bool
+
+func (s set) String() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+func cloneSet(s set) set {
+	c := make(set, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func equalSet(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(dst, src set) set {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+	return dst
+}
+
+func union(dst, src set) set {
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+func buildGraph(t *testing.T, body string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f(cond bool) {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return cfg.Build("f", fd.Body), fset
+}
+
+func blockWithNode(t *testing.T, g *cfg.Graph, fset *token.FileSet, text string) *cfg.Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			var sb strings.Builder
+			ast.Fprint(&sb, fset, n, nil)
+			if strings.Contains(sb.String(), `"`+text+`"`) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q", text)
+	return nil
+}
+
+// TestForwardDefiniteAssignment runs a must-analysis (join = intersection):
+// a name is a fact iff every path to the point assigns it. The diamond
+// assigns x on both arms but y on one, so after the join only x survives.
+func TestForwardDefiniteAssignment(t *testing.T) {
+	g, fset := buildGraph(t, `
+	if cond {
+		x := 1
+		y := x
+		_ = y
+	} else {
+		x := 2
+		_ = x
+	}
+	after()
+`)
+	spec := dataflow.Spec[set]{
+		Forward:  true,
+		Boundary: func() set { return set{} },
+		Transfer: func(n ast.Node, f set) set {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						f[id.Name] = true
+					}
+				}
+			}
+			return f
+		},
+		Join:  intersect,
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	r := dataflow.Solve(g, spec)
+	join := blockWithNode(t, g, fset, "after")
+	if got := r.In[join.Index].String(); got != "x" {
+		t.Errorf("definitely-assigned at join = %q, want %q", got, "x")
+	}
+}
+
+// TestBackwardLiveness runs a may-analysis (join = union) with a loop
+// back-edge: u is read inside the loop body, so it must be live at the
+// loop head even though the only read is "after" the head in block order.
+func TestBackwardLiveness(t *testing.T) {
+	g, fset := buildGraph(t, `
+	u := 1
+	v := 2
+	for cond {
+		use(u)
+	}
+	done()
+	_ = v
+`)
+	spec := dataflow.Spec[set]{
+		Forward:  false,
+		Boundary: func() set { return set{} },
+		Transfer: func(n ast.Node, f set) set {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(f, id.Name)
+					}
+				}
+			case *ast.ExprStmt:
+				ast.Inspect(n, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && (id.Name == "u" || id.Name == "v") {
+						f[id.Name] = true
+					}
+					return true
+				})
+			}
+			return f
+		},
+		Join:  union,
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	r := dataflow.Solve(g, spec)
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if got := r.In[head.Index].String(); got != "u" {
+		t.Errorf("live-in at loop head = %q, want %q (u flows around the back-edge)", got, "u")
+	}
+	done := blockWithNode(t, g, fset, "done")
+	if r.In[done.Index]["u"] {
+		t.Errorf("u live at done(); it is dead after the loop")
+	}
+}
+
+// TestBranchRefinement checks the per-edge hook: Branch sees succ index 0
+// on the true edge and 1 on the false edge of a cond block.
+func TestBranchRefinement(t *testing.T) {
+	g, fset := buildGraph(t, `
+	if cond {
+		then()
+	} else {
+		other()
+	}
+`)
+	spec := dataflow.Spec[set]{
+		Forward:  true,
+		Boundary: func() set { return set{} },
+		Transfer: func(n ast.Node, f set) set { return f },
+		Branch: func(b *cfg.Block, f set, succ int) set {
+			if succ == 0 {
+				f["cond-true"] = true
+			} else {
+				f["cond-false"] = true
+			}
+			return f
+		},
+		Join:  intersect,
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	r := dataflow.Solve(g, spec)
+	then := blockWithNode(t, g, fset, "then")
+	other := blockWithNode(t, g, fset, "other")
+	if got := r.In[then.Index].String(); got != "cond-true" {
+		t.Errorf("then-branch fact = %q, want cond-true", got)
+	}
+	if got := r.In[other.Index].String(); got != "cond-false" {
+		t.Errorf("else-branch fact = %q, want cond-false", got)
+	}
+}
+
+// TestUnreachedBlocks: code after return must be flagged unreached and
+// keep zero-value facts.
+func TestUnreachedBlocks(t *testing.T) {
+	g, fset := buildGraph(t, `
+	live()
+	return
+dead:
+	deadCode()
+	goto dead
+`)
+	spec := dataflow.Spec[set]{
+		Forward:  true,
+		Boundary: func() set { return set{"seed": true} },
+		Transfer: func(n ast.Node, f set) set { return f },
+		Join:     intersect,
+		Clone:    cloneSet,
+		Equal:    equalSet,
+	}
+	r := dataflow.Solve(g, spec)
+	live := blockWithNode(t, g, fset, "live")
+	if !r.Reached[live.Index] || !r.In[live.Index]["seed"] {
+		t.Errorf("live block not reached with boundary fact")
+	}
+	dead := blockWithNode(t, g, fset, "deadCode")
+	if r.Reached[dead.Index] {
+		t.Errorf("block after return marked reached")
+	}
+	if r.In[dead.Index] != nil {
+		t.Errorf("unreached block has non-zero fact %v", r.In[dead.Index])
+	}
+}
