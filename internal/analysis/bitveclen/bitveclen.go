@@ -15,22 +15,25 @@
 //     base object — e.g. d.row(s), d.valid and d.chainBuf all tagged
 //     "entries" on one DDT d are all Entries wide by construction.
 //
-// Local variables assigned exactly once are traced through to their
-// initializer, so `keep := d.keepBuf; dst.OrAnd(d.row(s), keep)` resolves
-// keep to the tagged field. When provenance cannot be established (a
-// caller-supplied parameter, mixed dimensions), the call site must carry
-// //arvi:lencheck <why> stating why the lengths agree — an auditable
-// obligation instead of a silent assumption. bitvec.ClearColumn's
-// contract (len(m) = rows*words) is outside the prover's reach, so its
-// call sites always carry the justification.
+// Local provenance is flow-sensitive: the analyzer runs the shared
+// provenance dataflow (analysis.ProvSpec) over the function's CFG, so an
+// alias holds its origin at exactly the program points where every path
+// assigned it one — `keep := d.keepBuf` resolves, and so does a local
+// assigned the same dimension on both arms of a branch, which the old
+// single-assignment environment had to reject. When provenance cannot be
+// established (a caller-supplied parameter, mixed dimensions), the call
+// site must carry //arvi:lencheck <why> stating why the lengths agree —
+// an auditable obligation instead of a silent assumption.
+// bitvec.ClearColumn's contract (len(m) = rows*words) is outside the
+// prover's reach, so its call sites always carry the justification.
 package bitveclen
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer is the bitveclen pass.
@@ -40,9 +43,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// vecKernels are the Vec methods whose receiver and every argument must
-// be equal length.
-var vecKernels = map[string]bool{
+// VecKernels are the Vec methods whose receiver and every argument must
+// be equal length. hotpanic reuses the set for its kernel-sibling rule:
+// inside these methods the Vec operands are one equal-length group,
+// because this analyzer discharges the proof at every call site.
+var VecKernels = map[string]bool{
 	"CopyFrom":    true,
 	"Or":          true,
 	"And":         true,
@@ -65,22 +70,36 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			env := singleAssignments(info, fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+			excluded := analysis.AddressTaken(info, fd.Body)
+			spec := analysis.ProvSpec(pass.World, info, excluded)
+			for _, g := range analysis.FuncGraphs(fd.Name.Name, fd.Body) {
+				r := dataflow.Solve(g, spec)
+				for _, blk := range g.Blocks {
+					if blk == g.Exit {
+						continue // exit nodes are defer-call copies, checked at the defer site
+					}
+					f := analysis.ProvFact{}
+					if r.Reached[blk.Index] {
+						f = analysis.CloneProv(r.In[blk.Index])
+					}
+					for _, n := range blk.Nodes {
+						analysis.InspectNode(n, func(m ast.Node) bool {
+							if call, ok := m.(*ast.CallExpr); ok {
+								checkCall(pass, bvPath, f, call)
+							}
+							return true
+						})
+						f = analysis.ProvTransfer(pass.World, info, excluded, n, f)
+					}
 				}
-				checkCall(pass, bvPath, env, call)
-				return true
-			})
+			}
 		}
 	}
 	return nil
 }
 
 // checkCall tests one call expression against the kernel contract.
-func checkCall(pass *analysis.Pass, bvPath string, env map[types.Object]ast.Expr, call *ast.CallExpr) {
+func checkCall(pass *analysis.Pass, bvPath string, f analysis.ProvFact, call *ast.CallExpr) {
 	info := pass.Pkg.Info
 	fn := analysis.StaticCallee(info, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != bvPath {
@@ -91,7 +110,7 @@ func checkCall(pass *analysis.Pass, bvPath string, env map[types.Object]ast.Expr
 		// len(m) must equal rows*words: a relation, not a length, and out
 		// of the prover's reach by design.
 		requireJustification(pass, call, "ClearColumn's len(m) = rows*words contract cannot be proven statically")
-	case vecKernels[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil:
+	case VecKernels[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil:
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
 			return
@@ -104,7 +123,7 @@ func checkCall(pass *analysis.Pass, bvPath string, env map[types.Object]ast.Expr
 				operands = append(operands, arg)
 			}
 		}
-		if allSameProvenance(pass, info, env, operands) {
+		if allSameProvenance(pass, info, f, operands) {
 			return
 		}
 		requireJustification(pass, call, "cannot prove the operands of "+fn.Name()+" are equal length")
@@ -132,19 +151,10 @@ func requireJustification(pass *analysis.Pass, call *ast.CallExpr, why string) {
 	pass.Reportf(call.Pos(), "%s; derive all operands from one allocation or one //arvi:len dimension, or justify with //arvi:lencheck <why>", why)
 }
 
-// provKey is a resolved operand origin. Two operands are provably equal
-// length when their keys are equal: same allocation expression, or same
-// tagged dimension on the same base object.
-type provKey struct {
-	kind string       // "new" or "dim"
-	obj  types.Object // base object for "dim"
-	text string       // allocation size text for "new", dimension tag for "dim"
-}
-
-func allSameProvenance(pass *analysis.Pass, info *types.Info, env map[types.Object]ast.Expr, operands []ast.Expr) bool {
-	var first provKey
+func allSameProvenance(pass *analysis.Pass, info *types.Info, f analysis.ProvFact, operands []ast.Expr) bool {
+	var first analysis.ProvKey
 	for i, op := range operands {
-		k, ok := resolve(pass, info, env, op, 0)
+		k, ok := analysis.ResolveProv(pass.World, info, f, op)
 		if !ok {
 			return false
 		}
@@ -155,131 +165,4 @@ func allSameProvenance(pass *analysis.Pass, info *types.Info, env map[types.Obje
 		}
 	}
 	return true
-}
-
-// resolve computes an operand's provenance key, tracing conversions and
-// single-assignment locals.
-func resolve(pass *analysis.Pass, info *types.Info, env map[types.Object]ast.Expr, e ast.Expr, depth int) (provKey, bool) {
-	if depth > 8 {
-		return provKey{}, false
-	}
-	e = ast.Unparen(e)
-	switch e := e.(type) {
-	case *ast.Ident:
-		obj := info.Uses[e]
-		if obj == nil {
-			return provKey{}, false
-		}
-		if rhs, ok := env[obj]; ok {
-			return resolve(pass, info, env, rhs, depth+1)
-		}
-		return provKey{}, false
-	case *ast.SelectorExpr:
-		sel, ok := info.Selections[e]
-		if !ok {
-			return provKey{}, false
-		}
-		dim, tagged := pass.World.LenDim[sel.Obj()]
-		if !tagged {
-			return provKey{}, false
-		}
-		base, ok := baseObject(info, e.X)
-		if !ok {
-			return provKey{}, false
-		}
-		return provKey{kind: "dim", obj: base, text: dim}, true
-	case *ast.CallExpr:
-		// Conversion (e.g. bitvec.Vec(x)): trace the operand.
-		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
-			return resolve(pass, info, env, e.Args[0], depth+1)
-		}
-		fn := analysis.StaticCallee(info, e)
-		if fn == nil {
-			return provKey{}, false
-		}
-		// bitvec.New(n): same size expression, same length.
-		if fn.Name() == "New" && fn.Pkg() != nil && fn.Pkg().Path() == pass.World.Module+"/internal/bitvec" && len(e.Args) == 1 {
-			return provKey{kind: "new", text: types.ExprString(e.Args[0])}, true
-		}
-		// A method tagged //arvi:len returns a vector of that dimension;
-		// key it by the base object the method was called on.
-		if dim, tagged := pass.World.LenDim[fn]; tagged {
-			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
-				if base, ok := baseObject(info, sel.X); ok {
-					return provKey{kind: "dim", obj: base, text: dim}, true
-				}
-			}
-		}
-		return provKey{}, false
-	}
-	return provKey{}, false
-}
-
-// baseObject resolves the object a selector chain is rooted at (the d in
-// d.row(s) or d.valid).
-func baseObject(info *types.Info, e ast.Expr) (types.Object, bool) {
-	e = ast.Unparen(e)
-	if id, ok := e.(*ast.Ident); ok {
-		if obj := info.Uses[id]; obj != nil {
-			return obj, true
-		}
-	}
-	return nil, false
-}
-
-// singleAssignments maps each local declared with := and never reassigned
-// to its initializer expression, so provenance traces through simple
-// aliases like `keep := d.keepBuf`.
-func singleAssignments(info *types.Info, body *ast.BlockStmt) map[types.Object]ast.Expr {
-	env := make(map[types.Object]ast.Expr)
-	assigned := make(map[types.Object]int)
-	note := func(id *ast.Ident) types.Object {
-		obj := info.Defs[id]
-		if obj == nil {
-			obj = info.Uses[id]
-		}
-		if obj != nil {
-			assigned[obj]++
-		}
-		return obj
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || id.Name == "_" {
-					continue
-				}
-				obj := note(id)
-				if obj != nil && len(n.Lhs) == len(n.Rhs) {
-					env[obj] = n.Rhs[i]
-				}
-			}
-		case *ast.IncDecStmt:
-			if id, ok := n.X.(*ast.Ident); ok {
-				note(id)
-			}
-		case *ast.RangeStmt:
-			for _, x := range []ast.Expr{n.Key, n.Value} {
-				if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
-					note(id)
-				}
-			}
-		case *ast.UnaryExpr:
-			// Address-taken locals can be rewritten through the pointer.
-			if n.Op == token.AND {
-				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
-					note(id)
-				}
-			}
-		}
-		return true
-	})
-	for obj, n := range assigned {
-		if n != 1 {
-			delete(env, obj)
-		}
-	}
-	return env
 }

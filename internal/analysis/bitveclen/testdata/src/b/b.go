@@ -48,3 +48,36 @@ func kernels(t, u *table, n int, other bitvec.Vec, m []uint64, words int) {
 	//arvi:lencheck m is rows strides of words uint64s
 	bitvec.ClearColumn(m, words, 1)
 }
+
+// flowSensitive needs the CFG-aware provenance: a local resolves when
+// every path to the use assigned it the same dimension, even though no
+// single assignment dominates — the old one-assignment environment had
+// to give up on all of these.
+func flowSensitive(t *table, pick bool, other bitvec.Vec) {
+	src := t.valid
+	if pick {
+		src = t.chain // still entries-wide on the same base
+	}
+	t.chain.Or(src)
+	dst := t.valid
+	if pick {
+		dst = t.set // regs-wide: the merge loses the provenance
+	}
+	t.chain.Or(dst) // want `cannot prove the operands of Or`
+	mixed := t.valid
+	if pick {
+		mixed = other // unknown provenance on one path
+	}
+	t.chain.Or(mixed) // want `cannot prove the operands of Or`
+	// After the merge a fresh assignment re-establishes provenance.
+	mixed = t.chain
+	t.valid.Or(mixed)
+	// A reassigned local is resolved per program point, not per function:
+	// reuse after retargeting to another base must re-prove there.
+	hop := t.valid
+	t.chain.Or(hop)
+	hop = u2(t)
+	t.chain.Or(hop) // want `cannot prove the operands of Or`
+}
+
+func u2(t *table) bitvec.Vec { return t.set }

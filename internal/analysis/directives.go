@@ -19,6 +19,15 @@ import (
 //	//arvi:unordered <why>    — on a map range line: order cannot reach output
 //	//arvi:nondet-ok <why>    — on a line: nondeterminism source allowed in det path
 //	//arvi:errdrop-ok <why>   — on a line: discarded error is intentional
+//	//arvi:nonnil <why>       — on a line: value nilness cannot prove non-nil, justified
+//	//arvi:panicfree <why>    — on a line or func doc: panic-freedom argued by hand
+//	//arvi:mask <dim>         — on an int field: always holds (size of dim) − 1,
+//	                            dim a power of two, so x&mask indexes dim safely;
+//	                            on a method: the result is an in-bounds index
+//	                            into any //arvi:len <dim> slice of the same base
+//	//arvi:idx <dim>          — on an int field or method: the value is always
+//	                            in [0, size of dim) — a maintained index
+//	                            invariant (ring pointers, wrap arithmetic)
 //
 // Directives that carry <why> demand a non-empty justification; the
 // analyzers reject a bare suppression.

@@ -142,9 +142,10 @@ func checkShadowedError(pass *analysis.Pass, fd *ast.FuncDecl, as *ast.AssignStm
 		if ov.Pos() <= fd.Pos() || ov.Pos() >= fd.End() {
 			continue
 		}
-		// The shadow is only hazardous if the outer error is read after
-		// the shadowing scope closes while still holding its stale value.
-		if !analysis.VarReadAfter(info, fd.Body, ov, scope.End()) {
+		// The shadow is only hazardous if the outer error can be read
+		// after control leaves the shadowing scope while still holding
+		// its stale value (CFG-path-aware, like the shadow analyzer).
+		if !analysis.VarReadAfter(info, fd.Body, ov, scope.Pos(), scope.End()) {
 			continue
 		}
 		if d, ok := pass.World.LineDirective(as.Pos(), "errdrop-ok"); ok {

@@ -5,21 +5,167 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"repro/internal/analysis/dataflow"
 )
 
-// VarReadAfter reports whether v is read after pos inside body before
-// being written again. It is the liveness test behind the shadowing
-// rules: an inner redeclaration of a name only matters if someone later
-// reads the outer variable expecting it to hold the inner result — a
-// fresh write in between re-establishes intent, and no later read means
-// the shadow cannot change behaviour.
+// VarReadAfter reports whether v can be read after control leaves the
+// region [regionPos, regionEnd) inside body, before being written again.
+// It is the liveness test behind the shadowing rules: an inner
+// redeclaration of a name only matters if someone later reads the outer
+// variable expecting it to hold the inner result — a fresh write in
+// between re-establishes intent, and no later read means the shadow
+// cannot change behaviour.
+//
+// The test is CFG-path-aware: it runs a backward liveness pass over the
+// function's control-flow graph and asks whether v is live on any edge
+// that leaves the region. A read that merely sits below the region in
+// source order but on a disjoint branch (the conservative false-positive
+// class of the syntactic version) is not reachable from the region's
+// exits and no longer counts; a read on a loop back-edge above the region
+// is reachable and now correctly does.
 //
 // Reads and writes are classified syntactically: an identifier on the
 // left of an assignment (including short redeclarations that reuse the
 // variable), an IncDec statement, or a range clause is a write; every
 // other use is a read. Taking the variable's address counts as a read —
-// the analysis cannot track the pointer, so it stays conservative.
-func VarReadAfter(info *types.Info, body *ast.BlockStmt, v types.Object, pos token.Pos) bool {
+// the analysis cannot track the pointer, so it stays conservative. When
+// the region maps to no CFG node (e.g. a scope nested inside a function
+// literal, which the outer graph keeps opaque), the positional fallback
+// answers instead.
+func VarReadAfter(info *types.Info, body *ast.BlockStmt, v types.Object, regionPos, regionEnd token.Pos) bool {
+	writes := writeIdents(body)
+	// scan visits one CFG node without crossing into a range statement's
+	// body (those statements are nodes of other blocks); function literals
+	// are included — a closure read keeps the variable live.
+	scan := func(n ast.Node, want bool) bool {
+		found := false
+		visit := func(m ast.Node) bool {
+			// A declaring occurrence (info.Defs) is a write too: a loop
+			// back-edge re-executes the short declaration, overwriting the
+			// variable before any read can observe the shadowed value.
+			if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == v || info.Defs[id] == v) && writes[id] == want {
+				found = true
+			}
+			return !found
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+				if e != nil {
+					ast.Inspect(e, visit)
+				}
+			}
+		} else {
+			ast.Inspect(n, visit)
+		}
+		return found
+	}
+	reads := func(n ast.Node) bool { return scan(n, false) }
+	kills := func(n ast.Node) bool { return scan(n, true) }
+
+	g := FuncGraphs("liveness", body)[0]
+	inRegion := func(n ast.Node) bool {
+		return n.Pos() >= regionPos && n.End() <= regionEnd
+	}
+	any := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if inRegion(n) {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return varReadAfterPositional(info, body, v, regionEnd)
+	}
+
+	r := dataflow.Solve(g, dataflow.Spec[bool]{
+		Forward:  false,
+		Boundary: func() bool { return false },
+		Transfer: func(n ast.Node, live bool) bool {
+			if reads(n) {
+				return true
+			}
+			if kills(n) {
+				return false
+			}
+			return live
+		},
+		Join:  func(dst, src bool) bool { return dst || src },
+		Clone: func(f bool) bool { return f },
+		Equal: func(a, b bool) bool { return a == b },
+	})
+
+	for _, blk := range g.Blocks {
+		if !r.Reached[blk.Index] {
+			continue
+		}
+		// Live-before each node, walking backward from the block's out fact.
+		liveBefore := make([]bool, len(blk.Nodes))
+		live := r.Out[blk.Index]
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			if reads(blk.Nodes[i]) {
+				live = true
+			} else if kills(blk.Nodes[i]) {
+				live = false
+			}
+			liveBefore[i] = live
+		}
+		// Exit within the block: an in-region node directly followed by an
+		// out-of-region one.
+		for i := 1; i < len(blk.Nodes); i++ {
+			if inRegion(blk.Nodes[i-1]) && !inRegion(blk.Nodes[i]) && liveBefore[i] {
+				return true
+			}
+		}
+		// Exit over a block edge: the block ends inside the region and a
+		// successor starts outside it (an empty successor counts as
+		// outside — its live-in already aggregates whatever follows).
+		if len(blk.Nodes) == 0 || !inRegion(blk.Nodes[len(blk.Nodes)-1]) {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if len(s.Nodes) > 0 && inRegion(s.Nodes[0]) {
+				continue
+			}
+			if r.Reached[s.Index] && r.In[s.Index] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// varReadAfterPositional is the syntactic fallback: the first use of v
+// positioned after pos decides the answer.
+func varReadAfterPositional(info *types.Info, body *ast.BlockStmt, v types.Object, pos token.Pos) bool {
+	writes := writeIdents(body)
+	type event struct {
+		pos   token.Pos
+		write bool
+	}
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || (info.Uses[id] != v && info.Defs[id] != v) {
+			return true
+		}
+		events = append(events, event{pos: id.Pos(), write: writes[id]})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		if ev.pos <= pos {
+			continue
+		}
+		return !ev.write
+	}
+	return false
+}
+
+// writeIdents classifies every identifier in body that appears in a write
+// position: assignment LHS, IncDec operand, or range clause variable.
+func writeIdents(body *ast.BlockStmt) map[*ast.Ident]bool {
 	writes := make(map[*ast.Ident]bool)
 	markWrite := func(e ast.Expr) {
 		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
@@ -41,29 +187,13 @@ func VarReadAfter(info *types.Info, body *ast.BlockStmt, v types.Object, pos tok
 			if n.Value != nil {
 				markWrite(n.Value)
 			}
+		case *ast.ValueSpec:
+			// var x T declares-and-zeroes: a write for liveness purposes.
+			for _, name := range n.Names {
+				markWrite(name)
+			}
 		}
 		return true
 	})
-
-	type event struct {
-		pos   token.Pos
-		write bool
-	}
-	var events []event
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || info.Uses[id] != v {
-			return true
-		}
-		events = append(events, event{pos: id.Pos(), write: writes[id]})
-		return true
-	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	for _, ev := range events {
-		if ev.pos <= pos {
-			continue
-		}
-		return !ev.write
-	}
-	return false
+	return writes
 }

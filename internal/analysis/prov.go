@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// ProvKey is a resolved length-provenance origin. Two slice/vector values
+// are provably equal length when their keys are equal: same allocation
+// expression, or same //arvi:len dimension reached from the same base
+// object.
+type ProvKey struct {
+	Kind string       // "new" (one allocation expression) or "dim" (//arvi:len tag)
+	Obj  types.Object // base object for "dim"; nil for "new"
+	Text string       // allocation size text for "new", dimension tag for "dim"
+}
+
+// ProvFact is the flow-sensitive provenance lattice: the provenance every
+// tracked local definitely has on all paths to a point. Absent = unknown.
+// The join is pointwise agreement, so an alias assigned the same dimension
+// on both arms of a branch stays resolved after the merge.
+type ProvFact map[types.Object]ProvKey
+
+// ProvSpec returns the dataflow problem computing ProvFacts over one
+// function body. excluded holds objects that must never be tracked
+// (address-taken locals); compute it with AddressTaken.
+func ProvSpec(w *World, info *types.Info, excluded map[types.Object]bool) dataflow.Spec[ProvFact] {
+	return dataflow.Spec[ProvFact]{
+		Forward:  true,
+		Boundary: func() ProvFact { return ProvFact{} },
+		Transfer: func(n ast.Node, f ProvFact) ProvFact {
+			return ProvTransfer(w, info, excluded, n, f)
+		},
+		Join:  ProvJoin,
+		Clone: CloneProv,
+		Equal: EqualProv,
+	}
+}
+
+// ProvTransfer applies one CFG node's effect to a provenance fact.
+func ProvTransfer(w *World, info *types.Info, excluded map[types.Object]bool, n ast.Node, f ProvFact) ProvFact {
+	set := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" || excluded[obj] {
+			return
+		}
+		if rhs != nil {
+			if k, ok := ResolveProv(w, info, f, rhs); ok {
+				f[obj] = k
+				return
+			}
+		}
+		delete(f, obj)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					set(id, n.Rhs[i])
+				}
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					set(id, nil)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
+						set(name, vs.Values[i])
+					} else {
+						set(name, nil)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, x := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
+				set(id, nil)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			set(id, nil)
+		}
+	}
+	return f
+}
+
+// ProvJoin keeps only entries present and equal in both facts.
+func ProvJoin(dst, src ProvFact) ProvFact {
+	for obj, k := range dst {
+		if sk, ok := src[obj]; !ok || sk != k {
+			delete(dst, obj)
+		}
+	}
+	return dst
+}
+
+func CloneProv(f ProvFact) ProvFact {
+	c := make(ProvFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func EqualProv(a, b ProvFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveProv computes an expression's provenance key: a bitvec.New call,
+// an //arvi:len-tagged field or method on a resolvable base, a conversion
+// of either, or a local the fact map has already resolved.
+func ResolveProv(w *World, info *types.Info, f ProvFact, e ast.Expr) (ProvKey, bool) {
+	for depth := 0; depth < 8; depth++ {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				return ProvKey{}, false
+			}
+			k, ok := f[obj]
+			return k, ok
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[x]
+			if !ok {
+				return ProvKey{}, false
+			}
+			kind := "dim"
+			dim, tagged := w.LenDim[sel.Obj()]
+			if !tagged {
+				// An //arvi:mask field is provenance too: a local copy of
+				// b.mask keeps licensing x&mask indexing (hotpanic).
+				if dim, tagged = w.MaskDim[sel.Obj()]; !tagged {
+					return ProvKey{}, false
+				}
+				kind = "mask"
+			}
+			base, ok := BaseObject(info, x.X)
+			if !ok {
+				return ProvKey{}, false
+			}
+			return ProvKey{Kind: kind, Obj: base, Text: dim}, true
+		case *ast.CallExpr:
+			// Conversion (e.g. bitvec.Vec(x)): trace the operand.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				e = x.Args[0]
+				continue
+			}
+			fn := StaticCallee(info, x)
+			if fn == nil {
+				return ProvKey{}, false
+			}
+			// bitvec.New(n): same size expression, same length.
+			if fn.Name() == "New" && fn.Pkg() != nil && fn.Pkg().Path() == w.Module+"/internal/bitvec" && len(x.Args) == 1 {
+				return ProvKey{Kind: "new", Text: types.ExprString(x.Args[0])}, true
+			}
+			// A method tagged //arvi:len returns a vector of that dimension;
+			// key it by the base object the method was called on.
+			if dim, tagged := w.LenDim[fn]; tagged {
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if base, ok := BaseObject(info, sel.X); ok {
+						return ProvKey{Kind: "dim", Obj: base, Text: dim}, true
+					}
+				}
+			}
+			return ProvKey{}, false
+		default:
+			return ProvKey{}, false
+		}
+	}
+	return ProvKey{}, false
+}
+
+// BaseObject resolves the object a selector chain is rooted at (the d in
+// d.row(s) or d.valid).
+func BaseObject(info *types.Info, e ast.Expr) (types.Object, bool) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj, true
+		}
+	}
+	return nil, false
+}
+
+// AddressTaken collects the locals whose address is taken inside body, or
+// that are written from inside a nested function literal: flow-sensitive
+// analyses cannot track them and must leave them unknown.
+func AddressTaken(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	note := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	var inLit int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				note(n.X)
+			}
+		case *ast.FuncLit:
+			inLit++
+			ast.Inspect(n.Body, walk)
+			inLit--
+			return false
+		case *ast.AssignStmt:
+			if inLit > 0 {
+				for _, lhs := range n.Lhs {
+					note(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if inLit > 0 {
+				note(n.X)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// InspectNode visits one CFG node's subtree for checking, without crossing
+// into regions that other blocks own: function literal bodies (each
+// literal gets its own graph via FuncGraphs) and a range statement's body
+// (its statements are nodes of the range-body block).
+func InspectNode(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				InspectNode(e, f)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// FuncGraphs builds the CFG of fd's body and of every function literal
+// nested in it, outermost first. Each graph is analyzed independently:
+// facts do not flow across the closure boundary in either direction.
+func FuncGraphs(name string, body *ast.BlockStmt) []*cfg.Graph {
+	graphs := []*cfg.Graph{cfg.Build(name, body)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			graphs = append(graphs, cfg.Build(name+".func", lit.Body))
+		}
+		return true
+	})
+	return graphs
+}

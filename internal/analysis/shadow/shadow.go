@@ -82,9 +82,11 @@ func checkShadow(pass *analysis.Pass, fd *ast.FuncDecl, id *ast.Ident, obj types
 	if !types.Identical(obj.Type(), ov.Type()) {
 		return
 	}
-	// Behaviour can only diverge if the outer variable is read again
-	// after the shadowing scope closes, before anything rewrites it.
-	if !analysis.VarReadAfter(pass.Pkg.Info, fd.Body, ov, scope.End()) {
+	// Behaviour can only diverge if the outer variable can be read after
+	// control leaves the shadowing scope, before anything rewrites it —
+	// a CFG-path-aware liveness question, so a read on a disjoint branch
+	// below the scope no longer triggers a report.
+	if !analysis.VarReadAfter(pass.Pkg.Info, fd.Body, ov, scope.Pos(), scope.End()) {
 		return
 	}
 	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s (outer variable is read after this scope)",

@@ -48,3 +48,50 @@ func differentType(xs []int) int {
 	}
 	return n
 }
+
+// disjointBranch is the false-positive class the CFG liveness upgrade
+// kills: the outer read sits below the shadowing scope in source order
+// but on a branch control can never reach from it.
+func disjointBranch(xs []int, flip bool) int {
+	n := len(xs)
+	if flip {
+		n := xs[0]
+		return n
+	} else {
+		return n
+	}
+}
+
+// redeclaredOnBackEdge must NOT be flagged: the back-edge does reach a
+// read of the outer ok, but the short declaration at the loop head
+// rewrites it first, so the shadowed value can never be observed.
+func redeclaredOnBackEdge(xs []any) int {
+	total := 0
+	for _, x := range xs {
+		n, ok := x.(int)
+		if !ok {
+			continue
+		}
+		if n > 0 {
+			ok := n > 1
+			_ = ok
+		}
+		total += n
+	}
+	return total
+}
+
+// loopCarried is the dual: the only outer read is *above* the scope in
+// source order, but a loop back-edge carries the stale value to it, so
+// the shadow is live and must still be reported.
+func loopCarried(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		_ = total
+		if xs[i] > 0 {
+			total := xs[i] // want `declaration of "total" shadows declaration`
+			_ = total
+		}
+	}
+	return 0
+}

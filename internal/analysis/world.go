@@ -27,6 +27,16 @@ type World struct {
 	// LenDim maps fields and methods annotated //arvi:len to their
 	// length-dimension tag (e.g. "entries", "physregs").
 	LenDim map[types.Object]string
+	// MaskDim maps integer fields annotated //arvi:mask to the length
+	// dimension whose size-minus-one they always hold, so x&mask proves
+	// in-bounds for any slice tagged //arvi:len with the same dimension.
+	// Fields and methods annotated //arvi:idx land here too: both forms
+	// declare a value in [0, size of dim), which is exactly what the
+	// masked-index proofs consume.
+	MaskDim map[types.Object]string
+	// PanicFree records function-level //arvi:panicfree waivers: the whole
+	// body is covered by one justified invariant argument.
+	PanicFree map[*types.Func]Directive
 	// Decls locates the declaration of every module function.
 	Decls map[*types.Func]*FuncInfo
 
@@ -56,6 +66,10 @@ var knownDirectives = map[string]bool{
 	"unordered":  true,
 	"nondet-ok":  true,
 	"errdrop-ok": true,
+	"nonnil":     true,
+	"panicfree":  true,
+	"mask":       true,
+	"idx":        true,
 }
 
 // buildWorld indexes directives and declarations over the checked packages.
@@ -68,6 +82,8 @@ func buildWorld(fset *token.FileSet, module string, pkgs []*Package) *World {
 		DetRoot:    make(map[*types.Func]bool),
 		Scratch:    make(map[types.Object]bool),
 		LenDim:     make(map[types.Object]string),
+		MaskDim:    make(map[types.Object]string),
+		PanicFree:  make(map[*types.Func]Directive),
 		Decls:      make(map[*types.Func]*FuncInfo),
 		directives: make(map[string]map[int][]Directive),
 	}
@@ -117,6 +133,12 @@ func (w *World) indexFile(pkg *Package, file *ast.File, byLine map[int][]Directi
 				w.DetRoot[fn] = true
 			case "len":
 				w.LenDim[fn] = d.Arg
+			case "mask", "idx":
+				// On a method: the result is a proven in-bounds index
+				// for any //arvi:len <dim> slice of the same base.
+				w.MaskDim[fn] = d.Arg
+			case "panicfree":
+				w.PanicFree[fn] = d
 			}
 		}
 	}
@@ -150,6 +172,8 @@ func (w *World) indexObjectDirective(pkg *Package, d Directive, names []*ast.Ide
 			w.Scratch[obj] = true
 		case "len":
 			w.LenDim[obj] = d.Arg
+		case "mask", "idx":
+			w.MaskDim[obj] = d.Arg
 		}
 	}
 }
