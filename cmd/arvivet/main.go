@@ -4,20 +4,27 @@
 //
 // Usage:
 //
-//	go run ./cmd/arvivet [packages]   (default ./...)
-//	go run ./cmd/arvivet -list        list analyzers and their one-line docs
+//	go run ./cmd/arvivet [packages]         (default ./...)
+//	go run ./cmd/arvivet -list              list analyzers and their one-line docs
+//	go run ./cmd/arvivet -only nilness,hotpanic ./...
+//	go run ./cmd/arvivet -json ./...        machine-readable diagnostics
+//	go run ./cmd/arvivet -github ./...      GitHub ::error annotations
 //
 // Diagnostics print in the conventional file:line:col form, sorted, so
-// the output is stable across runs and diffable in CI.
+// the output is stable across runs and diffable in CI. -github (on by
+// default when GITHUB_ACTIONS is set) additionally emits
+// ::error file=...,line=... workflow commands so findings surface inline
+// on pull requests.
 //
-// The stock x/tools passes the suite complements: `shadow` is provided by
-// the in-tree reimplementation (internal/analysis/shadow); `nilness`
-// requires SSA construction, which the dependency-free toolchain policy
-// rules out, so CI covers that ground with the pinned staticcheck run
-// instead.
+// The stock x/tools passes the suite complements: `shadow` and `nilness`
+// are provided by the in-tree reimplementations — nilness runs on the
+// internal/analysis/cfg + dataflow layer, so the old "needs SSA, out of
+// scope" caveat no longer applies — and `hotpanic` proves //arvi:hotpath
+// functions free of implicit runtime panics, which no stock pass covers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +35,8 @@ import (
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/errdrop"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/hotpanic"
+	"repro/internal/analysis/nilness"
 	"repro/internal/analysis/nondet"
 	"repro/internal/analysis/shadow"
 )
@@ -39,12 +48,18 @@ var analyzers = []*analysis.Analyzer{
 	nondet.Analyzer,
 	errdrop.Analyzer,
 	shadow.Analyzer,
+	nilness.Analyzer,
+	hotpanic.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	github := flag.Bool("github", os.Getenv("GITHUB_ACTIONS") != "",
+		"emit GitHub ::error annotations alongside the plain diagnostics (default: on under GITHUB_ACTIONS)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: arvivet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: arvivet [-list] [-only a,b] [-json] [-github] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,6 +69,24 @@ func main() {
 			fmt.Printf("%-10s %s\n", a.Name, firstLine(a.Doc))
 		}
 		return
+	}
+
+	suite := analyzers
+	if *only != "" {
+		suite = nil
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "arvivet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
 	}
 
 	patterns := flag.Args()
@@ -66,18 +99,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arvivet:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(world, analyzers)
+	diags, err := analysis.Run(world, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arvivet:", err)
 		os.Exit(2)
 	}
 	diags = append(world.Malformed, diags...)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch {
+	case *jsonOut:
+		printJSON(diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+			if *github {
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=arvivet/%s::%s\n",
+					d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
+			}
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "arvivet:", err)
+		os.Exit(2)
+	}
+}
+
+// githubEscape encodes the characters GitHub workflow commands reserve.
+func githubEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }
 
 func firstLine(s string) string {

@@ -1,0 +1,1166 @@
+// Package hotpanic implements the arvivet analyzer that proves every
+// //arvi:hotpath function free of implicit runtime panics. A resident
+// arvid daemon runs the hot path on every request; one unguarded index,
+// division, or single-result type assertion is a crash, so the sites
+// where the compiler would emit a panic check become proof obligations:
+//
+//   - x[i] and x[lo:hi] on slices, arrays and strings: every bound must
+//     be provably within [0, len(x)];
+//   - integer / and % (and /=, %=): the divisor must be provably nonzero;
+//   - x.(T) in single-result form: always an obligation — use the
+//     comma-ok form or justify.
+//
+// Obligations are discharged by a forward dataflow over the function's
+// CFG whose facts are relational must-facts (i < len(v), 0 <= i, n != 0)
+// gathered from dominating guards, loop headers and assignments, joined
+// by intersection so only path-invariant knowledge survives a merge.
+// Length terms are canonicalized through the shared //arvi:len dimension
+// provenance, so `for i := range d.valid { d.chainBuf[i] }` proves when
+// both fields carry the same dimension tag on the same base. Two further
+// dimension rules close the remaining idioms:
+//
+//   - //arvi:mask <dim> on an integer field asserts it always holds
+//     (size of dim) − 1, so x & b.mask indexes any //arvi:len <dim>
+//     slice of the same base in bounds; on a method it asserts the
+//     result is already such an in-bounds index, covering the
+//     `t.table[t.index(pc)]` idiom;
+//   - //arvi:idx <dim> on an integer field or method declares the value
+//     is always in [0, size of dim) — the maintained-invariant form for
+//     ring pointers and wrap arithmetic (d.head, d.entryAt(age)) whose
+//     bound is not a bit mask;
+//   - inside the bitvec kernels listed in bitveclen.VecKernels, the
+//     Vec-typed receiver and parameters form one equal-length group,
+//     because bitveclen discharges that proof at every call site.
+//
+// Facts rooted in mutable memory (selector values, untagged lengths) die
+// at calls and pointer stores; //arvi:len, //arvi:mask and //arvi:idx
+// facts are declared invariants and survive. An obligation the prover cannot reach
+// demands //arvi:panicfree <why> — on the site's line, or on the function
+// doc comment to cover a whole body with one invariant argument. A
+// function-level waiver with zero unprovable sites is itself reported as
+// stale, so waivers cannot outlive the code they excuse. The proof rules
+// and waiver economics are documented in
+// DESIGN.md's flow-sensitive contracts section.
+package hotpanic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/bitveclen"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the hotpanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpanic",
+	Doc:  "//arvi:hotpath functions must be provably free of implicit runtime panics",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.World.Hotpath[fn] {
+				continue
+			}
+			checkFunc(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+// term is one canonical operand of a relational fact.
+type term struct {
+	kind byte         // 'c' const, 'v' var, 's' selector value, 'l' syntactic len, 'd' dimension len, 'K' kernel-sibling len
+	obj  types.Object // root object for v/s/l/d
+	sel  string       // selector path, dimension tag, or kernel id
+	c    int64        // constant value for 'c'
+}
+
+func constTerm(c int64) term { return term{kind: 'c', c: c} }
+
+// relFact is one must-fact `a op b` with op ∈ {LSS, LEQ, EQL, NEQ}.
+// GTR/GEQ are normalized away by swapping the operands.
+type relFact struct {
+	op   token.Token
+	a, b term
+}
+
+// fact is the lattice element: relational must-facts plus the shared
+// length provenance of locals.
+type fact struct {
+	rel  map[relFact]bool
+	prov analysis.ProvFact
+}
+
+func newFact() fact {
+	return fact{rel: make(map[relFact]bool), prov: make(analysis.ProvFact)}
+}
+
+func cloneFact(f fact) fact {
+	c := fact{rel: make(map[relFact]bool, len(f.rel)), prov: analysis.CloneProv(f.prov)}
+	for k := range f.rel {
+		c.rel[k] = true
+	}
+	return c
+}
+
+func joinFact(dst, src fact) fact {
+	for k := range dst.rel {
+		if !src.rel[k] {
+			delete(dst.rel, k)
+		}
+	}
+	dst.prov = analysis.ProvJoin(dst.prov, src.prov)
+	return dst
+}
+
+func equalFact(a, b fact) bool {
+	if len(a.rel) != len(b.rel) || !analysis.EqualProv(a.prov, b.prov) {
+		return false
+	}
+	for k := range a.rel {
+		if !b.rel[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	fn       *types.Func
+	excluded map[types.Object]bool
+	// siblings is the equal-length Vec group inside a bitvec kernel;
+	// nil outside them. siblingID keys the canonical 'K' term.
+	siblings   map[types.Object]bool
+	siblingID  string
+	commaOK    map[*ast.TypeAssertExpr]bool
+	waiver     *analysis.Directive // function-level //arvi:panicfree
+	waiverUsed bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	info := pass.Pkg.Info
+	c := &checker{
+		pass:     pass,
+		info:     info,
+		fn:       fn,
+		excluded: analysis.AddressTaken(info, fd.Body),
+		commaOK:  collectCommaOK(fd.Body),
+	}
+	if d, ok := pass.World.PanicFree[fn]; ok {
+		c.waiver = &d
+		if d.Arg == "" {
+			pass.Reportf(fd.Name.Pos(), "//arvi:panicfree needs a justification")
+		}
+	}
+	c.initSiblings(fd)
+
+	g := cfg.Build(fd.Name.Name, fd.Body)
+	r := dataflow.Solve(g, dataflow.Spec[fact]{
+		Forward:  true,
+		Boundary: func() fact { return newFact() },
+		Transfer: c.transfer,
+		Branch:   c.branch,
+		Join:     joinFact,
+		Clone:    cloneFact,
+		Equal:    equalFact,
+	})
+	for _, blk := range g.Blocks {
+		if blk == g.Exit || !r.Reached[blk.Index] {
+			continue // exit nodes are defer copies, checked at the defer site
+		}
+		f := cloneFact(r.In[blk.Index])
+		for _, n := range blk.Nodes {
+			c.checkNode(n, f)
+			f = c.transfer(n, f)
+		}
+	}
+	if c.waiver != nil && !c.waiverUsed && c.waiver.Arg != "" {
+		pass.Reportf(fd.Name.Pos(), "stale //arvi:panicfree on %s: every implicit panic site is provable; drop the waiver", fn.Name())
+	}
+}
+
+// initSiblings builds the equal-length Vec group when fd is one of the
+// bitvec kernels whose call sites bitveclen proves.
+func (c *checker) initSiblings(fd *ast.FuncDecl) {
+	if c.fn.Pkg() == nil || c.fn.Pkg().Path() != c.pass.World.Module+"/internal/bitvec" {
+		return
+	}
+	if !bitveclen.VecKernels[fd.Name.Name] {
+		return
+	}
+	sig := c.fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return
+	}
+	group := make(map[types.Object]bool)
+	add := func(v *types.Var) {
+		if named, ok := v.Type().(*types.Named); ok && named.Obj().Name() == "Vec" {
+			group[v] = true
+		}
+	}
+	add(sig.Recv())
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i))
+	}
+	if len(group) > 1 {
+		c.siblings = group
+		c.siblingID = c.fn.FullName()
+	}
+}
+
+// collectCommaOK records the type assertions used in v, ok := x.(T) form.
+func collectCommaOK(body *ast.BlockStmt) map[*ast.TypeAssertExpr]bool {
+	out := make(map[*ast.TypeAssertExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ta, ok := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					out[ta] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == 2 && len(n.Values) == 1 {
+				if ta, ok := ast.Unparen(n.Values[0]).(*ast.TypeAssertExpr); ok {
+					out[ta] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---- transfer ----
+
+func (c *checker) transfer(n ast.Node, f fact) fact {
+	f.prov = analysis.ProvTransfer(c.pass.World, c.info, c.excluded, n, f.prov)
+	// Calls can mutate anything reachable through memory: selector values
+	// and untagged lengths die; //arvi:len, //arvi:mask and kernel-group
+	// facts are declared invariants and survive.
+	if nodeHasImpureCall(c.info, n) {
+		c.killMemoryFacts(f)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.transferAssign(n, f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if len(vs.Values) == len(vs.Names) {
+							rhs = vs.Values[i]
+						} else if len(vs.Values) == 0 {
+							// Zero value: integers start at 0.
+							c.killObjFacts(f, c.objOf(name))
+							if obj := c.objOf(name); obj != nil && isInteger(obj.Type()) {
+								f.rel[relFact{op: token.EQL, a: term{kind: 'v', obj: obj}, b: constTerm(0)}] = true
+								f.rel[relFact{op: token.LEQ, a: constTerm(0), b: term{kind: 'v', obj: obj}}] = true
+							}
+							continue
+						}
+						c.assignTo(f, name, rhs)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			obj := c.objOf(id)
+			wasNonneg := obj != nil && c.proveNonneg(ast.Unparen(n.X), f)
+			c.killObjFacts(f, obj)
+			if n.Tok == token.INC && wasNonneg && obj != nil {
+				// i >= 0 survives ++ (overflow wrap is out of scope).
+				f.rel[relFact{op: token.LEQ, a: constTerm(0), b: term{kind: 'v', obj: obj}}] = true
+			}
+		} else {
+			c.killHeapWrite(f)
+		}
+	case *ast.RangeStmt:
+		for _, x := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
+				c.killObjFacts(f, c.objOf(id))
+			}
+		}
+	}
+	return f
+}
+
+func (c *checker) transferAssign(n *ast.AssignStmt, f fact) {
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					c.assignTo(f, id, n.Rhs[i])
+				} else {
+					c.killHeapWrite(f)
+				}
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					c.killObjFacts(f, c.objOf(id))
+				} else {
+					c.killHeapWrite(f)
+				}
+			}
+		}
+		return
+	}
+	// Compound assignment (+=, &=, ...): kill, then keep nonnegativity
+	// for the shapes that preserve it.
+	lhs := ast.Unparen(n.Lhs[0])
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		c.killHeapWrite(f)
+		return
+	}
+	obj := c.objOf(id)
+	wasNonneg := obj != nil && c.proveNonneg(lhs, f)
+	rhsNonneg := c.proveNonneg(n.Rhs[0], f)
+	c.killObjFacts(f, obj)
+	if obj == nil {
+		return
+	}
+	keep := false
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.SHL_ASSIGN:
+		keep = wasNonneg && rhsNonneg
+	case token.SHR_ASSIGN:
+		keep = wasNonneg
+	case token.AND_ASSIGN:
+		keep = wasNonneg || rhsNonneg
+	case token.REM_ASSIGN:
+		keep = wasNonneg
+	}
+	if keep {
+		f.rel[relFact{op: token.LEQ, a: constTerm(0), b: term{kind: 'v', obj: obj}}] = true
+	}
+}
+
+// assignTo kills the target's facts and derives fresh ones from the rhs.
+func (c *checker) assignTo(f fact, id *ast.Ident, rhs ast.Expr) {
+	obj := c.objOf(id)
+	if obj == nil || id.Name == "_" {
+		return
+	}
+	// Evaluate rhs properties against the pre-assignment fact, except
+	// self-references (i = i + 1), which the kill would invalidate.
+	nonneg := !mentionsObj(c.info, rhs, obj) && c.proveNonneg(rhs, f)
+	rt, rtOK := c.termOf(rhs, f)
+	if rtOK && termMentions(rt, obj) {
+		rtOK = false
+	}
+	upper, upperOK := c.maskUpper(rhs, f)
+	c.killObjFacts(f, obj)
+	if c.excluded[obj] || !isInteger(obj.Type()) {
+		return
+	}
+	vt := term{kind: 'v', obj: obj}
+	if rtOK {
+		f.rel[relFact{op: token.EQL, a: vt, b: rt}] = true
+	}
+	if nonneg {
+		f.rel[relFact{op: token.LEQ, a: constTerm(0), b: vt}] = true
+	}
+	if upperOK {
+		// x := e & b.mask: 0 <= x < size(dim).
+		f.rel[relFact{op: token.LSS, a: vt, b: upper}] = true
+		f.rel[relFact{op: token.LEQ, a: constTerm(0), b: vt}] = true
+	}
+}
+
+// maskUpper recognizes expressions provably in [0, size(dim)): `e & m`
+// with m an //arvi:mask field, a call of an //arvi:mask-tagged index
+// method, or the mask value itself (which equals size − 1). It returns
+// the dimension-length term the result is strictly below.
+func (c *checker) maskUpper(e ast.Expr, f fact) (term, bool) {
+	if dim, root, ok := c.maskKey(e, f); ok {
+		// Same canonical form lenTerm produces for the dimension.
+		return term{kind: 'd', obj: root, sel: "dim:" + dim}, true
+	}
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.AND {
+		return term{}, false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if dim, root, ok := c.maskKey(side, f); ok {
+			return term{kind: 'd', obj: root, sel: "dim:" + dim}, true
+		}
+	}
+	return term{}, false
+}
+
+// maskKey resolves an expression to an //arvi:mask dimension: a tagged
+// field selector, a local the provenance facts traced to one, or a call
+// of an //arvi:mask-tagged method (whose result is declared to be an
+// in-bounds index for the dimension) on a resolvable base.
+func (c *checker) maskKey(e ast.Expr, f fact) (dim string, root types.Object, ok bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		sel, selOK := c.info.Selections[x]
+		if !selOK {
+			return "", nil, false
+		}
+		dim, tagged := c.pass.World.MaskDim[sel.Obj()]
+		if !tagged {
+			return "", nil, false
+		}
+		base, baseOK := analysis.BaseObject(c.info, x.X)
+		if !baseOK {
+			return "", nil, false
+		}
+		return dim, base, true
+	case *ast.Ident:
+		obj := c.info.Uses[x]
+		if obj == nil {
+			return "", nil, false
+		}
+		if k, kOK := f.prov[obj]; kOK && k.Kind == "mask" {
+			return k.Text, k.Obj, true
+		}
+	case *ast.CallExpr:
+		fn := analysis.StaticCallee(c.info, x)
+		if fn == nil {
+			return "", nil, false
+		}
+		dim, tagged := c.pass.World.MaskDim[fn]
+		if !tagged {
+			return "", nil, false
+		}
+		sel, selOK := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !selOK {
+			return "", nil, false
+		}
+		base, baseOK := analysis.BaseObject(c.info, sel.X)
+		if !baseOK {
+			return "", nil, false
+		}
+		return dim, base, true
+	}
+	return "", nil, false
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.info.Uses[id]
+}
+
+// killObjFacts removes every fact mentioning a term rooted at obj.
+func (c *checker) killObjFacts(f fact, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	for k := range f.rel {
+		if termMentions(k.a, obj) || termMentions(k.b, obj) {
+			delete(f.rel, k)
+		}
+	}
+}
+
+// killHeapWrite removes facts rooted in mutable memory after a store
+// through a pointer, selector or index expression.
+func (c *checker) killHeapWrite(f fact) {
+	for k := range f.rel {
+		if memoryTerm(k.a) || memoryTerm(k.b) {
+			delete(f.rel, k)
+		}
+	}
+}
+
+func (c *checker) killMemoryFacts(f fact) {
+	for k := range f.rel {
+		if memoryTerm(k.a) || memoryTerm(k.b) {
+			delete(f.rel, k)
+		}
+	}
+}
+
+// memoryTerm reports whether a term reads mutable memory: selector
+// values and untagged lengths. Dimension and kernel-group lengths are
+// declared invariants.
+func memoryTerm(t term) bool {
+	return t.kind == 's' || t.kind == 'l'
+}
+
+func termMentions(t term, obj types.Object) bool {
+	return t.obj == obj
+}
+
+// nodeHasImpureCall reports whether the node calls anything that could
+// mutate memory: any non-builtin call outside math and math/bits.
+func nodeHasImpureCall(info *types.Info, n ast.Node) bool {
+	impure := false
+	analysis.InspectNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || impure {
+			return !impure
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if fn := analysis.StaticCallee(info, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "math", "math/bits":
+				return true
+			}
+		}
+		impure = true
+		return false
+	})
+	return impure
+}
+
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- branch refinement ----
+
+func (c *checker) branch(b *cfg.Block, f fact, succ int) fact {
+	if b.Range != nil {
+		if succ == 0 {
+			c.rangeFacts(b.Range, f)
+		}
+		return f
+	}
+	cmp, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	at, aOK := c.termOf(cmp.X, f)
+	bt, bOK := c.termOf(cmp.Y, f)
+	if !aOK || !bOK {
+		return f
+	}
+	op := cmp.Op
+	if succ == 1 { // false edge: negate
+		switch op {
+		case token.LSS:
+			op, at, bt = token.LEQ, bt, at
+		case token.LEQ:
+			op, at, bt = token.LSS, bt, at
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.EQL:
+			op = token.NEQ
+		case token.NEQ:
+			op = token.EQL
+		default:
+			return f
+		}
+	}
+	switch op {
+	case token.GTR: // a > b  ->  b < a
+		op, at, bt = token.LSS, bt, at
+	case token.GEQ:
+		op, at, bt = token.LEQ, bt, at
+	case token.LSS, token.LEQ, token.EQL, token.NEQ:
+	default:
+		return f
+	}
+	f.rel[relFact{op: op, a: at, b: bt}] = true
+	return f
+}
+
+// rangeFacts adds the loop-header invariants on the iterate edge:
+// 0 <= key < len(X) for slices, arrays and strings; 0 <= key < X for
+// range-over-int.
+func (c *checker) rangeFacts(rs *ast.RangeStmt, f fact) {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil || c.excluded[obj] {
+		return
+	}
+	kt := term{kind: 'v', obj: obj}
+	f.rel[relFact{op: token.LEQ, a: constTerm(0), b: kt}] = true
+	tv, ok := c.info.Types[rs.X]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+		var upper term
+		var upperOK bool
+		if isInteger(tv.Type) {
+			upper, upperOK = c.termOf(rs.X, f)
+		} else if isIndexable(tv.Type) {
+			upper, upperOK = c.lenTerm(rs.X, f)
+		}
+		if upperOK {
+			f.rel[relFact{op: token.LSS, a: kt, b: upper}] = true
+		}
+	}
+}
+
+// ---- terms ----
+
+// termOf canonicalizes an expression into a fact operand.
+func (c *checker) termOf(e ast.Expr, f fact) (term, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return constTerm(v), true
+		}
+		return term{}, false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[x]
+		if obj == nil || c.excluded[obj] {
+			return term{}, false
+		}
+		return term{kind: 'v', obj: obj}, true
+	case *ast.SelectorExpr:
+		root, ok := analysis.BaseObject(c.info, x.X)
+		if !ok {
+			return term{}, false
+		}
+		return term{kind: 's', obj: root, sel: types.ExprString(x)}, true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && len(x.Args) == 1 {
+			if b, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "len" {
+				return c.lenTerm(x.Args[0], f)
+			}
+		}
+	}
+	return term{}, false
+}
+
+// lenTerm canonicalizes len(e): dimension provenance first (so all
+// same-dimension slices share one term), then the kernel-sibling group,
+// then the syntactic root.
+func (c *checker) lenTerm(e ast.Expr, f fact) (term, bool) {
+	e = ast.Unparen(e)
+	if k, ok := analysis.ResolveProv(c.pass.World, c.info, f.prov, e); ok && k.Kind != "mask" {
+		return term{kind: 'd', obj: k.Obj, sel: k.Kind + ":" + k.Text}, true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := c.info.Uses[id]
+		if obj == nil {
+			return term{}, false
+		}
+		if c.siblings[obj] {
+			return term{kind: 'K', sel: c.siblingID}, true
+		}
+		if c.excluded[obj] {
+			return term{}, false
+		}
+		return term{kind: 'l', obj: obj}, true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if root, ok := analysis.BaseObject(c.info, sel.X); ok {
+			return term{kind: 'l', obj: root, sel: types.ExprString(sel)}, true
+		}
+	}
+	return term{}, false
+}
+
+// ---- the prover ----
+
+// candidates expands a term through one step of EQ substitution.
+func (c *checker) candidates(t term, f fact) []term {
+	out := []term{t}
+	for k := range f.rel {
+		if k.op != token.EQL {
+			continue
+		}
+		if k.a == t {
+			out = append(out, k.b)
+		} else if k.b == t {
+			out = append(out, k.a)
+		}
+	}
+	return out
+}
+
+// proveRel proves a REL b (REL ∈ LSS, LEQ) from the fact set, modulo one
+// EQ-substitution step on each side and constant arithmetic.
+func (c *checker) proveRel(op token.Token, a, b term, f fact) bool {
+	for _, ca := range c.candidates(a, f) {
+		for _, cb := range c.candidates(b, f) {
+			if c.proveRelDirect(op, ca, cb, f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) proveRelDirect(op token.Token, a, b term, f fact) bool {
+	if a.kind == 'c' && b.kind == 'c' {
+		if op == token.LSS {
+			return a.c < b.c
+		}
+		return a.c <= b.c
+	}
+	if a == b {
+		return op == token.LEQ
+	}
+	// Lengths are nonnegative: every nonpositive constant is <= them
+	// (strictly below only when negative — a length can be zero).
+	if a.kind == 'c' && (b.kind == 'l' || b.kind == 'd' || b.kind == 'K') {
+		if a.c < 0 || a.c == 0 && op == token.LEQ {
+			return true
+		}
+	}
+	if f.rel[relFact{op: token.LSS, a: a, b: b}] {
+		return true
+	}
+	if op == token.LEQ && (f.rel[relFact{op: token.LEQ, a: a, b: b}] || f.rel[relFact{op: token.EQL, a: a, b: b}] || f.rel[relFact{op: token.EQL, a: b, b: a}]) {
+		return true
+	}
+	// Constant widening: a <= c' < b or a < c'' <= b via one stored fact.
+	if a.kind == 'c' {
+		for k := range f.rel {
+			if k.b != b || k.a.kind != 'c' {
+				continue
+			}
+			switch {
+			case k.op == token.LSS && (op == token.LSS && k.a.c >= a.c || op == token.LEQ && k.a.c >= a.c):
+				return true
+			case k.op == token.LEQ && (op == token.LSS && k.a.c > a.c || op == token.LEQ && k.a.c >= a.c):
+				return true
+			}
+		}
+	}
+	if b.kind == 'c' {
+		for k := range f.rel {
+			if k.a != a || k.b.kind != 'c' {
+				continue
+			}
+			switch {
+			case k.op == token.LSS && (op == token.LSS && k.b.c <= b.c || op == token.LEQ && k.b.c <= b.c):
+				return true
+			case k.op == token.LEQ && (op == token.LSS && k.b.c < b.c || op == token.LEQ && k.b.c <= b.c):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// proveNonneg proves 0 <= e syntactically and from facts.
+func (c *checker) proveNonneg(e ast.Expr, f fact) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok {
+		if tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				return v >= 0
+			}
+			return false
+		}
+		if isUnsigned(tv.Type) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if t, ok := c.termOf(e, f); ok {
+			return c.proveRel(token.LEQ, constTerm(0), t, f)
+		}
+	case *ast.CallExpr:
+		if tv, ok := c.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			// A conversion keeps nonnegativity when the target can hold
+			// every source value.
+			src, srcOK := c.info.Types[x.Args[0]]
+			if srcOK && integerFits(src.Type, tv.Type) {
+				return c.proveNonneg(x.Args[0], f)
+			}
+			return false
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin && (b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		}
+		if fn := analysis.StaticCallee(c.info, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math/bits" {
+			// TrailingZeros*, LeadingZeros*, OnesCount*, Len*: all in [0, 64].
+			name := fn.Name()
+			for _, p := range []string{"TrailingZeros", "LeadingZeros", "OnesCount", "Len"} {
+				if strings.HasPrefix(name, p) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD {
+			return c.proveNonneg(x.X, f)
+		}
+		return false
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.MUL, token.SHL:
+			// Overflow wrap is declared out of scope for index arithmetic.
+			return c.proveNonneg(x.X, f) && c.proveNonneg(x.Y, f)
+		case token.SHR, token.REM:
+			return c.proveNonneg(x.X, f)
+		case token.AND:
+			return c.proveNonneg(x.X, f) || c.proveNonneg(x.Y, f)
+		case token.SUB:
+			xt, xOK := c.termOf(x.X, f)
+			yt, yOK := c.termOf(x.Y, f)
+			return xOK && yOK && c.proveRel(token.LEQ, yt, xt, f)
+		}
+	}
+	if t, ok := c.termOf(e, f); ok {
+		return c.proveRel(token.LEQ, constTerm(0), t, f)
+	}
+	return false
+}
+
+// proveIndex proves 0 <= i < length-of-x.
+func (c *checker) proveIndex(x, i ast.Expr, f fact) bool {
+	// x & mask against a same-dimension, same-base table proves both
+	// bounds at once.
+	if dim, root, ok := c.maskIndex(i, f); ok {
+		if k, kOK := analysis.ResolveProv(c.pass.World, c.info, f.prov, x); kOK && k.Kind == "dim" && k.Obj == root && k.Text == dim {
+			return true
+		}
+	}
+	// e & k with k a nonnegative constant lies in [0, k] whatever e is:
+	// enough whenever the indexed length provably exceeds k.
+	if k, ok := constAndBound(c.info, i); ok {
+		if n, aOK := arrayLen(c.info, x); aOK && k < n {
+			return true
+		}
+		if lt, lOK := c.lenTerm(x, f); lOK && c.proveRel(token.LSS, constTerm(k), lt, f) {
+			return true
+		}
+	}
+	if !c.proveNonneg(i, f) {
+		return false
+	}
+	it, iOK := c.termOf(i, f)
+	// An array's length is a constant bound.
+	if n, ok := arrayLen(c.info, x); ok && iOK && c.proveRel(token.LSS, it, constTerm(n), f) {
+		return true
+	}
+	lt, lOK := c.lenTerm(x, f)
+	if iOK && lOK && c.proveRel(token.LSS, it, lt, f) {
+		return true
+	}
+	// A masked index whose mask dimension matches x's length dimension.
+	if iOK {
+		if up, upOK := c.maskUpper(i, f); upOK && lOK && up == lt {
+			return true
+		}
+	}
+	return false
+}
+
+// maskIndex recognizes an index expression licensed by an //arvi:mask
+// dimension: `e & m` with m a mask field (directly or through
+// provenance), or a call of a mask-tagged index method.
+func (c *checker) maskIndex(i ast.Expr, f fact) (dim string, root types.Object, ok bool) {
+	if dim, root, ok := c.maskKey(i, f); ok {
+		return dim, root, true
+	}
+	be, isAnd := ast.Unparen(i).(*ast.BinaryExpr)
+	if !isAnd || be.Op != token.AND {
+		return "", nil, false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if dim, root, ok := c.maskKey(side, f); ok {
+			return dim, root, true
+		}
+	}
+	return "", nil, false
+}
+
+// ---- obligation sites ----
+
+func (c *checker) checkNode(n ast.Node, f fact) {
+	analysis.InspectNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.IndexExpr:
+			if !indexableExpr(c.info, m.X) {
+				return true
+			}
+			if !c.proveIndex(m.X, m.Index, f) {
+				c.obligation(m.Pos(), fmt.Sprintf("cannot prove 0 <= %s < len(%s)",
+					types.ExprString(m.Index), types.ExprString(m.X)))
+			}
+		case *ast.SliceExpr:
+			c.checkSlice(m, f)
+		case *ast.BinaryExpr:
+			if (m.Op == token.QUO || m.Op == token.REM) && isInteger(typeOf(c.info, m.X)) {
+				if !c.proveNonzero(m.Y, f) {
+					c.obligation(m.OpPos, fmt.Sprintf("cannot prove divisor %s is nonzero", types.ExprString(m.Y)))
+				}
+			}
+		case *ast.AssignStmt:
+			if (m.Tok == token.QUO_ASSIGN || m.Tok == token.REM_ASSIGN) && isInteger(typeOf(c.info, m.Lhs[0])) {
+				if !c.proveNonzero(m.Rhs[0], f) {
+					c.obligation(m.TokPos, fmt.Sprintf("cannot prove divisor %s is nonzero", types.ExprString(m.Rhs[0])))
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if m.Type != nil && !c.commaOK[m] {
+				c.obligation(m.Pos(), "single-result type assertion can panic; use the comma-ok form")
+			}
+		}
+		return true
+	})
+}
+
+// checkSlice proves 0 <= low <= high <= max <= len(x), with absent
+// bounds defaulting to 0 and len(x). high >= 0 is implied when a proven
+// low <= high chains from a proven low >= 0.
+func (c *checker) checkSlice(se *ast.SliceExpr, f fact) {
+	if !indexableExpr(c.info, se.X) {
+		return
+	}
+	lt, lOK := c.lenTerm(se.X, f)
+	if n, haveArr := arrayLen(c.info, se.X); haveArr {
+		lt, lOK = constTerm(n), true
+	}
+	fail := func(what string) {
+		c.obligation(se.Pos(), fmt.Sprintf("cannot prove slice bounds of %s: %s", types.ExprString(se.X), what))
+	}
+	// leq proves a <= b where either side may be the implicit bound.
+	leq := func(a, b ast.Expr, bIsLen bool) bool {
+		at, aOK := c.termOf(a, f)
+		if !aOK {
+			return false
+		}
+		if bIsLen {
+			return lOK && c.proveRel(token.LEQ, at, lt, f)
+		}
+		bt, bOK := c.termOf(b, f)
+		return bOK && c.proveRel(token.LEQ, at, bt, f)
+	}
+	if se.Low != nil && !c.proveNonneg(se.Low, f) {
+		fail(types.ExprString(se.Low) + " >= 0")
+		return
+	}
+	// The tightest present upper neighbour of each bound, ending at len.
+	chain := []ast.Expr{se.Low, se.High, se.Max}
+	prev := se.Low
+	for _, b := range chain[1:] {
+		if b == nil {
+			continue
+		}
+		if prev == nil {
+			// No lower neighbour: the bound itself must be nonnegative.
+			if !c.proveNonneg(b, f) {
+				fail(types.ExprString(b) + " >= 0")
+				return
+			}
+		} else if !leq(prev, b, false) {
+			fail(types.ExprString(prev) + " <= " + types.ExprString(b))
+			return
+		}
+		prev = b
+	}
+	if prev != nil && !leq(prev, nil, true) {
+		fail(types.ExprString(prev) + " <= len(" + types.ExprString(se.X) + ")")
+	}
+}
+
+func (c *checker) proveNonzero(e ast.Expr, f fact) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v != 0
+		}
+		return false
+	}
+	t, ok := c.termOf(e, f)
+	if !ok {
+		return false
+	}
+	for _, ct := range c.candidates(t, f) {
+		if ct.kind == 'c' && ct.c != 0 {
+			return true
+		}
+		if f.rel[relFact{op: token.NEQ, a: ct, b: constTerm(0)}] || f.rel[relFact{op: token.NEQ, a: constTerm(0), b: ct}] {
+			return true
+		}
+		// 0 < t or t < 0.
+		if c.proveRelDirect(token.LSS, constTerm(0), ct, f) || c.proveRelDirect(token.LSS, ct, constTerm(0), f) {
+			return true
+		}
+		// 1 <= t.
+		if c.proveRelDirect(token.LEQ, constTerm(1), ct, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// obligation reports an unprovable site unless a justified waiver covers
+// it: //arvi:panicfree on the line, or on the function's doc comment.
+func (c *checker) obligation(pos token.Pos, what string) {
+	if d, ok := c.pass.World.LineDirective(pos, "panicfree"); ok {
+		// A one-line function body sits right under its doc comment, so
+		// the function-level waiver is also found as the line directive;
+		// record the use so it is not reported stale.
+		if c.waiver != nil && d.Pos == c.waiver.Pos {
+			c.waiverUsed = true
+		}
+		if d.Arg == "" {
+			c.pass.Reportf(pos, "//arvi:panicfree needs a justification")
+		}
+		return
+	}
+	if c.waiver != nil {
+		c.waiverUsed = true
+		return
+	}
+	c.pass.Reportf(pos, "%s in //arvi:hotpath %s; guard it or justify with //arvi:panicfree <why>", what, c.fn.Name())
+}
+
+// ---- type helpers ----
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUnsigned(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func isIndexable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// indexableExpr reports whether x[i] on this x is a bounds-checked
+// indexing (not a map access).
+func indexableExpr(info *types.Info, x ast.Expr) bool {
+	t := typeOf(info, x)
+	return t != nil && isIndexable(t)
+}
+
+// arrayLen returns the length when x is an array or pointer-to-array.
+// constAndBound recognizes `e & k` (either operand order) with k a
+// nonnegative integer constant, which bounds the result to [0, k]
+// regardless of e's sign.
+func constAndBound(info *types.Info, e ast.Expr) (int64, bool) {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.AND {
+		return 0, false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		tv, tvOK := info.Types[side]
+		if !tvOK || tv.Value == nil {
+			continue
+		}
+		if k, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && k >= 0 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func arrayLen(info *types.Info, x ast.Expr) (int64, bool) {
+	t := typeOf(info, x)
+	if t == nil {
+		return 0, false
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	if a, ok := u.(*types.Array); ok {
+		return a.Len(), true
+	}
+	return 0, false
+}
+
+// integerFits reports whether every value of src fits in dst.
+func integerFits(src, dst types.Type) bool {
+	sb, sOK := src.Underlying().(*types.Basic)
+	db, dOK := dst.Underlying().(*types.Basic)
+	if !sOK || !dOK || sb.Info()&types.IsInteger == 0 || db.Info()&types.IsInteger == 0 {
+		return false
+	}
+	w := func(k types.BasicKind) int {
+		switch k {
+		case types.Int8, types.Uint8:
+			return 8
+		case types.Int16, types.Uint16:
+			return 16
+		case types.Int32, types.Uint32:
+			return 32
+		default:
+			return 64
+		}
+	}
+	sw, dw := w(sb.Kind()), w(db.Kind())
+	su, du := sb.Info()&types.IsUnsigned != 0, db.Info()&types.IsUnsigned != 0
+	switch {
+	case su && du:
+		return dw >= sw
+	case !su && !du:
+		return dw >= sw
+	case su && !du:
+		return dw > sw // unsigned needs one extra bit of signed headroom
+	default: // signed into unsigned: negative values never fit
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package hotpanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpanic"
+)
+
+func TestHotpanic(t *testing.T) {
+	analysistest.Run(t, hotpanic.Analyzer, "h")
+}

@@ -1,0 +1,268 @@
+// Package h exercises the hotpanic analyzer: every implicit panic site
+// in an //arvi:hotpath function must be proven safe or justified.
+package h
+
+type table struct {
+	//arvi:len entries
+	valid []uint64
+	//arvi:len entries
+	chain []uint64
+	//arvi:mask entries
+	mask uint32
+	//arvi:idx entries
+	head int
+	buf  []uint64 // untagged: length facts about it are mortal
+	n    int
+}
+
+func touch(t *table) {}
+
+// coldIndex is not hot: no obligations.
+func coldIndex(xs []int, i int) int {
+	return xs[i]
+}
+
+//arvi:hotpath
+func unguarded(t *table, i int) uint64 {
+	return t.valid[i] // want `cannot prove 0 <= i < len\(t.valid\)`
+}
+
+//arvi:hotpath
+func guarded(t *table, i int) uint64 {
+	if i < 0 || i >= len(t.valid) {
+		return 0
+	}
+	return t.valid[i] // proven by the dominating guard
+}
+
+//arvi:hotpath
+func rangeDim(t *table) uint64 {
+	var s uint64
+	for i := range t.valid {
+		s += t.valid[i] // proven by the range header
+		s += t.chain[i] // proven: same //arvi:len dimension, same base
+	}
+	return s
+}
+
+//arvi:hotpath
+func forLen(t *table) uint64 {
+	var s uint64
+	for i := 0; i < len(t.valid); i++ {
+		s += t.chain[i] // proven: i >= 0 survives the back-edge join
+	}
+	return s
+}
+
+//arvi:hotpath
+func dimSurvivesCalls(t *table) uint64 {
+	var s uint64
+	for i := range t.valid {
+		touch(t)
+		s += t.chain[i] // proven: //arvi:len is a declared invariant
+	}
+	return s
+}
+
+//arvi:hotpath
+func callKillsMortalLen(t *table, i int) uint64 {
+	if i < 0 || i >= len(t.buf) {
+		return 0
+	}
+	touch(t)
+	return t.buf[i] // want `cannot prove 0 <= i < len\(t.buf\)`
+}
+
+//arvi:hotpath
+func mortalLenStraightLine(t *table, i int) uint64 {
+	if i < 0 || i >= len(t.buf) {
+		return 0
+	}
+	return t.buf[i] // proven: nothing killed the guard facts
+}
+
+//arvi:hotpath
+func masked(t *table, x uint32) uint64 {
+	return t.valid[x&t.mask] // proven: mask and table share a dimension
+}
+
+//arvi:hotpath
+func maskedAlias(t *table, x uint32) uint64 {
+	m := t.mask
+	idx := x & m
+	return t.valid[idx] // proven: provenance traces m to the mask field
+}
+
+//arvi:hotpath
+func maskedWrongTable(t, u *table, x uint32) uint64 {
+	return u.valid[x&t.mask] // want `cannot prove 0 <= x & t.mask < len\(u.valid\)`
+}
+
+// idx is declared to return an in-bounds index for the entries dim.
+//
+//arvi:mask entries
+func (t *table) idx(x uint32) uint32 { return x & t.mask }
+
+//arvi:hotpath
+func maskedMethod(t *table, x uint32) uint64 {
+	return t.valid[t.idx(x)] // proven: //arvi:mask method on the same base
+}
+
+//arvi:hotpath
+func maskedMethodLocal(t *table, x uint32) uint64 {
+	i := t.idx(x)
+	return t.chain[i] // proven: i carries 0 <= i < size(entries)
+}
+
+//arvi:hotpath
+func maskedMethodWrongBase(t, u *table, x uint32) uint64 {
+	return u.valid[t.idx(x)] // want `cannot prove 0 <= t.idx\(x\) < len\(u.valid\)`
+}
+
+// wrap is a ring decrement: the result stays a valid entries index.
+//
+//arvi:idx entries
+func (t *table) wrap(e int) int {
+	if e == 0 {
+		return len(t.valid) - 1
+	}
+	return e - 1
+}
+
+//arvi:hotpath
+func idxField(t *table) uint64 {
+	return t.valid[t.head] // proven: //arvi:idx declares 0 <= head < size(entries)
+}
+
+//arvi:hotpath
+func idxFieldLocal(t *table) uint64 {
+	e := t.head
+	return t.chain[e] // proven: provenance traces e to the idx field
+}
+
+//arvi:hotpath
+func idxMethod(t *table, e int) uint64 {
+	return t.valid[t.wrap(e)] // proven: //arvi:idx method on the same base
+}
+
+//arvi:hotpath
+func idxFieldWrongBase(t, u *table) uint64 {
+	return u.valid[t.head] // want `cannot prove 0 <= t.head < len\(u.valid\)`
+}
+
+//arvi:hotpath
+func lenAlias(t *table, i int) uint64 {
+	n := len(t.buf)
+	if i < 0 || i >= n {
+		return 0
+	}
+	return t.buf[i] // proven: n == len(t.buf) substitutes
+}
+
+//arvi:hotpath
+func arrayConst() int {
+	var a [4]int
+	return a[3] // proven: constant below the array length
+}
+
+//arvi:hotpath
+func constAndMask(a *[8]int, x, y int) int {
+	return a[(x+y)&7] // proven: AND with a constant bounds any operand
+}
+
+//arvi:hotpath
+func constAndMaskTooWide(a *[8]int, x int) int {
+	return a[x&15] // want `cannot prove 0 <= x & 15 < len\(a\)`
+}
+
+//arvi:hotpath
+func resliceEmpty(t *table) []uint64 {
+	return t.buf[:0] // proven: 0 <= len holds for every length
+}
+
+//arvi:hotpath
+func arrayGuarded(a *[8]int, i int) int {
+	if i >= 0 && i < 8 {
+		return a[i] // proven against the array length
+	}
+	return 0
+}
+
+//arvi:hotpath
+func divGuarded(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return a / b // proven: b != 0 on this path
+}
+
+//arvi:hotpath
+func divUnknown(a, b int) int {
+	return a / b // want `cannot prove divisor b is nonzero`
+}
+
+//arvi:hotpath
+func divConstAndAssign(a, b int) int {
+	a /= 8 // proven: constant divisor
+	if b > 0 {
+		a %= b // proven: positive divisor
+	}
+	return a
+}
+
+//arvi:hotpath
+func assertCommaOK(v any) int {
+	if n, ok := v.(int); ok {
+		return n
+	}
+	return 0
+}
+
+//arvi:hotpath
+func assertPanics(v any) int {
+	return v.(int) // want `single-result type assertion can panic`
+}
+
+//arvi:hotpath
+func sliceGuarded(t *table, lo, hi int) []uint64 {
+	if lo < 0 || hi > len(t.valid) || lo > hi {
+		return nil
+	}
+	return t.valid[lo:hi] // proven: 0 <= lo <= hi <= len
+}
+
+//arvi:hotpath
+func sliceBad(xs []uint64, hi int) []uint64 {
+	return xs[:hi] // want `cannot prove slice bounds of xs`
+}
+
+//arvi:hotpath
+func siteWaiver(xs []int, i int) int {
+	//arvi:panicfree i is a validated id: callers allocate it from this slice
+	return xs[i]
+}
+
+//arvi:hotpath
+func siteWaiverBare(xs []int, i int) int {
+	//arvi:panicfree
+	return xs[i] // want `//arvi:panicfree needs a justification`
+}
+
+// funcWaiver's whole body rides on one invariant argument.
+//
+//arvi:hotpath
+//arvi:panicfree the dispatcher validates every index before entry
+func funcWaiver(xs []int, i, j int) int {
+	return xs[i] + xs[j]
+}
+
+// staleWaiver no longer has an unprovable site; the waiver must go.
+//
+//arvi:hotpath
+//arvi:panicfree nothing here can panic
+func staleWaiver(xs []int) int { // want `stale //arvi:panicfree`
+	for i := range xs {
+		_ = xs[i]
+	}
+	return 0
+}

@@ -1,0 +1,360 @@
+// Package nilness implements the arvivet analyzer that reports definite
+// nil dereferences and nil-map writes, the flow-sensitive check the
+// static-contracts tier documented as out of scope until the CFG layer
+// existed.
+//
+// The analyzer runs a forward dataflow over each function's control-flow
+// graph. The fact is, per tracked local, one of three states: definitely
+// nil, definitely non-nil, or unknown (absent). Only definite errors are
+// reported — a value the analysis cannot prove nil never produces a
+// diagnostic, so the pass is quiet by construction and every report is a
+// real crash on the path that reaches it:
+//
+//   - dereferencing a pointer proven nil (*p, p.f, or a method call on p);
+//   - calling a method on an interface proven nil;
+//   - calling a function value proven nil;
+//   - writing to (or updating an element of) a map proven nil.
+//
+// Facts come from zero-value declarations (var p *T starts nil), literal
+// assignments (&x, new, make, composite literals and function literals
+// are non-nil; a nil conversion is nil), and branch refinement: on the
+// true edge of p == nil the fact p-is-nil holds, on the false edge
+// p-is-non-nil, and symmetrically for !=. The join is agreement — a state
+// survives a merge only if every incoming path proved it.
+//
+// Locals whose address is taken, or that a nested function literal
+// writes, are never tracked. A site the analyzer gets wrong (say, a
+// helper that always panics before the deref) can be waived with
+// //arvi:nonnil <why> on the line; a bare waiver is rejected.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the nilness pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "no definite nil dereference or nil-map write may survive on any path",
+	Run:  run,
+}
+
+type state uint8
+
+const (
+	isNil state = iota + 1
+	nonNil
+)
+
+// fact maps each tracked local to its proven state; absent = unknown.
+type fact map[types.Object]state
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, info: info, excluded: analysis.AddressTaken(info, fd.Body)}
+			for _, g := range analysis.FuncGraphs(fd.Name.Name, fd.Body) {
+				c.checkGraph(g)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	excluded map[types.Object]bool
+}
+
+func (c *checker) checkGraph(g *cfg.Graph) {
+	r := dataflow.Solve(g, dataflow.Spec[fact]{
+		Forward:  true,
+		Boundary: func() fact { return fact{} },
+		Transfer: c.transfer,
+		Branch:   c.branch,
+		Join: func(dst, src fact) fact {
+			for obj, s := range dst {
+				if src[obj] != s {
+					delete(dst, obj)
+				}
+			}
+			return dst
+		},
+		Clone: func(f fact) fact {
+			out := make(fact, len(f))
+			for k, v := range f {
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	for _, blk := range g.Blocks {
+		if blk == g.Exit || !r.Reached[blk.Index] {
+			continue // unreached code cannot crash; exit nodes are defer copies
+		}
+		f := fact{}
+		for k, v := range r.In[blk.Index] {
+			f[k] = v
+		}
+		for _, n := range blk.Nodes {
+			c.checkNode(n, f)
+			f = c.transfer(n, f)
+		}
+	}
+}
+
+// transfer applies one node's assignments to the fact.
+func (c *checker) transfer(n ast.Node, f fact) fact {
+	set := func(id *ast.Ident, rhs ast.Expr) {
+		obj := c.info.Defs[id]
+		if obj == nil {
+			obj = c.info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" || c.excluded[obj] || !nilable(obj.Type()) {
+			return
+		}
+		if rhs != nil {
+			if s := c.eval(rhs, f); s != 0 {
+				f[obj] = s
+				return
+			}
+		}
+		delete(f, obj)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					set(id, n.Rhs[i])
+				}
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					set(id, nil)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return f
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				switch {
+				case len(vs.Values) == 0:
+					// Zero value: nil for every nilable type.
+					obj := c.info.Defs[name]
+					if obj != nil && name.Name != "_" && !c.excluded[obj] && nilable(obj.Type()) {
+						f[obj] = isNil
+					}
+				case len(vs.Values) == len(vs.Names):
+					set(name, vs.Values[i])
+				default:
+					set(name, nil)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, x := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
+				set(id, nil)
+			}
+		}
+	}
+	return f
+}
+
+// eval computes the state an expression's value is proven to have.
+func (c *checker) eval(e ast.Expr, f fact) state {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok && tv.IsNil() {
+		return isNil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := c.info.Uses[e]; obj != nil {
+			return f[obj]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonNil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nonNil
+	case *ast.CallExpr:
+		if tv, ok := c.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.eval(e.Args[0], f) // conversion preserves nilness
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			switch c.info.Uses[id] {
+			case types.Universe.Lookup("new"), types.Universe.Lookup("make"):
+				return nonNil
+			}
+		}
+	}
+	return 0
+}
+
+// branch refines the fact along the edges of a nil-comparison condition.
+func (c *checker) branch(b *cfg.Block, f fact, succ int) fact {
+	cmp, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return f
+	}
+	literallyNil := func(e ast.Expr) bool {
+		tv, ok := c.info.Types[ast.Unparen(e)]
+		return ok && tv.IsNil()
+	}
+	var target ast.Expr
+	switch {
+	case literallyNil(cmp.Y):
+		target = cmp.X
+	case literallyNil(cmp.X):
+		target = cmp.Y
+	default:
+		return f
+	}
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return f
+	}
+	obj := c.info.Uses[id]
+	if obj == nil || c.excluded[obj] || !nilable(obj.Type()) {
+		return f
+	}
+	onNilEdge := (cmp.Op == token.EQL) == (succ == 0)
+	if onNilEdge {
+		f[obj] = isNil
+	} else {
+		f[obj] = nonNil
+	}
+	return f
+}
+
+// checkNode reports the definite-crash sites reachable with fact f.
+func (c *checker) checkNode(n ast.Node, f fact) {
+	// Map writes appear as assignment targets and element updates.
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				c.checkMapWrite(ix, f)
+			}
+		}
+	case *ast.IncDecStmt:
+		if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+			c.checkMapWrite(ix, f)
+		}
+	}
+	analysis.InspectNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.StarExpr:
+			if tv, ok := c.info.Types[m.X]; ok && tv.IsValue() {
+				if c.provenNil(m.X, f) {
+					c.report(m.Pos(), "dereference of nil pointer %s", exprName(m.X))
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := c.info.Selections[m]; ok && c.provenNil(m.X, f) {
+				switch sel.Recv().Underlying().(type) {
+				case *types.Pointer:
+					c.report(m.X.Pos(), "field or method access through nil pointer %s", exprName(m.X))
+				case *types.Interface:
+					c.report(m.X.Pos(), "method call on nil interface %s", exprName(m.X))
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if obj, ok := c.info.Uses[id].(*types.Var); ok && f[obj] == isNil {
+					if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+						c.report(m.Pos(), "call of nil function %s", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkMapWrite(ix *ast.IndexExpr, f fact) {
+	tv, ok := c.info.Types[ix.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if c.provenNil(ix.X, f) {
+		c.report(ix.Pos(), "write to nil map %s", exprName(ix.X))
+	}
+}
+
+// provenNil reports whether e is an identifier the fact proves nil.
+func (c *checker) provenNil(e ast.Expr, f fact) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.info.Uses[id]
+	return obj != nil && f[obj] == isNil
+}
+
+// report emits unless the line carries a justified //arvi:nonnil waiver.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if d, ok := c.pass.World.LineDirective(pos, "nonnil"); ok {
+		if d.Arg == "" {
+			c.pass.Reportf(pos, "//arvi:nonnil needs a justification")
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// nilable reports whether t can hold nil and is a kind the analyzer
+// tracks: pointer, map, interface, or function value. Slices and
+// channels are excluded — indexing a nil slice of length zero and
+// blocking on a nil channel are not the crash class this pass hunts.
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func exprName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "value"
+}

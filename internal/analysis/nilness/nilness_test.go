@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "n")
+}

@@ -1,0 +1,112 @@
+// Package n exercises the nilness analyzer: only definite nil
+// dereferences and nil-map writes report; anything unknown stays quiet.
+package n
+
+type box struct{ v int }
+
+type speaker interface{ speak() }
+
+func zeroValues() {
+	var p *box
+	_ = p.v // want `field or method access through nil pointer p`
+	var m map[string]int
+	m["k"] = 1 // want `write to nil map m`
+	var i speaker
+	i.speak() // want `method call on nil interface i`
+	var f func()
+	f() // want `call of nil function f`
+}
+
+func derefStar() int {
+	var p *int
+	return *p // want `dereference of nil pointer p`
+}
+
+func guarded(p *box) int {
+	if p == nil {
+		return 0
+	}
+	return p.v // non-nil on this path: proven by the guard
+}
+
+func guardedWrong(p *box) int {
+	if p != nil {
+		return 0
+	}
+	return p.v // want `field or method access through nil pointer p`
+}
+
+func reassigned() int {
+	var p *box
+	p = &box{v: 1}
+	return p.v // non-nil: literal address
+}
+
+func mergeLosesProof(cond bool) int {
+	var p *box
+	if cond {
+		p = &box{}
+	}
+	// p is nil on one path, non-nil on the other: unknown, no report.
+	return p.v
+}
+
+func mergeKeepsNil(cond bool) int {
+	var p *box
+	if cond {
+		p = nil
+	}
+	return p.v // want `field or method access through nil pointer p`
+}
+
+func loopRefinement(ps []*box) int {
+	total := 0
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		total += p.v // the continue guard proves non-nil here
+	}
+	return total
+}
+
+func mapOps() {
+	m := make(map[string]int)
+	m["k"] = 1 // non-nil: make
+	var dead map[string]int
+	_ = dead["k"] // reads of a nil map are legal
+	dead["k"]++   // want `write to nil map dead`
+}
+
+func conversions() {
+	p := (*box)(nil)
+	_ = p.v // want `field or method access through nil pointer p`
+}
+
+func waived() int {
+	var p *box
+	//arvi:nonnil exercised to prove the waiver path, never executed
+	return p.v
+	// A bare waiver is rejected:
+}
+
+func waivedBare() int {
+	var p *box
+	//arvi:nonnil
+	return p.v // want `//arvi:nonnil needs a justification`
+}
+
+func addressTaken() int {
+	var p *box
+	fill(&p)
+	return p.v // p escapes: not tracked, no report
+}
+
+func fill(pp **box) { *pp = &box{} }
+
+func closureWrites() int {
+	var p *box
+	set := func() { p = &box{} }
+	set()
+	return p.v // written by the closure: not tracked, no report
+}
