@@ -167,8 +167,9 @@ func (p *Predictor) Lookup(k Key) (pred, hit bool) {
 //arvi:hotpath
 func (p *Predictor) LookupEx(k Key) (pred, hit bool, perf uint8, strong bool) {
 	p.stats.Lookups++
-	for i := range p.set(k) {
-		e := &p.set(k)[i]
+	s := p.set(k)
+	for i := range s {
+		e := &s[i]
 		if e.valid && e.idTag == k.IDTag && e.depthTag == k.DepthTag {
 			p.stats.Hits++
 			return e.ctr >= 2, true, e.perf, e.ctr == 0 || e.ctr == 3
