@@ -142,6 +142,7 @@ func (p *Predictor) MakeKey(pc uint64, leaves []LeafValue, depth int) Key {
 }
 
 //arvi:hotpath
+//arvi:panicfree k.Set is masked by setMask (< cfg.Sets) and len(p.sets) == cfg.Sets*cfg.Ways, so the window fits
 func (p *Predictor) set(k Key) []entry {
 	base := int(k.Set) * p.cfg.Ways
 	return p.sets[base : base+p.cfg.Ways]
@@ -184,6 +185,7 @@ func (p *Predictor) LookupEx(k Key) (pred, hit bool, perf uint8, strong bool) {
 // performance counters.
 //
 //arvi:hotpath
+//arvi:panicfree victim is 0 or a previously verified loop index, both below len(s); proving it needs induction
 func (p *Predictor) Update(k Key, taken, usedForPrediction bool) {
 	s := p.set(k)
 	for i := range s {

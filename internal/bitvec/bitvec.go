@@ -36,16 +36,19 @@ func New(n int) Vec { return make(Vec, WordsFor(n)) }
 // Set sets bit i.
 //
 //arvi:hotpath
+//arvi:panicfree the bit-length contract (package comment) gives 0 <= i < 64*len(v), so i>>6 is in range
 func (v Vec) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
 
 // Clear clears bit i.
 //
 //arvi:hotpath
+//arvi:panicfree the bit-length contract (package comment) gives 0 <= i < 64*len(v), so i>>6 is in range
 func (v Vec) Clear(i int) { v[i>>6] &^= 1 << (uint(i) & 63) }
 
 // Get reports whether bit i is set.
 //
 //arvi:hotpath
+//arvi:panicfree the bit-length contract (package comment) gives 0 <= i < 64*len(v), so i>>6 is in range
 func (v Vec) Get(i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Reset zeroes the vector.
@@ -157,6 +160,7 @@ func (v Vec) OrAndInto(a, b, m Vec) {
 // Words of a outside sum must be zero — the caller's summary invariant.
 //
 //arvi:hotpath
+//arvi:panicfree the summary invariant flags only word indices below len(v), and s iterates a subset of sum's bits
 func (v Vec) OrSparse(a Vec, sum uint64) uint64 {
 	assertSameLen(v, a)
 	var nz uint64
@@ -187,6 +191,7 @@ func (v Vec) OrSparse(a Vec, sum uint64) uint64 {
 // are nonzero after the pass. Words of a outside sum must be zero.
 //
 //arvi:hotpath
+//arvi:panicfree the summary invariant flags only word indices below len(v), and s iterates a subset of sum's bits
 func (v Vec) OrAndSparse(a, m Vec, sum uint64) uint64 {
 	assertSameLen(v, a)
 	assertSameLen(v, m)
@@ -217,6 +222,7 @@ func (v Vec) OrAndSparse(a, m Vec, sum uint64) uint64 {
 // clear plus summary-guided ORs only).
 //
 //arvi:hotpath
+//arvi:panicfree the summary invariant flags only word indices below len(v), and s iterates a subset of sum's bits
 func (v Vec) AndSparse(a Vec, sum uint64) uint64 {
 	assertSameLen(v, a)
 	for s := sum; s != 0; s &= s - 1 {
@@ -246,6 +252,7 @@ func (v Vec) OrOfAndNot(a, b, m Vec) {
 // SetRange sets bits [lo, hi). An empty range is a no-op.
 //
 //arvi:hotpath
+//arvi:panicfree callers pass bit positions inside the vector: 0 <= lo < hi <= 64*len(v) bounds loW and hiW
 func (v Vec) SetRange(lo, hi int) {
 	if lo >= hi {
 		return
@@ -267,6 +274,7 @@ func (v Vec) SetRange(lo, hi int) {
 // ClearRange clears bits [lo, hi). An empty range is a no-op.
 //
 //arvi:hotpath
+//arvi:panicfree callers pass bit positions inside the vector: 0 <= lo < hi <= 64*len(v) bounds loW and hiW
 func (v Vec) ClearRange(lo, hi int) {
 	if lo >= hi {
 		return

@@ -56,9 +56,11 @@ type Predictor interface {
 
 // Bimodal is a PC-indexed table of 2-bit counters.
 type Bimodal struct {
+	//arvi:len bim
 	table []Counter2
-	mask  uint64
-	name  string
+	//arvi:mask bim
+	mask uint64
+	name string
 }
 
 // NewBimodal builds a bimodal predictor with the given number of entries
@@ -97,7 +99,9 @@ func (b *Bimodal) Name() string { return b.name }
 
 // GShare xors global history into the table index.
 type GShare struct {
-	table    []Counter2
+	//arvi:len gs
+	table []Counter2
+	//arvi:mask gs
 	mask     uint64
 	histBits uint
 	name     string
@@ -120,6 +124,7 @@ func NewGShare(entries int, histBits uint) (*GShare, error) {
 }
 
 //arvi:hotpath
+//arvi:mask gs
 func (g *GShare) index(pc, hist uint64) uint64 {
 	h := hist & ((1 << g.histBits) - 1)
 	return (pc ^ h) & g.mask
@@ -154,10 +159,12 @@ func (g *GShare) Name() string { return g.name }
 // prediction", 1 KB each for the L1 (4 KB total) and 8 KB each for the L2
 // baseline (32 KB total).
 type Gskew2Bc struct {
+	//arvi:len bank
 	bim, g0, g1, meta []Counter2
-	mask              uint64
-	h0, h1            uint // history lengths for the skewed banks
-	name              string
+	//arvi:mask bank
+	mask   uint64
+	h0, h1 uint // history lengths for the skewed banks
+	name   string
 }
 
 // NewGskew2Bc builds a 2Bc-gskew hybrid with the given per-bank entry count
@@ -202,21 +209,25 @@ func skew(x uint64, bank uint64) uint64 {
 }
 
 //arvi:hotpath
+//arvi:mask bank
 func (p *Gskew2Bc) idxBim(pc uint64) uint64 { return pc & p.mask }
 
 //arvi:hotpath
+//arvi:mask bank
 func (p *Gskew2Bc) idxG0(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h0) - 1)
 	return skew(pc^(h<<1), 1) & p.mask
 }
 
 //arvi:hotpath
+//arvi:mask bank
 func (p *Gskew2Bc) idxG1(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h1) - 1)
 	return skew(pc^(h<<1), 2) & p.mask
 }
 
 //arvi:hotpath
+//arvi:mask bank
 func (p *Gskew2Bc) idxMeta(pc, hist uint64) uint64 {
 	h := hist & ((1 << p.h0) - 1)
 	return skew(pc^(h<<1), 3) & p.mask
@@ -321,7 +332,9 @@ func (p *Gskew2Bc) Reset() {
 // increments the counter; a misprediction resets it. A branch is
 // high-confidence when its counter is at or above the threshold.
 type Confidence struct {
-	table     []uint8
+	//arvi:len conf
+	table []uint8
+	//arvi:mask conf
 	mask      uint64
 	max       uint8
 	Threshold uint8
@@ -351,6 +364,7 @@ func NewConfidence(entries int, threshold uint8) (*Confidence, error) {
 }
 
 //arvi:hotpath
+//arvi:mask conf
 func (c *Confidence) index(pc, hist uint64) uint64 { return (pc ^ hist) & c.mask }
 
 // High reports whether the branch is currently high-confidence.

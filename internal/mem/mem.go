@@ -18,9 +18,12 @@ type Cache struct {
 	sets     int
 	lineBits uint
 	setMask  uint64
-	tags     []uint64 // sets × ways
-	lru      []uint8  // sets × ways, 0 = MRU
-	valid    []bool
+	//arvi:len setways
+	tags []uint64 // sets × ways
+	//arvi:len setways
+	lru []uint8 // sets × ways, 0 = MRU
+	//arvi:len setways
+	valid []bool
 
 	Hits, Misses int64
 }
@@ -66,6 +69,7 @@ func MustNewCache(name string, sizeB, ways, lineB, hitLat int) *Cache {
 // It returns true on a hit.
 //
 //arvi:hotpath
+//arvi:panicfree set is masked below c.sets and w, victim below c.Ways, so base+w < c.sets*c.Ways == len(tags|lru|valid)
 func (c *Cache) Access(addr uint64) bool {
 	set := int((addr >> c.lineBits) & c.setMask)
 	tag := addr >> c.lineBits
@@ -98,6 +102,7 @@ func (c *Cache) Access(addr uint64) bool {
 }
 
 //arvi:hotpath
+//arvi:panicfree callers pass base = set*c.Ways with set < c.sets and way < c.Ways, so base+w stays below len(lru)
 func (c *Cache) touch(base, way int) {
 	old := c.lru[base+way]
 	for w := 0; w < c.Ways; w++ {
@@ -112,6 +117,7 @@ func (c *Cache) touch(base, way int) {
 // statistics. It is used by the front end's next-line prefetcher.
 //
 //arvi:hotpath
+//arvi:panicfree set is masked below c.sets and w, victim below c.Ways, so base+w < c.sets*c.Ways == len(tags|lru|valid)
 func (c *Cache) Install(addr uint64) {
 	set := int((addr >> c.lineBits) & c.setMask)
 	tag := addr >> c.lineBits

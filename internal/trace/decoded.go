@@ -150,6 +150,7 @@ func (d *Decoded) Cursor() *Cursor { return &Cursor{d: d} }
 // trace. It implements cpu.EventSource.
 //
 //arvi:hotpath
+//arvi:panicfree c.i starts at 0 and only increments, and record pcs were validated against len(prog.Text) at decode time
 func (c *Cursor) Next(ev *vm.Event) error {
 	if c.i >= int64(len(c.d.recs)) {
 		return io.EOF
