@@ -119,6 +119,7 @@ type DDT struct {
 	// Lazy column invalidation (see the package comment).
 	seq      int64   // monotone allocation counter; 0 = nothing inserted
 	rowStamp []int64 // per register: seq when its row was last written
+	//arvi:len entries
 	allocSeq []int64 // per entry: seq when its current occupant arrived
 
 	// rowSum[r] bit w is set when word w of register r's row may be
@@ -133,8 +134,10 @@ type DDT struct {
 	// hardware stores the same information as 2-bit cells per (register,
 	// entry); the representation change is exact.
 	markSrcs []PhysReg // Entries × maxEntryMarks
-	markLen  []uint8   // per entry: live prefix of its markSrcs block
-	markTgt  []PhysReg // per entry
+	//arvi:len entries
+	markLen []uint8 // per entry: live prefix of its markSrcs block
+	//arvi:len entries
+	markTgt []PhysReg // per entry
 
 	// Incremental RSE aggregates over lastChain, the chain most recently
 	// passed to ExtractSet: srcCnt[r]/tgtCnt[r] count the lastChain entries
@@ -148,11 +151,19 @@ type DDT struct {
 	//arvi:len entries
 	lastChain bitvec.Vec
 
+	//arvi:len entries
 	owner []PhysReg // entry -> target register (NoPReg if none)
 	//arvi:len entries
 	isLoad bitvec.Vec
 
-	head, tail, count int
+	// head is the entry the next Insert will use; tail is the oldest
+	// in-flight entry. Both are maintained in [0, Entries) by the ring
+	// arithmetic of next/prev — count alone may reach Entries.
+	//arvi:idx entries
+	head int
+	//arvi:idx entries
+	tail  int
+	count int
 
 	depCount []int32 // optional Section 3 extension
 
@@ -274,15 +285,18 @@ func (d *DDT) Tail() int { return d.tail }
 //
 //arvi:hotpath
 //arvi:len entries
+//arvi:panicfree r is a live physical register below cfg.PhysRegs (rename contract) and rows holds PhysRegs*words words, so the window fits
 func (d *DDT) row(r PhysReg) bitvec.Vec {
 	off := int(r) * d.words
 	return bitvec.Vec(d.rows[off : off+d.words])
 }
 
 // entryAt returns the entry index of the live instruction with the given
-// age (1 = most recently inserted).
+// age (1 = most recently inserted). Callers pass 1 <= age <= count, so the
+// single wrap lands the result back in [0, Entries).
 //
 //arvi:hotpath
+//arvi:idx entries
 func (d *DDT) entryAt(age int) int {
 	e := d.head - age
 	if e < 0 {
@@ -328,6 +342,7 @@ func (d *DDT) staleWidth(stamp int64) int {
 // flags are touched, so wide mostly-empty rows cost their live words.
 //
 //arvi:hotpath
+//arvi:panicfree srcs hold live physical registers below cfg.PhysRegs (rename contract), which sizes rowStamp and rowSum
 func (d *DDT) gatherChain(dst bitvec.Vec, srcs []PhysReg) uint64 {
 	dst.Reset()
 	var sum uint64
@@ -393,6 +408,7 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 	// store none (chain terminators, Figure 3's '*' cells).
 	n := 0
 	if !isLoad {
+		//arvi:panicfree e < Entries and markSrcs is Entries*maxEntryMarks long, so entry e's window fits
 		ms := d.markSrcs[e*maxEntryMarks : e*maxEntryMarks+maxEntryMarks]
 		for _, s := range srcs {
 			if s == NoPReg {
@@ -400,12 +416,14 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 			}
 			dup := false
 			for i := 0; i < n; i++ {
+				//arvi:panicfree n counts writes into ms, so i < n stays below the window length
 				if ms[i] == s {
 					dup = true
 					break
 				}
 			}
 			if !dup {
+				//arvi:panicfree the tooManyDistinct guard bounds the distinct-source count, so n < maxEntryMarks == len(ms) here
 				ms[n] = s
 				n++
 			}
@@ -427,11 +445,14 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 			sum = d.gatherChain(row, srcs)
 		}
 		row.Set(e)
+		//arvi:panicfree tgt is a live physical register below cfg.PhysRegs (rename contract), which sizes rowSum
 		d.rowSum[tgt] = sum | 1<<uint(e>>6)
+		//arvi:panicfree same rename contract: tgt < cfg.PhysRegs == len(rowStamp)
 		d.rowStamp[tgt] = d.seq
 	}
 
 	if d.depCount != nil {
+		//arvi:panicfree depCount is Entries-long whenever construction allocated it
 		d.depCount[e] = 0
 		if tgt != NoPReg && !(isLoad && d.cfg.CutAtLoads) {
 			// Every chain entry gains one more trailing dependent.
@@ -439,6 +460,7 @@ func (d *DDT) Insert(tgt PhysReg, srcs []PhysReg, isLoad bool) (int, error) {
 			for wi, w := range d.chainBuf {
 				base := wi << 6
 				for w != 0 {
+					//arvi:panicfree chainBuf is Entries bits wide, so every set bit position is below Entries == len(depCount)
 					d.depCount[base+bits.TrailingZeros64(w)]++
 					w &= w - 1
 				}
@@ -489,6 +511,7 @@ func tooManyDistinct(srcs []PhysReg) bool {
 // adoptEntry counted — Insert therefore evicts a slot before rewriting it.
 //
 //arvi:hotpath
+//arvi:panicfree e is a chain bit index below Entries (chains are Entries bits wide), so its mark window fits, and marks hold registers below cfg.PhysRegs
 func (d *DDT) retractEntry(e int) {
 	off := e * maxEntryMarks
 	for i := 0; i < int(d.markLen[e]); i++ {
@@ -510,6 +533,7 @@ func (d *DDT) retractEntry(e int) {
 // sets its lastChain bit.
 //
 //arvi:hotpath
+//arvi:panicfree e is a chain bit index below Entries (chains are Entries bits wide), so its mark window fits, and marks hold registers below cfg.PhysRegs
 func (d *DDT) adoptEntry(e int) {
 	off := e * maxEntryMarks
 	for i := 0; i < int(d.markLen[e]); i++ {
@@ -528,6 +552,7 @@ func (d *DDT) adoptEntry(e int) {
 }
 
 //arvi:hotpath
+//arvi:idx entries
 func (d *DDT) next(e int) int {
 	e++
 	if e == d.cfg.Entries {
@@ -537,6 +562,7 @@ func (d *DDT) next(e int) int {
 }
 
 //arvi:hotpath
+//arvi:idx entries
 func (d *DDT) prev(e int) int {
 	if e == 0 {
 		return d.cfg.Entries - 1
@@ -579,6 +605,7 @@ func (d *DDT) Commit() (int, error) {
 	d.valid.Clear(e)
 	d.owner[e] = NoPReg
 	if d.depCount != nil {
+		//arvi:panicfree depCount is Entries-long whenever construction allocated it, and e = d.tail is a ring index
 		d.depCount[e] = 0
 	}
 	d.tail = d.next(e)
@@ -601,6 +628,7 @@ func (d *DDT) Rollback(n int) error {
 		d.valid.Clear(d.head)
 		d.owner[d.head] = NoPReg
 		if d.depCount != nil {
+			//arvi:panicfree depCount is Entries-long whenever construction allocated it, and d.head is a ring index
 			d.depCount[d.head] = 0
 		}
 	}
@@ -617,6 +645,7 @@ func (d *DDT) InFlight(e int) bool { return d.valid.Get(e) }
 // (NoPReg if the entry is free or targetless).
 //
 //arvi:hotpath
+//arvi:panicfree e is an entry index the caller got from Head, Tail, Commit or a chain bit, all below Entries by the ring invariant
 func (d *DDT) Owner(e int) PhysReg { return d.owner[e] }
 
 // EntryIsLoad reports whether the live entry e holds a load.
@@ -629,6 +658,7 @@ func (d *DDT) EntryIsLoad(e int) bool { return d.valid.Get(e) && d.isLoad.Get(e)
 // must have been configured with TrackDepCounts.
 //
 //arvi:hotpath
+//arvi:panicfree e is an entry index below Entries by the ring invariant, and depCount is Entries-long once the nil guard passes
 func (d *DDT) DepCount(e int) int {
 	if d.depCount == nil {
 		//arvi:cold misconfiguration trap, unreachable once construction succeeds
@@ -688,6 +718,7 @@ func (d *DDT) Depth(chain bitvec.Vec) int {
 // scratch and is valid until the next DDT mutation or extraction.
 //
 //arvi:hotpath
+//arvi:panicfree chain and d.lastChain are both Config().Entries-bit vectors (documented contract), so chain's word indexes fit last, and extraSrcs hold registers below cfg.PhysRegs
 func (d *DDT) ExtractSet(chain bitvec.Vec, extraSrcs []PhysReg) bitvec.Vec {
 	last := d.lastChain
 	for wi, cw := range chain {
