@@ -42,10 +42,13 @@ func (s *slotLimiter) take(c int64) int64 {
 // issueLimiter enforces a per-cycle issue width for non-monotonic issue
 // cycles using a stamped ring of counters.
 type issueLimiter struct {
+	//arvi:len ilring
 	counts []uint8
+	//arvi:len ilring
 	stamps []int64
 	width  uint8
-	mask   int64
+	//arvi:mask ilring
+	mask int64
 }
 
 func newIssueLimiter(width int) *issueLimiter {
@@ -94,6 +97,7 @@ type funcUnits struct {
 // and returns the cycle.
 //
 //arvi:hotpath
+//arvi:panicfree cfg.validate demands at least one unit per class, so nextFree is nonempty and best stays a scanned index below its length
 func (f *funcUnits) issue(ready int64, busy int) int64 {
 	best := 0
 	for i := 1; i < len(f.nextFree); i++ {
@@ -153,10 +157,15 @@ type Engine struct {
 	// the previous occupant of a physical register, so the allocation
 	// order is part of the simulated semantics.
 	mapTable [isa.NumRegs]core.PhysReg
+	//arvi:len pregs
 	freeRing []core.PhysReg
+	// freeHead stays in [0, physRegs) by the ring arithmetic of
+	// freePop/freePushFront; freeLen may reach physRegs.
+	//arvi:idx pregs
 	freeHead int
 	freeLen  int
-	meta     []pregMeta
+	//arvi:len pregs
+	meta []pregMeta
 
 	// Per-seq rings.
 	commitRing  []int64        // commit cycle by seq
@@ -258,6 +267,7 @@ func (e *Engine) freePop() core.PhysReg {
 // freePush returns a register to the back of the free list.
 //
 //arvi:hotpath
+//arvi:panicfree freeHead < len(freeRing) and freeLen <= len(freeRing), so one wrap subtraction lands the write index in range
 func (e *Engine) freePush(p core.PhysReg) {
 	i := e.freeHead + e.freeLen
 	if i >= len(e.freeRing) {
@@ -352,10 +362,12 @@ func (e *Engine) resetArchState() {
 	}
 	clear(e.meta)
 	for l := 0; l < isa.NumRegs; l++ {
+		//arvi:panicfree meta holds physRegs = isa.NumRegs+ROB+8 entries, so the first NumRegs always exist
 		e.meta[l].logical = uint8(l)
 	}
 	e.freeHead, e.freeLen = 0, 0
 	for p := isa.NumRegs; p < len(e.meta); p++ {
+		//arvi:panicfree freeLen == p - isa.NumRegs here, below len(meta) == len(freeRing)
 		e.freeRing[e.freeLen] = core.PhysReg(p)
 		e.freeLen++
 	}
@@ -480,6 +492,7 @@ func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 // performs.
 //
 //arvi:hotpath
+//arvi:panicfree e.frontier counts retired events (nonnegative) and the per-seq rings hold ROB+1 entries, so the modulo-reduced idx is in range; destRing values other than 0xff are logical registers below isa.NumRegs
 func (e *Engine) advanceFrontier(seq, now int64) {
 	for e.frontier < seq {
 		idx := e.frontier % int64(len(e.commitRing))
@@ -503,6 +516,7 @@ func (e *Engine) advanceFrontier(seq, now int64) {
 // process replays one trace event through the timing model.
 //
 //arvi:hotpath
+//arvi:panicfree seq and memSeq are nonnegative event ordinals and the per-seq rings hold ROB+1/LSQ+1 entries, so modulo-reduced indexes are in range; decoded registers (SrcRegs, in.Rd) are below isa.NumRegs, and renamed physical registers are below physRegs == len(meta)
 func (e *Engine) process(ev *vm.Event) {
 	in := ev.Inst
 	seq := ev.Seq
@@ -747,6 +761,7 @@ func (e *Engine) predictBranch(ev *vm.Event, fetchC int64) {
 		e.srcRegBuf = in.SrcRegs(e.srcRegBuf[:0])
 		e.srcPregs = e.srcPregs[:0]
 		for _, r := range e.srcRegBuf {
+			//arvi:panicfree decoded source registers are below isa.NumRegs == len(mapTable)
 			e.srcPregs = append(e.srcPregs, e.mapTable[r])
 		}
 		_, set, depth := e.ddt.LeafSet(e.srcPregs)
@@ -872,6 +887,7 @@ func (e *Engine) resolveControl(ev *vm.Event, fetchC, doneC int64) {
 // reference) and would heap-allocate on every predicted branch.
 //
 //arvi:hotpath
+//arvi:panicfree set is a physRegs-bit vector (DDT contract), so its bit positions index meta, and pregMeta.logical always holds a logical register below isa.NumRegs == len(archVal)
 func (e *Engine) resolveLeaves(set bitvec.Vec, fetchC int64) ([]arvi.LeafValue, BranchClass) {
 	e.leafBuf = e.leafBuf[:0]
 	class := ClassCalculated

@@ -28,6 +28,7 @@ type wpUndo struct {
 // recovery machinery under the full pipeline.
 //
 //arvi:hotpath
+//arvi:panicfree decoded registers (SrcRegs, win.Rd, the recorded u.rd) are below isa.NumRegs == len(mapTable); freePop results and saved u.newP are below physRegs == len(meta); the recovery index starts at len(wpUndo)-1 and only decrements
 func (e *Engine) injectWrongPath(ev *vm.Event) {
 	in := ev.Inst
 	// The wrong path is the direction fetch actually followed: the target
