@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/hotpanic"
 )
 
 // hotcoverExempt lists module functions a benchkit timed region may call
@@ -38,6 +39,71 @@ func TestBenchmarkBodiesAreHotpath(t *testing.T) {
 		t.Fatal("benchkit package not loaded")
 	}
 
+	found := forEachTimedCall(t, world, func(fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func) {
+		if world.Hotpath[fn] {
+			return
+		}
+		if _, ok := hotcoverExempt[fn.FullName()]; ok {
+			return
+		}
+		pos := world.Fset.Position(call.Pos())
+		t.Errorf("%s: timed region of %s calls %s, which is not //arvi:hotpath (annotate it, or add a justified hotcoverExempt entry)",
+			pos, fd.Name.Name, fn.FullName())
+	})
+	if !found {
+		t.Fatal("found no timed benchmark bodies; did benchkit change shape?")
+	}
+}
+
+// TestTimedCalleesAreHotpanicClean asserts that every module function a
+// benchkit timed region calls survives the hotpanic prover with zero
+// undischarged obligations — the code the trajectory measures cannot hide
+// an unproven implicit panic site behind the benchmark numbers. Functions
+// in hotcoverExempt are outside the hot-path contract and therefore
+// outside this proof too; that is part of what an exemption costs.
+func TestTimedCalleesAreHotpanicClean(t *testing.T) {
+	world, err := analysis.Load("../..", "./internal/benchkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	callees := make(map[*types.Func]bool)
+	forEachTimedCall(t, world, func(_ *ast.FuncDecl, _ *ast.CallExpr, fn *types.Func) {
+		callees[fn] = true
+	})
+	diags, err := analysis.Run(world, []*analysis.Analyzer{hotpanic.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		for fn := range callees {
+			decl, ok := world.Decls[fn]
+			if !ok {
+				continue
+			}
+			start := world.Fset.Position(decl.Decl.Pos())
+			end := world.Fset.Position(decl.Decl.End())
+			if d.Pos.Filename == start.Filename && d.Pos.Line >= start.Line && d.Pos.Line <= end.Line {
+				t.Errorf("%s: benchkit-timed %s has an undischarged panic obligation: %s",
+					d.Pos, fn.FullName(), d.Message)
+			}
+		}
+	}
+}
+
+// forEachTimedCall invokes visit for every static call to a module
+// function made from a benchkit timed region (the statements after
+// b.ResetTimer), reporting whether any timed body was found at all.
+func forEachTimedCall(t *testing.T, world *analysis.World, visit func(fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func)) bool {
+	t.Helper()
+	var benchPkg *analysis.Package
+	for _, p := range world.Pkgs {
+		if strings.HasSuffix(p.Path, "/benchkit") {
+			benchPkg = p
+		}
+	}
+	if benchPkg == nil {
+		t.Fatal("benchkit package not loaded")
+	}
 	timedBodies := 0
 	for _, file := range benchPkg.Files {
 		for _, decl := range file.Decls {
@@ -51,42 +117,26 @@ func TestBenchmarkBodiesAreHotpath(t *testing.T) {
 			}
 			timedBodies++
 			for _, stmt := range timed {
-				checkTimedStmt(t, world, benchPkg, fd, stmt)
+				ast.Inspect(stmt, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := analysis.StaticCallee(benchPkg.Info, call)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					path := fn.Pkg().Path()
+					if path != world.Module && !strings.HasPrefix(path, world.Module+"/") {
+						return true // stdlib (testing.B methods and the like)
+					}
+					visit(fd, call, fn)
+					return true
+				})
 			}
 		}
 	}
-	if timedBodies == 0 {
-		t.Fatal("found no timed benchmark bodies; did benchkit change shape?")
-	}
-}
-
-// checkTimedStmt reports every static call in stmt that targets an
-// unannotated, unexempted module function.
-func checkTimedStmt(t *testing.T, world *analysis.World, pkg *analysis.Package, fd *ast.FuncDecl, stmt ast.Stmt) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := analysis.StaticCallee(pkg.Info, call)
-		if fn == nil || fn.Pkg() == nil {
-			return true
-		}
-		path := fn.Pkg().Path()
-		if path != world.Module && !strings.HasPrefix(path, world.Module+"/") {
-			return true // stdlib (testing.B methods and the like)
-		}
-		if world.Hotpath[fn] {
-			return true
-		}
-		if _, ok := hotcoverExempt[fn.FullName()]; ok {
-			return true
-		}
-		pos := world.Fset.Position(call.Pos())
-		t.Errorf("%s: timed region of %s calls %s, which is not //arvi:hotpath (annotate it, or add a justified hotcoverExempt entry)",
-			pos, fd.Name.Name, fn.FullName())
-		return true
-	})
+	return timedBodies > 0
 }
 
 // hasBenchParam reports whether fd takes a *testing.B parameter.
