@@ -70,6 +70,9 @@ cite 'as the paper sizes it; see DESIGN\.md' \
 cite "DESIGN\\.md.s static contracts section" \
      '^## Static contracts' \
      'static contracts (arvivet annotation grammar)'
+cite "DESIGN\\.md.s flow-sensitive contracts section" \
+     '^## Flow-sensitive contracts' \
+     'flow-sensitive contracts (CFG, dataflow solver, nilness, hotpanic proof rules)'
 cite "DESIGN\\.md.s incremental RSE maintenance section" \
      '^## Incremental RSE maintenance' \
      'incremental RSE maintenance (aggregate invariant, delta rules, rollback coherence)'
@@ -79,7 +82,7 @@ cite "DESIGN\\.md.s incremental RSE maintenance section" \
 # line, so the preceding line is consulted too), so new citation styles
 # get a row in the table above instead of silently passing — even in a
 # file that already carries a recognised citation.
-known='per-experiment index|ablation A1|ablation A2|ablation discussed in DESIGN|DESIGN\.md: StalePhysical|substitution argument|documents our choice|wrong-path pollution|as the paper sizes it; see DESIGN|CutAtLoads selects the DDT chain ablation|static contracts section|incremental RSE maintenance section|DESIGN\.md references|resolve to a real section|resolves to an existing section|cited anchor|missing DESIGN\.md'
+known='per-experiment index|ablation A1|ablation A2|ablation discussed in DESIGN|DESIGN\.md: StalePhysical|substitution argument|documents our choice|wrong-path pollution|as the paper sizes it; see DESIGN|CutAtLoads selects the DDT chain ablation|static contracts section|flow-sensitive contracts section|incremental RSE maintenance section|DESIGN\.md references|resolve to a real section|resolves to an existing section|cited anchor|missing DESIGN\.md'
 grep -rlE --include='*.go' --include='*.md' 'DESIGN\.md' . \
         --exclude-dir=.git --exclude=DESIGN.md 2>/dev/null |
 while IFS= read -r f; do
