@@ -62,6 +62,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently computing requests; excess get 429 (0 = 2x GOMAXPROCS)")
 	maxInsts := flag.Int64("max-insts", server.DefaultMaxTotalInsts, "per-request cap on total instruction budget (per-cell budget x cells)")
 	defaultInsts := flag.Int64("default-insts", sim.DefaultMaxInsts, "per-cell instruction budget when a request omits max_insts")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request simulation deadline; past it the request gets 504 (0 = no timeout)")
 	flag.Parse()
 
 	if *maxInsts <= 0 {
@@ -90,10 +91,11 @@ func main() {
 	}
 
 	h := server.New(server.Config{
-		Engine:        eng,
-		MaxInflight:   *maxInflight,
-		MaxTotalInsts: *maxInsts,
-		DefaultInsts:  *defaultInsts,
+		Engine:         eng,
+		MaxInflight:    *maxInflight,
+		MaxTotalInsts:  *maxInsts,
+		DefaultInsts:   *defaultInsts,
+		RequestTimeout: *requestTimeout,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -118,6 +120,10 @@ func main() {
 	}
 	stop()
 	fmt.Fprintln(os.Stderr, "arvid: shutting down")
+	// Refuse new requests (503 + Retry-After) and cancel in-flight engine
+	// work before asking the listener to drain, so Shutdown is bounded by
+	// a cancellation checkpoint instead of a full sweep.
+	h.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

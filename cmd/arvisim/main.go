@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -152,7 +155,11 @@ func main() {
 			}
 			eng.Traces = ts
 		}
-		results, err := eng.Run([]sim.Spec{spec})
+		// Ctrl-C cancels the run at its next checkpoint instead of leaving
+		// a half-written profile or cache temp file behind.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		results, err := eng.Run(ctx, []sim.Spec{spec})
+		stop()
 		if err != nil {
 			fatal(err)
 		}

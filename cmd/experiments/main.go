@@ -31,10 +31,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cpu"
@@ -167,6 +171,12 @@ func main() {
 		eng.Traces = ts
 	}
 
+	// Ctrl-C cancels in-flight cells at their next checkpoint; completed
+	// cells are already in the cache, so an interrupted sweep resumes
+	// where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	wantMatrix := want("fig5a") || want("fig5b") || want("fig6")
 
@@ -175,26 +185,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: running %d matrix cells (%d insts each)...\n",
 			len(workload.Names)*len(sim.Depths)*len(sim.Modes), *n)
 		var err error
-		mx, err = eng.RunMatrix(workload.Names, sim.Depths, sim.Modes, *n)
+		mx, err = eng.RunMatrix(ctx, workload.Names, sim.Depths, sim.Modes, *n)
 		if err != nil {
 			// Partial grids still render (missing cells show n/a); report
 			// the failures and degrade rather than discarding the run.
-			fmt.Fprintln(os.Stderr, "experiments: some cells failed:", err)
+			reportCellErr(ctx, "some cells failed", err)
 		}
 	}
 
 	var confSweep, cutSweep *sim.SweepResult
 	if want("sweep-conf") {
-		s, err := eng.RunConfThresholdSweep(workload.Names, *sweepDepth, sim.DefaultConfThresholds, *n)
+		s, err := eng.RunConfThresholdSweep(ctx, workload.Names, *sweepDepth, sim.DefaultConfThresholds, *n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
+			reportCellErr(ctx, "some sweep cells failed", err)
 		}
 		confSweep = s
 	}
 	if want("sweep-cut") {
-		s, err := eng.RunCutAtLoadsSweep(workload.Names, *sweepDepth, *n)
+		s, err := eng.RunCutAtLoadsSweep(ctx, workload.Names, *sweepDepth, *n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: some sweep cells failed:", err)
+			reportCellErr(ctx, "some sweep cells failed", err)
 		}
 		cutSweep = s
 	}
@@ -203,9 +213,9 @@ func main() {
 	if want("smt") {
 		cfg := smt.DefaultConfig()
 		cfg.MaxCycles = *smtCycles
-		g, err := eng.RunSMTGrid(workload.Mixes(), sim.SMTPolicies, cfg)
+		g, err := eng.RunSMTGrid(ctx, workload.Mixes(), sim.SMTPolicies, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: some SMT cells failed:", err)
+			reportCellErr(ctx, "some SMT cells failed", err)
 		}
 		smtGrid = g
 	}
@@ -213,9 +223,9 @@ func main() {
 	if want("vpred") {
 		params := sim.DefaultVPredParams(*n)
 		params.DepThreshold = *depThreshold
-		g, err := eng.RunVPredGrid(workload.Names, sim.VPredPredictors, params)
+		g, err := eng.RunVPredGrid(ctx, workload.Names, sim.VPredPredictors, params)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: some value-prediction cells failed:", err)
+			reportCellErr(ctx, "some value-prediction cells failed", err)
 		}
 		vpredGrid = g
 	}
@@ -309,6 +319,17 @@ func main() {
 		emit(sim.VPredAccuracyTable(vpredGrid))
 		emit(sim.VPredCoverageTable(vpredGrid))
 	}
+}
+
+// reportCellErr prints a partial-failure report, collapsing the joined
+// per-cell context errors of an interrupted run into one line instead of
+// one error per canceled cell.
+func reportCellErr(ctx context.Context, what string, err error) {
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		fmt.Fprintf(os.Stderr, "experiments: interrupted; %s: %v (completed cells are cached)\n", what, ctx.Err())
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"encoding/json"
 	"flag"
 	"os"
@@ -108,7 +110,7 @@ func TestGoldenStatsReplayIdentical(t *testing.T) {
 	}
 	eng := &sim.Engine{Traces: store}
 	live := computeGolden(t)
-	mx, err := eng.RunMatrix(workload.Names, []int{live.Depth},
+	mx, err := eng.RunMatrix(context.Background(), workload.Names, []int{live.Depth},
 		[]cpu.PredMode{cpu.PredARVICurrent}, live.MaxInsts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"os"
@@ -45,7 +47,7 @@ func computeGoldenVPred(t *testing.T) goldenVPredFile {
 		Stats:  make(map[string]vpred.Result),
 	}
 	eng := &sim.Engine{}
-	grid, err := eng.RunVPredGrid(workload.Names, sim.VPredPredictors, params)
+	grid, err := eng.RunVPredGrid(context.Background(), workload.Names, sim.VPredPredictors, params)
 	if err != nil {
 		t.Fatal(err)
 	}

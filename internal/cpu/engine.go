@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/bits"
@@ -459,19 +460,83 @@ func (e *Engine) Run(p *prog.Program) (Stats, error) {
 //arvi:hotpath
 func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 	e.prog = p
-	ev := &e.evBuf
+	n, _, err := e.replay(src, 0, e.cfg.MaxInsts)
+	if err != nil {
+		return e.st, err
+	}
+	return e.finish(n), nil
+}
+
+// cancelChunk is how many instructions RunSourceContext replays between
+// context checks. At simulator speed a chunk is well under a millisecond,
+// so cancellation lands promptly without putting a context branch — or
+// any interface call that could not be allocation-audited — inside the
+// per-instruction hot loop.
+const cancelChunk = 65536
+
+// RunContext is Run with cooperative cancellation: the replay stops with
+// ctx.Err() at the next chunk boundary after ctx is done. Statistics from
+// a canceled run are meaningless and must be discarded.
+func (e *Engine) RunContext(ctx context.Context, p *prog.Program) (Stats, error) {
+	return e.RunSourceContext(ctx, p, &vmSource{m: vm.New(p)})
+}
+
+// RunSourceContext is RunSource with cooperative cancellation, checking
+// ctx between cancelChunk-sized replay chunks. The per-instruction loop
+// itself (replay) stays context-free by design — see
+// DESIGN.md's failure domains section. An uncanceled run is
+// bit-identical to RunSource: the chunking only changes where the
+// instruction-budget comparison happens, not what is replayed.
+func (e *Engine) RunSourceContext(ctx context.Context, p *prog.Program, src EventSource) (Stats, error) {
+	e.prog = p
 	var n int64
-	for e.cfg.MaxInsts <= 0 || n < e.cfg.MaxInsts {
+	for {
+		if err := ctx.Err(); err != nil {
+			return e.st, err
+		}
+		limit := n + cancelChunk
+		if e.cfg.MaxInsts > 0 && limit > e.cfg.MaxInsts {
+			limit = e.cfg.MaxInsts
+		}
+		next, eof, err := e.replay(src, n, limit)
+		if err != nil {
+			return e.st, err
+		}
+		n = next
+		if eof || (e.cfg.MaxInsts > 0 && n >= e.cfg.MaxInsts) {
+			break
+		}
+	}
+	return e.finish(n), nil
+}
+
+// replay streams events through the timing model starting from
+// instruction count n until the source is exhausted, an event fails, or
+// the count reaches limit (<= 0 for unlimited). It returns the updated
+// count and whether the source reported EOF. This is the per-instruction
+// hot loop; cancellation is layered above it in RunSourceContext.
+//
+//arvi:hotpath
+func (e *Engine) replay(src EventSource, n, limit int64) (int64, bool, error) {
+	ev := &e.evBuf
+	for limit <= 0 || n < limit {
 		if err := src.Next(ev); err != nil { //arvi:dyncall EventSource impls (VM, trace cursor, replay reader) are allocation-audited
 			if err == io.EOF {
-				break
+				return n, true, nil
 			}
 			//arvi:cold a failing trace source aborts the run; per-instruction it never fires
-			return e.st, fmt.Errorf("cpu: trace source failed: %w", err)
+			return n, false, fmt.Errorf("cpu: trace source failed: %w", err)
 		}
 		e.process(ev)
 		n++
 	}
+	return n, false, nil
+}
+
+// finish stamps the end-of-run statistics for a replay of n instructions.
+//
+//arvi:hotpath
+func (e *Engine) finish(n int64) Stats {
 	e.st.Insts = n
 	e.st.Cycles = e.lastCommitC
 	if e.st.Cycles == 0 {
@@ -483,7 +548,7 @@ func (e *Engine) RunSource(p *prog.Program, src EventSource) (Stats, error) {
 	a := e.av.Stats()
 	e.st.ARVILookups = a.Lookups
 	e.st.ARVIHits = a.Hits
-	return e.st, nil
+	return e.st
 }
 
 // advanceFrontier retires every instruction whose commit cycle has passed

@@ -36,14 +36,19 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/sim"
@@ -74,6 +79,11 @@ type Config struct {
 	// DefaultInsts is the per-cell budget used when a request omits
 	// max_insts. <= 0 means sim.DefaultMaxInsts.
 	DefaultInsts int64
+	// RequestTimeout bounds each request's simulation work; past the
+	// deadline in-flight cells are canceled at their next checkpoint and
+	// the request fails with 504 (completed cells preserved under the
+	// partial-result contract). <= 0 means no timeout.
+	RequestTimeout time.Duration
 }
 
 // Server is the HTTP handler. Create it with New; the zero value is not
@@ -84,8 +94,16 @@ type Server struct {
 	flights  flightGroup
 	inflight chan struct{}
 
+	// drainCtx is canceled by StartDrain; every request context is linked
+	// to it so in-flight engine work stops when the daemon begins
+	// shutting down.
+	drainCtx    context.Context
+	cancelDrain context.CancelFunc
+	draining    atomic.Bool
+
 	computes  atomic.Int64 // responses actually computed
 	coalesced atomic.Int64 // responses served as singleflight waiters
+	panics    atomic.Int64 // handler panics contained by ServeHTTP
 
 	// testGate, when non-nil, runs inside the flight leader after the
 	// in-flight slot is held and before the computation starts. Tests
@@ -108,10 +126,13 @@ func New(cfg Config) *Server {
 	if cfg.DefaultInsts <= 0 {
 		cfg.DefaultInsts = sim.DefaultMaxInsts
 	}
+	drainCtx, cancelDrain := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		inflight: make(chan struct{}, cfg.MaxInflight),
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		inflight:    make(chan struct{}, cfg.MaxInflight),
+		drainCtx:    drainCtx,
+		cancelDrain: cancelDrain,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/bench", s.handleCatalog)
@@ -123,16 +144,71 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is also the server's outermost
+// middleware: once draining, new requests are turned away with 503 +
+// Retry-After instead of racing the listener shutdown, and a panicking
+// handler is contained to a JSON 500 (stack to stderr, counter on
+// /healthz) instead of killing the connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; retry")
+		return
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler { //nolint:errorlint // sentinel, by contract
+			panic(v) // net/http's own "client is gone" signal; let it through
+		}
+		s.panics.Add(1)
+		fmt.Fprintf(os.Stderr, "server: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+		// If the handler already wrote headers this is a no-op write on a
+		// broken response; the client sees a truncated body either way.
+		writeError(w, http.StatusInternalServerError, "internal error (handler panicked; see server log)")
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// StartDrain moves the server into drain mode: subsequent requests are
+// refused with 503 + Retry-After and every in-flight request's context
+// is canceled so engine work stops at the next checkpoint. Call it
+// before http.Server.Shutdown; it is idempotent.
+func (s *Server) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cancelDrain()
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// requestContext derives the context simulation work for r runs under:
+// the request's own context (client disconnect), bounded by the
+// configured request timeout, and linked to drain so StartDrain cancels
+// in-flight work. The returned cancel must be called when the handler
+// finishes.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
+	}
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 // Computes reports how many responses were actually computed (flight
 // leaders), Coalesced how many were served as waiters on another
-// request's computation.
+// request's computation, Panics how many handler panics ServeHTTP
+// contained.
 func (s *Server) Computes() int64  { return s.computes.Load() }
 func (s *Server) Coalesced() int64 { return s.coalesced.Load() }
+func (s *Server) Panics() int64    { return s.panics.Load() }
 
 // --- response plumbing ---------------------------------------------------
 
@@ -251,21 +327,49 @@ func hashParts(kind string, parts ...string) string {
 
 // --- /healthz and /v1/bench ----------------------------------------------
 
+type storageHealth struct {
+	CacheDegraded   bool  `json:"cache_degraded"`
+	CacheMemEntries int   `json:"cache_mem_entries"`
+	CacheTrips      int64 `json:"cache_trips"`
+	TraceDegraded   bool  `json:"trace_degraded"`
+	TraceTrips      int64 `json:"trace_trips"`
+}
+
 type healthResponse struct {
-	Status    string `json:"status"`
-	Simulated int64  `json:"simulated"`
-	CacheHits int64  `json:"cache_hits"`
-	Computes  int64  `json:"computes"`
-	Coalesced int64  `json:"coalesced"`
+	Status    string        `json:"status"`
+	Simulated int64         `json:"simulated"`
+	CacheHits int64         `json:"cache_hits"`
+	Computes  int64         `json:"computes"`
+	Coalesced int64         `json:"coalesced"`
+	Panics    int64         `json:"panics"`
+	Storage   storageHealth `json:"storage"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var st storageHealth
+	if c := s.cfg.Engine.Cache; c != nil {
+		st.CacheDegraded = c.Degraded()
+		st.CacheMemEntries = c.MemEntries()
+		st.CacheTrips = c.Breaker().Trips()
+	}
+	if t := s.cfg.Engine.Traces; t != nil {
+		st.TraceDegraded = t.Degraded()
+		st.TraceTrips = t.Breaker().Trips()
+	}
+	status := "ok"
+	if st.CacheDegraded || st.TraceDegraded {
+		// The daemon still serves correct results (memory-only), but an
+		// operator should look at the disk.
+		status = "degraded"
+	}
 	writeResponse(w, jsonResponse(http.StatusOK, healthResponse{
-		Status:    "ok",
+		Status:    status,
 		Simulated: s.cfg.Engine.Simulated(),
 		CacheHits: s.cfg.Engine.CacheHits(),
 		Computes:  s.Computes(),
 		Coalesced: s.Coalesced(),
+		Panics:    s.Panics(),
+		Storage:   st,
 	}), false)
 }
 
@@ -354,10 +458,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := hashParts("run", sim.CacheKey(spec, spec.Config()))
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	s.coalesce(w, key, func() *response {
-		results, err := s.cfg.Engine.Run([]sim.Spec{spec})
+		results, err := s.cfg.Engine.Run(ctx, []sim.Spec{spec})
 		if err != nil || len(results) == 0 {
-			return errResponse(http.StatusInternalServerError, errString(err, "simulation produced no result"))
+			status := http.StatusInternalServerError
+			if err != nil {
+				status = errStatus(err)
+			}
+			return errResponse(status, errString(err, "simulation produced no result"))
 		}
 		// The payload is exactly `arvisim -json`'s: a sim.Result.
 		return jsonResponse(http.StatusOK, results[0])
@@ -438,17 +548,15 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	depths := req.Depths
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	s.coalesce(w, hashParts("matrix", parts...), func() *response {
-		mx, err := s.cfg.Engine.RunMatrix(req.Benches, depths, modes, req.MaxInsts)
+		mx, err := s.cfg.Engine.RunMatrix(ctx, req.Benches, depths, modes, req.MaxInsts)
 		body := matrixResponse{MaxInsts: req.MaxInsts, Cells: mx.Records(depths), Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.Record{}
 		}
-		status := http.StatusOK
-		if err != nil {
-			status = http.StatusInternalServerError
-		}
-		return jsonResponse(status, body)
+		return jsonResponse(errStatus(err), body)
 	})
 }
 
@@ -508,17 +616,15 @@ func (s *Server) handleSMT(w http.ResponseWriter, r *http.Request) {
 			parts = append(parts, key)
 		}
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	s.coalesce(w, hashParts("smt", parts...), func() *response {
-		g, err := s.cfg.Engine.RunSMTGrid(mixes, sim.SMTPolicies, cfg)
+		g, err := s.cfg.Engine.RunSMTGrid(ctx, mixes, sim.SMTPolicies, cfg)
 		body := smtResponse{Config: cfg, Cells: g.Records(), Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.SMTRecord{}
 		}
-		status := http.StatusOK
-		if err != nil {
-			status = http.StatusInternalServerError
-		}
-		return jsonResponse(status, body)
+		return jsonResponse(errStatus(err), body)
 	})
 }
 
@@ -588,17 +694,15 @@ func (s *Server) handleVPred(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	s.coalesce(w, hashParts("vpred", parts...), func() *response {
-		g, err := s.cfg.Engine.RunVPredGrid(req.Benches, req.Predictors, params)
+		g, err := s.cfg.Engine.RunVPredGrid(ctx, req.Benches, req.Predictors, params)
 		body := vpredResponse{Params: params, Cells: g.Records(), Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.VPredRecord{}
 		}
-		status := http.StatusOK
-		if err != nil {
-			status = http.StatusInternalServerError
-		}
-		return jsonResponse(status, body)
+		return jsonResponse(errStatus(err), body)
 	})
 }
 
@@ -668,10 +772,12 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := hashParts("artifact", name, strconv.FormatInt(budget, 10), strconv.Itoa(depth))
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	s.coalesce(w, key, func() *response {
-		body, err := s.renderArtifact(name, budget, depth)
+		body, err := s.renderArtifact(ctx, name, budget, depth)
 		if err != nil {
-			return errResponse(http.StatusInternalServerError, err.Error())
+			return errResponse(errStatus(err), err.Error())
 		}
 		return &response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: body}
 	})
@@ -681,7 +787,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 // the engine's cache and trace store) whatever cells it needs.
 //
 //arvi:det
-func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, error) {
+func (s *Server) renderArtifact(ctx context.Context, name string, budget int64, depth int) ([]byte, error) {
 	var out strings.Builder
 	emit := func(t sim.Table) error { return t.Render(&out) }
 	switch name {
@@ -694,7 +800,7 @@ func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, e
 			return nil, err
 		}
 	case "fig5a":
-		mx, err := s.cfg.Engine.RunMatrix(workload.Names, sim.Depths, []cpu.PredMode{cpu.PredARVICurrent}, budget)
+		mx, err := s.cfg.Engine.RunMatrix(ctx, workload.Names, sim.Depths, []cpu.PredMode{cpu.PredARVICurrent}, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -702,7 +808,7 @@ func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, e
 			return nil, err
 		}
 	case "fig5b":
-		mx, err := s.cfg.Engine.RunMatrix(workload.Names, []int{depth}, []cpu.PredMode{cpu.PredARVICurrent}, budget)
+		mx, err := s.cfg.Engine.RunMatrix(ctx, workload.Names, []int{depth}, []cpu.PredMode{cpu.PredARVICurrent}, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -710,7 +816,7 @@ func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, e
 			return nil, err
 		}
 	case "fig6":
-		mx, err := s.cfg.Engine.RunMatrix(workload.Names, sim.Depths, sim.Modes, budget)
+		mx, err := s.cfg.Engine.RunMatrix(ctx, workload.Names, sim.Depths, sim.Modes, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -724,7 +830,7 @@ func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, e
 			}
 		}
 	case "sweep-conf":
-		sw, err := s.cfg.Engine.RunConfThresholdSweep(workload.Names, depth, sim.DefaultConfThresholds, budget)
+		sw, err := s.cfg.Engine.RunConfThresholdSweep(ctx, workload.Names, depth, sim.DefaultConfThresholds, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -734,7 +840,7 @@ func (s *Server) renderArtifact(name string, budget int64, depth int) ([]byte, e
 			}
 		}
 	case "sweep-cut":
-		sw, err := s.cfg.Engine.RunCutAtLoadsSweep(workload.Names, depth, budget)
+		sw, err := s.cfg.Engine.RunCutAtLoadsSweep(ctx, workload.Names, depth, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -754,4 +860,19 @@ func errString(err error, fallback string) string {
 		return fallback
 	}
 	return err.Error()
+}
+
+// errStatus maps a simulation error to its HTTP status: a request that
+// ran out of its deadline is the gateway-timeout story (the work was
+// canceled, not wrong), everything else is an internal error. Joined
+// partial-failure errors match through errors.Is.
+func errStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }

@@ -4,10 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/storage"
 )
 
 // cacheVersion invalidates every existing entry when the on-disk format
@@ -25,23 +27,66 @@ const cacheVersion = 1
 // Corrupt or unreadable entries (truncated writes, hand-edited files,
 // format drift) are treated as misses and removed, so a damaged cache
 // heals itself on the next run.
+//
+// Disk access goes through a storage.FS behind a circuit breaker: after
+// a run of consecutive disk faults the cache degrades to a memory-only
+// overlay instead of erroring every request, probing the disk on later
+// writes and flushing the overlay back once a probe succeeds. Entries
+// are keyed by content hash, so an overlay entry is exactly the bytes
+// the disk would have held — degraded mode changes durability, never
+// results.
 type Cache struct {
 	dir string
+	fs  storage.FS
+	brk *storage.Breaker
+
+	mu  sync.Mutex
+	mem map[string][]byte // overlay of entries the disk refused
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir on the real
+// filesystem with default circuit-breaker settings.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheFS(dir, storage.OS{}, nil)
+}
+
+// OpenCacheFS opens a cache over an explicit filesystem and breaker
+// (nil selects a default breaker). Chaos tests use it to run the cache
+// against a fault-injecting FS; production callers use OpenCache.
+func OpenCacheFS(dir string, fsys storage.FS, brk *storage.Breaker) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sim: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = storage.OS{}
+	}
+	if brk == nil {
+		brk = storage.NewBreaker(0, 0)
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sim: open cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, fs: fsys, brk: brk, mem: make(map[string][]byte)}, nil
 }
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
+
+// Degraded reports whether the circuit breaker is open and the cache is
+// serving memory-only.
+func (c *Cache) Degraded() bool { return c.brk.Open() }
+
+// Breaker exposes the cache's circuit breaker (for health reporting and
+// tests).
+func (c *Cache) Breaker() *storage.Breaker { return c.brk }
+
+// MemEntries reports how many entries currently live only in the
+// degraded-mode overlay.
+func (c *Cache) MemEntries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
 
 // Key returns the cache key for a spec: a hex SHA-256 over the spec's
 // identity and the fingerprint of its derived configuration.
@@ -79,29 +124,88 @@ func hashKey(id any) string {
 
 // entry is the on-disk record. Spec and Key are stored redundantly so a
 // cache directory is self-describing (and auditable with jq), and so Get
-// can reject a file whose content does not match its name.
+// can reject a file whose content does not match its name. Sum is a
+// checksum of the canonical stats encoding: the key only proves *which*
+// cell the file claims to be, the sum proves the payload was not bit-
+// corrupted in storage (entries predating the field fail the check and
+// self-heal like any other corruption).
 type entry struct {
 	Version int       `json:"version"`
 	Key     string    `json:"key"`
+	Sum     string    `json:"sum"`
 	Spec    Spec      `json:"spec"`
 	Stats   cpu.Stats `json:"stats"`
+}
+
+// statsSum checksums a stats payload by its canonical JSON encoding, so
+// the same check works at write time (over the value being stored) and at
+// read time (over the value decoded back out of the file).
+//
+//arvi:det
+func statsSum(stats any) string {
+	b, err := json.Marshal(stats)
+	if err != nil {
+		panic(fmt.Sprintf("sim: cache sum: %v", err)) // plain value struct
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
 }
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// load fetches an entry's bytes: the degraded overlay first, then disk.
+// Disk is skipped entirely while the breaker is open (memory-only mode),
+// and a disk *fault* — any read error other than plain not-exist — feeds
+// the breaker.
+func (c *Cache) load(key string) ([]byte, bool) {
+	c.mu.Lock()
+	b, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if c.brk.Open() {
+		return nil, false
+	}
+	b, err := c.fs.ReadFile(c.path(key))
+	if err != nil {
+		if !storage.IsNotExist(err) {
+			c.brk.Failure()
+		}
+		return nil, false
+	}
+	return b, true
+}
+
+// discard drops a corrupt or stale entry from the overlay and (when the
+// disk is believed healthy) from disk, so the next Put rewrites it.
+func (c *Cache) discard(key string) {
+	c.mu.Lock()
+	delete(c.mem, key)
+	c.mu.Unlock()
+	if !c.brk.Open() {
+		_ = c.fs.Remove(c.path(key))
+	}
+}
+
 // Get returns the cached stats for spec, if present and intact.
 func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
 	key := c.Key(spec)
-	b, err := os.ReadFile(c.path(key))
-	if err != nil {
+	b, ok := c.load(key)
+	if !ok {
 		return cpu.Stats{}, false
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil || e.Version != cacheVersion || e.Key != key {
-		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
-		_ = os.Remove(c.path(key))
+		c.discard(key)
+		return cpu.Stats{}, false
+	}
+	// A bit-corrupted read can survive JSON parsing (a flipped byte inside
+	// a number or a field name still decodes); the checksum catches it so
+	// the entry heals instead of serving wrong statistics.
+	if e.Sum != statsSum(e.Stats) {
+		c.discard(key)
 		return cpu.Stats{}, false
 	}
 	return e.Stats, true
@@ -109,33 +213,104 @@ func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
 
 // Put stores the stats for spec. The write is atomic (temp file + rename)
 // so a crash mid-write leaves either the old entry or none — never a
-// torn file that a later Get would half-trust.
+// torn file that a later Get would half-trust. While the circuit breaker
+// is open the entry lands in the memory overlay instead and Put reports
+// success: degraded mode trades durability for availability.
 func (c *Cache) Put(spec Spec, st cpu.Stats) error {
 	key := c.Key(spec)
-	b, err := json.MarshalIndent(entry{Version: cacheVersion, Key: key, Spec: spec, Stats: st}, "", " ")
+	b, err := json.MarshalIndent(entry{
+		Version: cacheVersion, Key: key, Sum: statsSum(st), Spec: spec, Stats: st,
+	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
-	return c.writeAtomic(key, b)
+	return c.store(key, b)
 }
 
-// writeAtomic lands an entry's bytes under its key via temp file + rename.
+// store lands an entry's bytes, routing around a broken disk:
+//
+//   - breaker closed: write through; a failure feeds the breaker, parks
+//     the bytes in the overlay (the result itself is not lost) and is
+//     reported to the caller.
+//   - breaker open, no probe due: overlay only, silently.
+//   - breaker open, probe granted: attempt the disk write; on success the
+//     breaker closes and the whole overlay flushes back to disk.
+func (c *Cache) store(key string, b []byte) error {
+	if !c.brk.Open() {
+		if err := c.writeAtomic(key, b); err != nil {
+			c.brk.Failure()
+			c.putMem(key, b)
+			return err
+		}
+		c.brk.Success()
+		return nil
+	}
+	if !c.brk.Allow() {
+		c.putMem(key, b)
+		return nil
+	}
+	if err := c.writeAtomic(key, b); err != nil {
+		c.brk.Failure()
+		c.putMem(key, b)
+		return nil
+	}
+	c.brk.Success()
+	c.mu.Lock()
+	delete(c.mem, key)
+	c.mu.Unlock()
+	c.flush()
+	return nil
+}
+
+// putMem parks an entry in the degraded-mode overlay.
+func (c *Cache) putMem(key string, b []byte) {
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+}
+
+// flush writes every overlay entry back to disk (in sorted key order, so
+// recovery is deterministic), dropping each from the overlay as it
+// lands. A failure mid-flush feeds the breaker and leaves the remainder
+// parked for the next successful probe.
+func (c *Cache) flush() {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.mem))
+	//arvi:unordered keys are sorted before use
+	for k := range c.mem {
+		keys = append(keys, k)
+	}
+	pending := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		pending[k] = c.mem[k]
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := c.writeAtomic(k, pending[k]); err != nil {
+			c.brk.Failure()
+			return
+		}
+		c.mu.Lock()
+		delete(c.mem, k)
+		c.mu.Unlock()
+	}
+}
+
+// writeAtomic lands an entry's bytes under its key via temp file +
+// rename. The temp name is derived from the key, not randomized:
+// entries are content-hashed, so concurrent writers of the same key
+// write identical bytes and the last rename wins harmlessly. On any
+// failure the temp file is removed — an injected rename fault must not
+// leave *.tmp orphans in the cache directory.
 func (c *Cache) writeAtomic(key string, b []byte) error {
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
-	if err != nil {
+	tmp := c.path(key) + ".tmp"
+	if err := c.fs.WriteFile(tmp, b, 0o644); err != nil {
+		_ = c.fs.Remove(tmp) // a half-written (ENOSPC) temp must not linger
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
-	if _, err := tmp.Write(b); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("sim: cache put: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("sim: cache put: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		_ = os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp, c.path(key)); err != nil {
+		_ = c.fs.Remove(tmp)
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	return nil
@@ -148,6 +323,7 @@ func (c *Cache) writeAtomic(key string, b []byte) error {
 type studyEntry struct {
 	Version int             `json:"version"`
 	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
 	Kind    string          `json:"kind"`
 	Study   json.RawMessage `json:"study"`
 	Stats   json.RawMessage `json:"stats"`
@@ -168,19 +344,25 @@ func (c *Cache) GetStudy(s Study, out any) (bool, error) {
 
 // getStudy is GetStudy with the key precomputed.
 func (c *Cache) getStudy(key, kind string, out any) bool {
-	b, err := os.ReadFile(c.path(key))
-	if err != nil {
+	b, ok := c.load(key)
+	if !ok {
 		return false
 	}
 	var e studyEntry
 	if err := json.Unmarshal(b, &e); err != nil ||
 		e.Version != cacheVersion || e.Key != key || e.Kind != kind {
-		// Corrupt or stale-format entry: drop it so the next Put rewrites it.
-		_ = os.Remove(c.path(key))
+		c.discard(key)
 		return false
 	}
 	if err := json.Unmarshal(e.Stats, out); err != nil {
-		_ = os.Remove(c.path(key))
+		c.discard(key)
+		return false
+	}
+	// Checksum the decoded value's canonical encoding (not the raw field,
+	// whose whitespace the indented container reshapes): a bit-corrupted
+	// stat that still parses must heal, not be served.
+	if e.Sum != statsSum(out) {
+		c.discard(key)
 		return false
 	}
 	return true
@@ -203,12 +385,12 @@ func (c *Cache) putStudy(key, kind string, id []byte, stats any) error {
 		return fmt.Errorf("sim: cache put %s: %w", kind, err)
 	}
 	b, err := json.MarshalIndent(studyEntry{
-		Version: cacheVersion, Key: key, Kind: kind, Study: id, Stats: st,
+		Version: cacheVersion, Key: key, Sum: statsSum(stats), Kind: kind, Study: id, Stats: st,
 	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("sim: cache put %s: %w", kind, err)
 	}
-	return c.writeAtomic(key, b)
+	return c.store(key, b)
 }
 
 // Len counts the entries currently on disk.

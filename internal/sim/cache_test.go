@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,14 +27,14 @@ func TestCacheHitMiss(t *testing.T) {
 		t.Fatal("empty cache reported a hit")
 	}
 	eng := &Engine{Cache: c}
-	first, err := eng.Run([]Spec{cacheSpec})
+	first, err := eng.Run(context.Background(), []Spec{cacheSpec})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if eng.Simulated() != 1 || eng.CacheHits() != 0 {
 		t.Errorf("cold run: simulated %d, hits %d", eng.Simulated(), eng.CacheHits())
 	}
-	second, err := eng.Run([]Spec{cacheSpec})
+	second, err := eng.Run(context.Background(), []Spec{cacheSpec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestCacheHitMiss(t *testing.T) {
 func TestCacheCorruptEntryRecovers(t *testing.T) {
 	c := openCache(t)
 	eng := &Engine{Cache: c}
-	if _, err := eng.Run([]Spec{cacheSpec}); err != nil {
+	if _, err := eng.Run(context.Background(), []Spec{cacheSpec}); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(c.Dir(), c.Key(cacheSpec)+".json")
@@ -64,7 +66,7 @@ func TestCacheCorruptEntryRecovers(t *testing.T) {
 		t.Error("corrupt entry not removed")
 	}
 	// The engine heals the cache: re-simulates, re-persists, then hits.
-	if _, err := eng.Run([]Spec{cacheSpec}); err != nil {
+	if _, err := eng.Run(context.Background(), []Spec{cacheSpec}); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Simulated() != 2 {
@@ -80,7 +82,7 @@ func TestCacheRejectsMismatchedContent(t *testing.T) {
 	eng := &Engine{Cache: c}
 	other := cacheSpec
 	other.ConfThreshold = 12
-	if _, err := eng.Run([]Spec{other}); err != nil {
+	if _, err := eng.Run(context.Background(), []Spec{other}); err != nil {
 		t.Fatal(err)
 	}
 	// Copy the other spec's entry over cacheSpec's slot: the embedded key
@@ -100,7 +102,7 @@ func TestCacheRejectsMismatchedContent(t *testing.T) {
 func TestResumedRunSimulatesOnlyMissingCells(t *testing.T) {
 	c := openCache(t)
 	cold := &Engine{Cache: c}
-	if _, err := cold.RunMatrix([]string{"gcc"}, []int{20}, Modes[:2], 5000); err != nil {
+	if _, err := cold.RunMatrix(context.Background(), []string{"gcc"}, []int{20}, Modes[:2], 5000); err != nil {
 		t.Fatal(err)
 	}
 	if cold.Simulated() != 2 {
@@ -109,7 +111,7 @@ func TestResumedRunSimulatesOnlyMissingCells(t *testing.T) {
 	// A fresh engine over the same cache, asked for an enlarged grid,
 	// must only simulate the cells the cold run never produced.
 	warm := &Engine{Cache: c}
-	mx, err := warm.RunMatrix([]string{"gcc"}, []int{20}, Modes, 5000)
+	mx, err := warm.RunMatrix(context.Background(), []string{"gcc"}, []int{20}, Modes, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +178,7 @@ func TestCachePutFailureKeepsResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{Cache: c}
-	res, err := eng.Run([]Spec{cacheSpec})
+	res, err := eng.Run(context.Background(), []Spec{cacheSpec})
 	if err == nil {
 		t.Error("cache persistence failure must surface in the joined error")
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -131,15 +132,20 @@ func (e *Engine) CacheHits() int64 { return e.cacheHits.Load() }
 // run executes one spec through the cache. A cache persistence failure is
 // reported separately from a simulation failure: the simulated result is
 // still valid and must not be discarded just because it could not be
-// written back.
-func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
+// written back. Cancellation is checked here, between specs, and again at
+// trace-replay chunk boundaries inside the engine — never inside the
+// per-instruction hot loop.
+func (e *Engine) run(ctx context.Context, spec Spec) (res Result, simErr, cacheErr error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec, err), nil
+	}
 	if e.Cache != nil {
 		if st, ok := e.Cache.Get(spec); ok {
 			e.cacheHits.Add(1)
 			return Result{Spec: spec, Stats: st}, nil, nil
 		}
 	}
-	res, simErr = e.simulate(spec)
+	res, simErr = e.simulate(ctx, spec)
 	if simErr != nil {
 		return Result{}, simErr, nil
 	}
@@ -156,7 +162,7 @@ func (e *Engine) run(spec Spec) (res Result, simErr, cacheErr error) {
 // when the engine has one: the store yields the benchmark's shared decoded
 // trace (recording it on first request) and only the timing model runs per
 // spec.
-func (e *Engine) simulate(spec Spec) (Result, error) {
+func (e *Engine) simulate(ctx context.Context, spec Spec) (Result, error) {
 	b, ok := workload.Lookup(spec.Bench)
 	if !ok {
 		return Result{}, fmt.Errorf("sim: %s: unknown benchmark %q", spec, spec.Bench)
@@ -171,16 +177,16 @@ func (e *Engine) simulate(spec Spec) (Result, error) {
 	defer pool.Put(eng)
 	var st cpu.Stats
 	if e.Traces == nil {
-		st, err = eng.Run(b.Prog)
+		st, err = eng.RunContext(ctx, b.Prog)
 	} else {
 		var dec *trace.Decoded
-		dec, err = e.Traces.Get(b.Prog, cfg.MaxInsts)
+		dec, err = e.Traces.Get(ctx, b.Prog, cfg.MaxInsts)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
 		}
 		// Replay against the trace's own program instance so the cursor's
 		// decoded instructions and the engine's wrong-path text agree.
-		st, err = eng.RunSource(dec.Prog(), dec.Cursor())
+		st, err = eng.RunSourceContext(ctx, dec.Prog(), dec.Cursor())
 	}
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec, err)
@@ -193,7 +199,14 @@ func (e *Engine) simulate(spec Spec) (Result, error) {
 // of N jobs with W workers never holds more than W live goroutines. Every
 // study family (branch prediction, SMT, value prediction) funnels through
 // this one pool, so -workers bounds the whole process's concurrency.
-func (e *Engine) pool(n int, job func(i int)) {
+//
+// Once ctx is canceled the remaining jobs run inline instead of being
+// spawned: each job still executes (it must record its ctx error so the
+// caller's per-spec error slots are filled), but it takes the fast
+// cancellation path and no new goroutines are created. pool always
+// returns with every spawned goroutine finished — cancellation can never
+// leak workers.
+func (e *Engine) pool(ctx context.Context, n int, job func(i int)) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -201,6 +214,10 @@ func (e *Engine) pool(n int, job func(i int)) {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			job(i) // fast-fail path: records the cancellation error
+			continue
+		}
 		sem <- struct{}{} // bound spawn, not just execution
 		wg.Add(1)
 		go func(i int) {
@@ -218,12 +235,16 @@ func (e *Engine) pool(n int, job func(i int)) {
 // results are returned alongside the per-spec errors joined with
 // errors.Join. Cache persistence failures are joined into the error too,
 // but their results are completed simulations and stay in the result set.
-func (e *Engine) Run(specs []Spec) ([]Result, error) {
+//
+// Cancellation follows the same partial-result contract: cells finished
+// before ctx was canceled are returned, the rest contribute joined
+// context errors.
+func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	results := make([]Result, len(specs))
 	simErrs := make([]error, len(specs))
 	cacheErrs := make([]error, len(specs))
-	e.pool(len(specs), func(i int) {
-		results[i], simErrs[i], cacheErrs[i] = e.run(specs[i])
+	e.pool(ctx, len(specs), func(i int) {
+		results[i], simErrs[i], cacheErrs[i] = e.run(ctx, specs[i])
 	})
 	done := results[:0]
 	for i := range results {
@@ -238,7 +259,7 @@ func (e *Engine) Run(specs []Spec) ([]Result, error) {
 // collects the completed cells into a Matrix. On partial failure the
 // matrix holds every completed cell and the error joins the per-cell
 // failures; renderers that go through Matrix.Lookup degrade gracefully.
-func (e *Engine) RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+func (e *Engine) RunMatrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
 	var specs []Spec
 	for _, b := range benches {
 		for _, d := range depths {
@@ -247,7 +268,7 @@ func (e *Engine) RunMatrix(benches []string, depths []int, modes []cpu.PredMode,
 			}
 		}
 	}
-	res, err := e.Run(specs)
+	res, err := e.Run(ctx, specs)
 	mx := &Matrix{m: make(map[matrixKey]cpu.Stats, len(res)), MaxInsts: maxInsts}
 	for _, r := range res {
 		mx.Add(r)
@@ -261,15 +282,15 @@ func (e *Engine) RunMatrix(benches []string, depths []int, modes []cpu.PredMode,
 // RunAll executes the given specs concurrently (bounded by GOMAXPROCS) on
 // a throwaway uncached Engine. See Engine.Run for the partial-result
 // contract.
-func RunAll(specs []Spec) ([]Result, error) {
+func RunAll(ctx context.Context, specs []Spec) ([]Result, error) {
 	var e Engine
-	return e.Run(specs)
+	return e.Run(ctx, specs)
 }
 
 // RunMatrix runs the grid on a throwaway uncached Engine.
-func RunMatrix(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+func RunMatrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
 	var e Engine
-	return e.RunMatrix(benches, depths, modes, maxInsts)
+	return e.RunMatrix(ctx, benches, depths, modes, maxInsts)
 }
 
 // Modes lists the four Section 5 configurations in presentation order.

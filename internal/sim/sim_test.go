@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -10,7 +12,7 @@ import (
 
 func smallMatrix(t *testing.T, benches []string, depths []int, modes []cpu.PredMode) *Matrix {
 	t.Helper()
-	mx, err := RunMatrix(benches, depths, modes, 8000)
+	mx, err := RunMatrix(context.Background(), benches, depths, modes, 8000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestRunAllOrderAndParallel(t *testing.T) {
 		{Bench: "li", Depth: 40, Mode: cpu.PredARVICurrent, MaxInsts: 4000},
 		{Bench: "perl", Depth: 60, Mode: cpu.PredARVIPerfect, MaxInsts: 4000},
 	}
-	res, err := RunAll(specs)
+	res, err := RunAll(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestRunAllPartialResults(t *testing.T) {
 		{Bench: "li", Depth: 0, Mode: cpu.PredARVICurrent, MaxInsts: 4000}, // invalid depth
 		{Bench: "perl", Depth: 40, Mode: cpu.PredARVIPerfect, MaxInsts: 4000},
 	}
-	res, err := RunAll(specs)
+	res, err := RunAll(context.Background(), specs)
 	if err == nil {
 		t.Fatal("expected a joined error from the injected failures")
 	}
@@ -239,7 +241,7 @@ func TestRunBoundsGoroutineSpawn(t *testing.T) {
 	for _, b := range []string{"gcc", "li", "perl", "compress"} {
 		specs = append(specs, Spec{Bench: b, Depth: 20, Mode: cpu.PredBaseline2Lvl, MaxInsts: 2000})
 	}
-	res, err := eng.Run(specs)
+	res, err := eng.Run(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +350,7 @@ func TestHeadlineShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("headline shape needs a non-trivial instruction budget")
 	}
-	mx, err := RunMatrix(workload.Names, []int{20, 60}, Modes, 150_000)
+	mx, err := RunMatrix(context.Background(), workload.Names, []int{20, 60}, Modes, 150_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -137,7 +138,7 @@ func (g *SMTGrid) Len() int { return len(g.m) }
 // RunSMTGrid evaluates every (mix × policy) cell through the engine's
 // worker pool and cache, with the usual partial-result contract: the grid
 // holds everything that completed and the error joins per-cell failures.
-func (e *Engine) RunSMTGrid(mixes []workload.Mix, policies []smt.Policy, cfg smt.Config) (*SMTGrid, error) {
+func (e *Engine) RunSMTGrid(ctx context.Context, mixes []workload.Mix, policies []smt.Policy, cfg smt.Config) (*SMTGrid, error) {
 	var studies []SMTStudy
 	for _, m := range mixes {
 		// Resolve each mix once for all its policy cells; a failure stays
@@ -148,7 +149,7 @@ func (e *Engine) RunSMTGrid(mixes []workload.Mix, policies []smt.Policy, cfg smt
 			studies = append(studies, SMTStudy{Mix: m, Policy: p, Config: cfg, benches: benches})
 		}
 	}
-	res, err := RunStudies[SMTStudy, SMTStats](e, studies)
+	res, err := RunStudies[SMTStudy, SMTStats](ctx, e, studies)
 	g := &SMTGrid{
 		Mixes:    mixes,
 		Policies: policies,

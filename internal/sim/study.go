@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,13 +46,18 @@ type StudyResult[S Study, R any] struct {
 // decodes it instead of simulating, and every fresh result is persisted; a
 // persistence failure joins the error but never discards the computed
 // result. R is the concrete stats type the studies' Simulate returns.
-func RunStudies[S Study, R any](e *Engine, studies []S) ([]StudyResult[S, R], error) {
+//
+// Cancellation is checked between studies, not inside Study.Simulate:
+// study cells are short (a handful of bounded engine runs), so keeping
+// the interface context-free costs at most one cell of latency while
+// sparing every implementation the plumbing.
+func RunStudies[S Study, R any](ctx context.Context, e *Engine, studies []S) ([]StudyResult[S, R], error) {
 	results := make([]StudyResult[S, R], len(studies))
 	simErrs := make([]error, len(studies))
 	cacheErrs := make([]error, len(studies))
-	e.pool(len(studies), func(i int) {
+	e.pool(ctx, len(studies), func(i int) {
 		results[i].Study = studies[i]
-		results[i].Stats, simErrs[i], cacheErrs[i] = runStudy[R](e, studies[i])
+		results[i].Stats, simErrs[i], cacheErrs[i] = runStudy[R](ctx, e, studies[i])
 	})
 	done := results[:0]
 	for i := range results {
@@ -66,7 +72,11 @@ func RunStudies[S Study, R any](e *Engine, studies []S) ([]StudyResult[S, R], er
 // cache persistence failure is reported separately because the simulated
 // result is still valid. The study's identity is marshalled and hashed
 // exactly once per cell; the lookup and the write-back reuse it.
-func runStudy[R any](e *Engine, s Study) (stats R, simErr, cacheErr error) {
+func runStudy[R any](ctx context.Context, e *Engine, s Study) (stats R, simErr, cacheErr error) {
+	if err := ctx.Err(); err != nil {
+		simErr = fmt.Errorf("sim: %s %s: %w", s.Kind(), s, err)
+		return
+	}
 	var key string
 	var id []byte
 	if e.Cache != nil {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +30,7 @@ func TestSMTGridColdWarm(t *testing.T) {
 	c := openCache(t)
 	mixes := workload.Mixes()[:2]
 	cold := &Engine{Cache: c}
-	g1, err := cold.RunSMTGrid(mixes, SMTPolicies, testSMTConfig())
+	g1, err := cold.RunSMTGrid(context.Background(), mixes, SMTPolicies, testSMTConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func TestSMTGridColdWarm(t *testing.T) {
 	}
 
 	warm := &Engine{Cache: c}
-	g2, err := warm.RunSMTGrid(mixes, SMTPolicies, testSMTConfig())
+	g2, err := warm.RunSMTGrid(context.Background(), mixes, SMTPolicies, testSMTConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestVPredGridColdWarm(t *testing.T) {
 	c := openCache(t)
 	benches := []string{"m88ksim", "gcc"}
 	cold := &Engine{Cache: c}
-	g1, err := cold.RunVPredGrid(benches, VPredPredictors, testVPredParams())
+	g1, err := cold.RunVPredGrid(context.Background(), benches, VPredPredictors, testVPredParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestVPredGridColdWarm(t *testing.T) {
 		t.Fatalf("cold grid has %d cells, want %d", g1.Len(), wantCells)
 	}
 	warm := &Engine{Cache: c}
-	g2, err := warm.RunVPredGrid(benches, VPredPredictors, testVPredParams())
+	g2, err := warm.RunVPredGrid(context.Background(), benches, VPredPredictors, testVPredParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestStudyPartialResults(t *testing.T) {
 		{Bench: "li", Predictor: "nosuchpred", Params: testVPredParams()},
 		{Bench: "li", Predictor: "last-value", Params: testVPredParams()},
 	}
-	res, err := RunStudies[VPredStudy, vpred.Result](eng, studies)
+	res, err := RunStudies[VPredStudy, vpred.Result](context.Background(), eng, studies)
 	if err == nil {
 		t.Fatal("expected a joined error from the injected failures")
 	}
@@ -175,7 +177,7 @@ func TestStudyCacheCorruptEntryRecovers(t *testing.T) {
 	c := openCache(t)
 	study := SMTStudy{Mix: workload.MixByName("ijpeg+li"), Policy: smt.ICOUNT, Config: testSMTConfig()}
 	eng := &Engine{Cache: c}
-	if _, err := RunStudies[SMTStudy, SMTStats](eng, []SMTStudy{study}); err != nil {
+	if _, err := RunStudies[SMTStudy, SMTStats](context.Background(), eng, []SMTStudy{study}); err != nil {
 		t.Fatal(err)
 	}
 	key, err := StudyKey(study)
@@ -197,7 +199,7 @@ func TestStudyCacheCorruptEntryRecovers(t *testing.T) {
 		t.Error("corrupt entry not removed")
 	}
 	// Re-running heals the cache.
-	if _, err := RunStudies[SMTStudy, SMTStats](eng, []SMTStudy{study}); err != nil {
+	if _, err := RunStudies[SMTStudy, SMTStats](context.Background(), eng, []SMTStudy{study}); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Simulated() != 2 {
@@ -247,11 +249,11 @@ func TestStudyKeysNamespaceByKindAndIdentity(t *testing.T) {
 func TestStudyAndSpecShareOneCacheDirectory(t *testing.T) {
 	c := openCache(t)
 	eng := &Engine{Cache: c}
-	if _, err := eng.Run([]Spec{cacheSpec}); err != nil {
+	if _, err := eng.Run(context.Background(), []Spec{cacheSpec}); err != nil {
 		t.Fatal(err)
 	}
 	study := SMTStudy{Mix: workload.MixByName("gcc+m88ksim"), Policy: smt.RoundRobin, Config: testSMTConfig()}
-	if _, err := RunStudies[SMTStudy, SMTStats](eng, []SMTStudy{study}); err != nil {
+	if _, err := RunStudies[SMTStudy, SMTStats](context.Background(), eng, []SMTStudy{study}); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := c.Len(); err != nil || n != 2 {

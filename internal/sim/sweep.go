@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,7 +49,7 @@ func (s *SweepResult) Lookup(bench, point string) (cpu.Stats, bool) {
 // predictor mode. Completed cells survive sibling failures: the returned
 // SweepResult holds everything that finished and the error joins the
 // per-cell failures (see Engine.Run).
-func (e *Engine) RunSweep(label string, benches []string, depth int, mode cpu.PredMode, maxInsts int64, points []SweepPoint) (*SweepResult, error) {
+func (e *Engine) RunSweep(ctx context.Context, label string, benches []string, depth int, mode cpu.PredMode, maxInsts int64, points []SweepPoint) (*SweepResult, error) {
 	if len(points) == 0 {
 		return nil, errors.New("sim: sweep with no points")
 	}
@@ -75,7 +76,7 @@ func (e *Engine) RunSweep(label string, benches []string, depth int, mode cpu.Pr
 	for i, s := range specs {
 		bySpec[s] = append(bySpec[s], keys[i])
 	}
-	res, err := e.Run(specs)
+	res, err := e.Run(ctx, specs)
 	for _, r := range res {
 		for _, k := range bySpec[r.Spec] {
 			sr.m[k] = r.Stats
@@ -86,7 +87,7 @@ func (e *Engine) RunSweep(label string, benches []string, depth int, mode cpu.Pr
 
 // RunConfThresholdSweep sweeps the JRS confidence threshold gating ARVI
 // use (Section 4.3 machinery) under ARVI current-value at one depth.
-func (e *Engine) RunConfThresholdSweep(benches []string, depth int, thresholds []uint8, maxInsts int64) (*SweepResult, error) {
+func (e *Engine) RunConfThresholdSweep(ctx context.Context, benches []string, depth int, thresholds []uint8, maxInsts int64) (*SweepResult, error) {
 	var points []SweepPoint
 	for _, th := range thresholds {
 		th := th
@@ -95,17 +96,17 @@ func (e *Engine) RunConfThresholdSweep(benches []string, depth int, thresholds [
 			Mutate: func(s *Spec) { s.ConfThreshold = th },
 		})
 	}
-	return e.RunSweep("JRS confidence threshold", benches, depth, cpu.PredARVICurrent, maxInsts, points)
+	return e.RunSweep(ctx, "JRS confidence threshold", benches, depth, cpu.PredARVICurrent, maxInsts, points)
 }
 
 // RunCutAtLoadsSweep compares the paper's full dependence-chain semantics
 // against the cut-at-loads DDT ablation under ARVI current-value.
-func (e *Engine) RunCutAtLoadsSweep(benches []string, depth int, maxInsts int64) (*SweepResult, error) {
+func (e *Engine) RunCutAtLoadsSweep(ctx context.Context, benches []string, depth int, maxInsts int64) (*SweepResult, error) {
 	points := []SweepPoint{
 		{Name: "full-chain", Mutate: func(s *Spec) { s.CutAtLoads = false }},
 		{Name: "cut-at-loads", Mutate: func(s *Spec) { s.CutAtLoads = true }},
 	}
-	return e.RunSweep("DDT chain semantics", benches, depth, cpu.PredARVICurrent, maxInsts, points)
+	return e.RunSweep(ctx, "DDT chain semantics", benches, depth, cpu.PredARVICurrent, maxInsts, points)
 }
 
 // sweepTable renders one metric of a sweep grid, marking unpopulated cells

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -11,7 +13,7 @@ func TestConfThresholdSweep(t *testing.T) {
 	var eng Engine
 	benches := []string{"li", "compress"}
 	thresholds := []uint8{1, 15}
-	sr, err := eng.RunConfThresholdSweep(benches, 20, thresholds, 5000)
+	sr, err := eng.RunConfThresholdSweep(context.Background(), benches, 20, thresholds, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestConfThresholdSweep(t *testing.T) {
 
 func TestCutAtLoadsSweep(t *testing.T) {
 	var eng Engine
-	sr, err := eng.RunCutAtLoadsSweep([]string{"m88ksim"}, 20, 5000)
+	sr, err := eng.RunCutAtLoadsSweep(context.Background(), []string{"m88ksim"}, 20, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestSweepPartialFailureKeepsCompletedCells(t *testing.T) {
 		{Name: "ok", Mutate: func(s *Spec) {}},
 		{Name: "broken", Mutate: func(s *Spec) { s.Bench = "nosuch" }},
 	}
-	sr, err := eng.RunSweep("inject", []string{"gcc"}, 20, cpu.PredARVICurrent, 4000, points)
+	sr, err := eng.RunSweep(context.Background(), "inject", []string{"gcc"}, 20, cpu.PredARVICurrent, 4000, points)
 	if err == nil {
 		t.Fatal("expected a joined error from the broken point")
 	}
@@ -105,7 +107,7 @@ func TestSweepPartialFailureKeepsCompletedCells(t *testing.T) {
 
 func TestRunSweepRejectsEmptyPoints(t *testing.T) {
 	var eng Engine
-	if _, err := eng.RunSweep("empty", []string{"gcc"}, 20, cpu.PredARVICurrent, 1000, nil); err == nil {
+	if _, err := eng.RunSweep(context.Background(), "empty", []string{"gcc"}, 20, cpu.PredARVICurrent, 1000, nil); err == nil {
 		t.Error("empty sweep must fail")
 	}
 }

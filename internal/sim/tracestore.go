@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/prog"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -33,10 +36,18 @@ const DefaultTraceMemBudget = 256 << 20
 //     grow without bound. Evicted traces stay valid for replayers already
 //     holding them (they hold the slice; the store merely drops its ref).
 //   - With a backing directory, recorded traces persist on disk
-//     (atomically, self-healing on corruption) and later runs — or other
-//     processes — reload them instead of re-executing the VM.
+//     (atomically, checksummed, self-healing on corruption) and later
+//     runs — or other processes — reload them instead of re-executing
+//     the VM.
+//   - Disk access goes through a storage.FS behind a circuit breaker:
+//     after consecutive disk faults the store stops touching the disk and
+//     serves recordings memory-only, probing on later persists until the
+//     disk recovers. Degraded mode affects durability only — the trace
+//     bytes served are identical either way.
 type TraceStore struct {
 	dir       string // "" = memory-only
+	fs        storage.FS
+	brk       *storage.Breaker
 	memBudget int64
 
 	mu      sync.Mutex
@@ -73,16 +84,32 @@ type traceEntry struct {
 // empty for a memory-only store) holding at most memBudget bytes of
 // decoded trace resident (<= 0 selects DefaultTraceMemBudget).
 func OpenTraceStore(dir string, memBudget int64) (*TraceStore, error) {
+	return OpenTraceStoreFS(dir, memBudget, storage.OS{}, nil)
+}
+
+// OpenTraceStoreFS opens a trace store over an explicit filesystem and
+// breaker (nil selects a default breaker). Chaos tests use it to run the
+// store against a fault-injecting FS; production callers use
+// OpenTraceStore.
+func OpenTraceStoreFS(dir string, memBudget int64, fsys storage.FS, brk *storage.Breaker) (*TraceStore, error) {
 	if memBudget <= 0 {
 		memBudget = DefaultTraceMemBudget
 	}
+	if fsys == nil {
+		fsys = storage.OS{}
+	}
+	if brk == nil {
+		brk = storage.NewBreaker(0, 0)
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("sim: open trace store: %w", err)
 		}
 	}
 	return &TraceStore{
 		dir:       dir,
+		fs:        fsys,
+		brk:       brk,
 		memBudget: memBudget,
 		entries:   make(map[traceKey]*traceEntry),
 	}, nil
@@ -90,6 +117,14 @@ func OpenTraceStore(dir string, memBudget int64) (*TraceStore, error) {
 
 // Dir returns the backing directory ("" for a memory-only store).
 func (s *TraceStore) Dir() string { return s.dir }
+
+// Degraded reports whether the circuit breaker is open and the store is
+// serving memory-only despite having a backing directory.
+func (s *TraceStore) Degraded() bool { return s.dir != "" && s.brk.Open() }
+
+// Breaker exposes the store's circuit breaker (for health reporting and
+// tests).
+func (s *TraceStore) Breaker() *storage.Breaker { return s.brk }
 
 // Recorded reports how many times the store actually executed the
 // functional VM — the number every other request amortises away.
@@ -132,7 +167,12 @@ func (s *TraceStore) Path(p *prog.Program, budget int64) string {
 // Get returns the decoded correct-path trace of p at the given instruction
 // budget (0 = to halt), recording it on first request. The returned
 // Decoded is shared and read-only: replay it through Decoded.Cursor.
-func (s *TraceStore) Get(p *prog.Program, budget int64) (*trace.Decoded, error) {
+//
+// A waiter coalesced onto another goroutine's in-flight recording gives
+// up when ctx is canceled; the recording itself runs to completion —
+// it is a shared resource other requesters (and the disk cache) still
+// want, and a single recording is short relative to a sweep.
+func (s *TraceStore) Get(ctx context.Context, p *prog.Program, budget int64) (*trace.Decoded, error) {
 	key := traceKey{fp: p.FingerprintHex(), budget: budget}
 
 	s.mu.Lock()
@@ -140,7 +180,11 @@ func (s *TraceStore) Get(p *prog.Program, budget int64) (*trace.Decoded, error) 
 		s.tick++
 		e.lastUse = s.tick
 		s.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if e.err != nil {
 			return nil, e.err
 		}
@@ -173,20 +217,27 @@ func (s *TraceStore) Get(p *prog.Program, budget int64) (*trace.Decoded, error) 
 
 // acquire produces the decoded trace from disk if possible, else by
 // running the functional VM once (persisting the result best-effort).
+// Disk is skipped entirely while the circuit breaker is open, except for
+// one persist probe per probation window.
 func (s *TraceStore) acquire(p *prog.Program, budget int64) (*trace.Decoded, error) {
 	path := s.Path(p, budget)
-	if s.dir != "" {
-		if f, err := os.Open(path); err == nil {
-			dec, derr := trace.Decode(p, f)
-			_ = f.Close()
-			if derr == nil {
-				s.diskHits.Add(1)
-				return dec, nil
+	if s.dir != "" && !s.brk.Open() {
+		if b, err := s.fs.ReadFile(path); err == nil {
+			if payload, ok := checkSummed(b); ok {
+				dec, derr := trace.Decode(p, bytes.NewReader(payload))
+				if derr == nil {
+					s.diskHits.Add(1)
+					return dec, nil
+				}
 			}
-			// Corrupt, truncated or foreign file under our name: remove it
-			// and fall through to a fresh recording (self-heal, like the
-			// result cache).
-			_ = os.Remove(path)
+			// Corrupt, truncated or foreign file under our name — including
+			// a bit-corrupted read the trace format itself cannot detect
+			// (event payloads carry no per-record redundancy), which is why
+			// store files are checksummed: remove it and fall through to a
+			// fresh recording (self-heal, like the result cache).
+			_ = s.fs.Remove(path)
+		} else if !storage.IsNotExist(err) {
+			s.brk.Failure() // a disk fault, not an ordinary miss
 		}
 	}
 	s.recorded.Add(1)
@@ -196,31 +247,59 @@ func (s *TraceStore) acquire(p *prog.Program, budget int64) (*trace.Decoded, err
 		return nil, fmt.Errorf("recording trace of %q: %w", p.Name, err)
 	}
 	if s.dir != "" {
+		if s.brk.Open() && !s.brk.Allow() {
+			// Degraded and no probe due: serve from memory, skip the disk.
+			return dec, nil
+		}
 		if err := s.persist(dec, path); err != nil {
 			s.persistErrs.Add(1) // non-fatal: the trace serves from memory
+			s.brk.Failure()
+		} else {
+			s.brk.Success()
 		}
 	}
 	return dec, nil
 }
 
-// persist writes the trace atomically (temp file + rename), so a crash
-// leaves either a complete file or none.
+// checkSummed splits a store file into its payload, verifying the leading
+// whole-payload checksum. The trace format's own header authenticates the
+// program and record count but not the event payload, so the store wraps
+// each file in a SHA-256 of the trace bytes; anything that fails the
+// check — truncation, bit rot, a pre-checksum store file — reads as
+// corrupt and re-records.
+func checkSummed(b []byte) ([]byte, bool) {
+	if len(b) < sha256.Size {
+		return nil, false
+	}
+	sum := sha256.Sum256(b[sha256.Size:])
+	if !bytes.Equal(sum[:], b[:sha256.Size]) {
+		return nil, false
+	}
+	return b[sha256.Size:], true
+}
+
+// persist writes the checksummed trace atomically (temp file + rename),
+// so a crash leaves either a complete file or none. The temp name is
+// derived from the target path: trace files are content-addressed, so
+// concurrent writers of the same path write identical bytes. On any
+// failure the temp file is removed — an injected rename fault must not
+// leave *.tmp orphans in the trace directory.
 func (s *TraceStore) persist(dec *trace.Decoded, path string) error {
-	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
-	if err != nil {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, sha256.Size)) // checksum slot, filled below
+	if _, err := dec.WriteTo(&buf); err != nil {
 		return err
 	}
-	if _, err := dec.WriteTo(tmp); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
+	b := buf.Bytes()
+	sum := sha256.Sum256(b[sha256.Size:])
+	copy(b, sum[:])
+	tmp := path + ".tmp"
+	if err := s.fs.WriteFile(tmp, b, 0o644); err != nil {
+		_ = s.fs.Remove(tmp) // a half-written (ENOSPC) temp must not linger
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
 		return err
 	}
 	return nil

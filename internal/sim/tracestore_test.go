@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"os"
 	"sync"
 	"testing"
@@ -62,7 +64,7 @@ func TestTraceStoreMatchesLiveSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: live: %v", name, err)
 		}
-		traced, err := eng.simulate(spec)
+		traced, err := eng.simulate(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s: traced: %v", name, err)
 		}
@@ -88,7 +90,7 @@ func TestRunMatrixExecutesEachBenchmarkOnce(t *testing.T) {
 	modes := []cpu.PredMode{cpu.PredBaseline2Lvl, cpu.PredARVICurrent, cpu.PredARVIPerfect}
 	const budget = 3000
 
-	mx, err := eng.RunMatrix(benches, depths, modes, budget)
+	mx, err := eng.RunMatrix(context.Background(), benches, depths, modes, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestTraceStoreSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := store.Get(p, 2000); err != nil {
+			if _, err := store.Get(context.Background(), p, 2000); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -144,18 +146,18 @@ func TestTraceStoreKeyedByBudgetAndProgram(t *testing.T) {
 	store := memStore(t, 0)
 	a := asm.MustAssemble("a", storeLoopSrc)
 	b := asm.MustAssemble("b", storeLoop2Src)
-	da, err := store.Get(a, 1000)
+	da, err := store.Get(context.Background(), a, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := store.Get(b, 1000)
+	db, err := store.Get(context.Background(), b, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if da == db {
 		t.Error("different programs shared one trace")
 	}
-	d2, err := store.Get(a, 2000)
+	d2, err := store.Get(context.Background(), a, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestTraceStoreKeyedByBudgetAndProgram(t *testing.T) {
 		t.Errorf("recorded = %d, want 3", store.Recorded())
 	}
 	// Same program re-assembled (new pointer, same content) is a hit.
-	again, err := store.Get(asm.MustAssemble("a", storeLoopSrc), 1000)
+	again, err := store.Get(context.Background(), asm.MustAssemble("a", storeLoopSrc), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +188,11 @@ func TestTraceStoreLRUEviction(t *testing.T) {
 	store := memStore(t, 40_000)
 	a := asm.MustAssemble("a", storeLoopSrc)
 	b := asm.MustAssemble("b", storeLoop2Src)
-	da, err := store.Get(a, 1000)
+	da, err := store.Get(context.Background(), a, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Get(b, 1000); err != nil {
+	if _, err := store.Get(context.Background(), b, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if store.Entries() != 1 {
@@ -204,7 +206,7 @@ func TestTraceStoreLRUEviction(t *testing.T) {
 		t.Errorf("evicted trace lost events: %d", da.Len())
 	}
 	// Re-requesting the evicted program re-records (memory-only store).
-	if _, err := store.Get(a, 1000); err != nil {
+	if _, err := store.Get(context.Background(), a, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if store.Recorded() != 3 {
@@ -220,7 +222,7 @@ func TestTraceStoreDiskPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1, err := s1.Get(p, 1500)
+	d1, err := s1.Get(context.Background(), p, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +238,7 @@ func TestTraceStoreDiskPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := s2.Get(p, 1500)
+	d2, err := s2.Get(context.Background(), p, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +260,7 @@ func TestTraceStoreSelfHealsCorruptFile(t *testing.T) {
 	if err := os.WriteFile(s.Path(p, 1000), []byte("not a trace"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	dec, err := s.Get(p, 1000)
+	dec, err := s.Get(context.Background(), p, 1000)
 	if err != nil {
 		t.Fatalf("corrupt file not healed: %v", err)
 	}
@@ -267,7 +269,7 @@ func TestTraceStoreSelfHealsCorruptFile(t *testing.T) {
 	}
 	// The healed file now round-trips.
 	s2, _ := OpenTraceStore(dir, 0)
-	if _, err := s2.Get(p, 1000); err != nil || s2.DiskHits() != 1 {
+	if _, err := s2.Get(context.Background(), p, 1000); err != nil || s2.DiskHits() != 1 {
 		t.Errorf("healed file unreadable: %v (diskHits %d)", err, s2.DiskHits())
 	}
 
@@ -279,14 +281,14 @@ func TestTraceStoreSelfHealsCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		raw[8+32+i] = 0xff // count field sits after magic+fingerprint
+		raw[32+8+32+i] = 0xff // count field sits after store sum+magic+fingerprint
 	}
-	raw[8+32] = 0xfe // not the unknown-count sentinel
+	raw[32+8+32] = 0xfe // not the unknown-count sentinel
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s3, _ := OpenTraceStore(dir, 0)
-	dec3, err := s3.Get(p, 1000)
+	dec3, err := s3.Get(context.Background(), p, 1000)
 	if err != nil {
 		t.Fatalf("corrupt count not healed: %v", err)
 	}
@@ -308,7 +310,7 @@ func TestEngineWithCacheAndTraces(t *testing.T) {
 	modes := []cpu.PredMode{cpu.PredBaseline2Lvl, cpu.PredARVICurrent, cpu.PredARVIPerfect}
 
 	e1 := &Engine{Cache: c, Traces: store}
-	if _, err := e1.RunMatrix([]string{"compress"}, []int{20}, modes, 2500); err != nil {
+	if _, err := e1.RunMatrix(context.Background(), []string{"compress"}, []int{20}, modes, 2500); err != nil {
 		t.Fatal(err)
 	}
 	if store.Recorded() != 1 || e1.Simulated() != int64(len(modes)) {
@@ -316,7 +318,7 @@ func TestEngineWithCacheAndTraces(t *testing.T) {
 	}
 
 	e2 := &Engine{Cache: c, Traces: memStore(t, 0)}
-	if _, err := e2.RunMatrix([]string{"compress"}, []int{20}, modes, 2500); err != nil {
+	if _, err := e2.RunMatrix(context.Background(), []string{"compress"}, []int{20}, modes, 2500); err != nil {
 		t.Fatal(err)
 	}
 	if e2.Traces.Recorded() != 0 || e2.Simulated() != 0 || e2.CacheHits() != int64(len(modes)) {
@@ -327,7 +329,7 @@ func TestEngineWithCacheAndTraces(t *testing.T) {
 
 func TestTraceStoreUnknownBenchStillErrors(t *testing.T) {
 	eng := &Engine{Traces: memStore(t, 0)}
-	if _, err := eng.simulate(Spec{Bench: "nosuch", Depth: 20}); err == nil {
+	if _, err := eng.simulate(context.Background(), Spec{Bench: "nosuch", Depth: 20}); err == nil {
 		t.Error("unknown benchmark must error through the trace path too")
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -165,7 +166,7 @@ func (g *VPredGrid) Len() int { return len(g.m) }
 // RunVPredGrid evaluates the all-vs-selective ablation for every
 // (benchmark × predictor) through the engine's worker pool and cache,
 // with the usual partial-result contract.
-func (e *Engine) RunVPredGrid(benches []string, predictors []string, params VPredParams) (*VPredGrid, error) {
+func (e *Engine) RunVPredGrid(ctx context.Context, benches []string, predictors []string, params VPredParams) (*VPredGrid, error) {
 	var studies []VPredStudy
 	for _, b := range benches {
 		// Resolve each benchmark once for all its predictor × selection
@@ -183,7 +184,7 @@ func (e *Engine) RunVPredGrid(benches []string, predictors []string, params VPre
 			}
 		}
 	}
-	res, err := RunStudies[VPredStudy, vpred.Result](e, studies)
+	res, err := RunStudies[VPredStudy, vpred.Result](ctx, e, studies)
 	g := &VPredGrid{
 		Benches:    benches,
 		Predictors: predictors,

@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op classifies filesystem operations for fault matching.
+type Op uint8
+
+// The operation classes a Fault can target, one per FS method.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpRename
+	OpMkdir
+	OpRemove
+	opCount
+)
+
+// String names the class for error messages.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRename:
+		return "rename"
+	case OpMkdir:
+		return "mkdir"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// FaultMode selects how a matched operation misbehaves.
+type FaultMode uint8
+
+const (
+	// FaultErr fails the operation with ErrInjected and no side effect.
+	FaultErr FaultMode = iota
+	// FaultENOSPC writes the first half of the data, then fails with an
+	// ENOSPC-wrapped error — the classic disk-full mid-write shape. On
+	// non-write operations it behaves like FaultErr.
+	FaultENOSPC
+	// FaultTorn writes only the first half of the data and reports
+	// success: a torn write the caller cannot see until something reads
+	// the file back. On non-write operations it behaves like FaultErr.
+	FaultTorn
+	// FaultBitFlip lets the read succeed but flips one bit of the
+	// returned data — silent media corruption. On non-read operations it
+	// behaves like FaultErr.
+	FaultBitFlip
+)
+
+// String names the mode for error messages and test logs.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultErr:
+		return "err"
+	case FaultENOSPC:
+		return "enospc"
+	case FaultTorn:
+		return "torn"
+	case FaultBitFlip:
+		return "bitflip"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ErrInjected is the root of every error a FaultFS fabricates; chaos
+// suites use errors.Is against it to tell injected faults from real
+// ones.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+// Fault schedules one injection: the Nth (1-based) operation of class Op
+// misbehaves per Mode. A schedule is plain data — two FaultFS instances
+// built from equal schedules inject identically, which is what makes
+// chaos runs reproducible from a seed.
+type Fault struct {
+	Op   Op
+	N    int64
+	Mode FaultMode
+}
+
+// FaultFS wraps an inner FS and injects the scheduled faults. It also
+// supports persistently breaking whole operation classes (Break/Heal)
+// to model a disk that stays bad until an operator intervenes — the
+// scenario the circuit breaker exists for.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	counts   [opCount]int64
+	broken   [opCount]bool
+	faults   []Fault
+	injected int64
+}
+
+// NewFaultFS builds a fault-injecting filesystem over inner with the
+// given schedule.
+func NewFaultFS(inner FS, faults ...Fault) *FaultFS {
+	return &FaultFS{inner: inner, faults: faults}
+}
+
+// Break makes every future operation of the given classes fail with
+// ErrInjected until Heal. With no arguments it breaks the mutating
+// classes (write, rename, mkdir) — an unwritable disk that still reads.
+func (f *FaultFS) Break(ops ...Op) {
+	if len(ops) == 0 {
+		ops = []Op{OpWrite, OpRename, OpMkdir}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, o := range ops {
+		f.broken[o] = true
+	}
+}
+
+// Heal clears every Break, restoring the inner filesystem.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.broken = [opCount]bool{}
+}
+
+// Injected reports how many faults actually fired.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Count reports how many operations of the class have been attempted.
+func (f *FaultFS) Count(op Op) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// next advances the class counter and reports the matched fault mode, if
+// any. The bool distinguishes "no fault" from a matched FaultErr.
+func (f *FaultFS) next(op Op) (FaultMode, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	if f.broken[op] {
+		f.injected++
+		return FaultErr, true, fmt.Errorf("%w: %s while class is broken", ErrInjected, op)
+	}
+	for _, ft := range f.faults {
+		if ft.Op == op && ft.N == f.counts[op] {
+			f.injected++
+			return ft.Mode, true, fmt.Errorf("%w: %s #%d (%s)", ErrInjected, op, ft.N, ft.Mode)
+		}
+	}
+	return 0, false, nil
+}
+
+// ReadFile implements FS with read faults.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	mode, hit, ierr := f.next(OpRead)
+	if hit && mode != FaultBitFlip {
+		return nil, ierr
+	}
+	b, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if hit && len(b) > 0 {
+		// Deterministic single-bit corruption in the middle of the file.
+		c := append([]byte(nil), b...)
+		c[len(c)/2] ^= 0x10
+		return c, nil
+	}
+	return b, nil
+}
+
+// WriteFile implements FS with write faults.
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	mode, hit, ierr := f.next(OpWrite)
+	if !hit {
+		return f.inner.WriteFile(name, data, perm)
+	}
+	switch mode {
+	case FaultENOSPC:
+		_ = f.inner.WriteFile(name, data[:len(data)/2], perm)
+		return fmt.Errorf("%w: %w", ierr, syscall.ENOSPC)
+	case FaultTorn:
+		// The torn half lands and the caller is told all is well.
+		return f.inner.WriteFile(name, data[:len(data)/2], perm)
+	default:
+		return ierr
+	}
+}
+
+// Rename implements FS with rename faults.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, hit, ierr := f.next(OpRename); hit {
+		return ierr
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// MkdirAll implements FS with mkdir faults.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, hit, ierr := f.next(OpMkdir); hit {
+		return ierr
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Remove implements FS with remove faults.
+func (f *FaultFS) Remove(name string) error {
+	if _, hit, ierr := f.next(OpRemove); hit {
+		return ierr
+	}
+	return f.inner.Remove(name)
+}
+
+// RandomSchedule derives a deterministic fault schedule from a seed: n
+// faults spread over roughly the first horizon operations of each class.
+// The generator is an inline splitmix64, not math/rand, so schedules are
+// reproducible across Go versions and never trip the nondet analyzer.
+func RandomSchedule(seed uint64, n int, horizon int64) []Fault {
+	if horizon < 1 {
+		horizon = 1
+	}
+	s := seed
+	next := func() uint64 {
+		// splitmix64 step.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		faults = append(faults, Fault{
+			Op:   Op(next() % uint64(opCount)),
+			N:    int64(next()%uint64(horizon)) + 1,
+			Mode: FaultMode(next() % 4),
+		})
+	}
+	return faults
+}
