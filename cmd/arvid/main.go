@@ -18,6 +18,19 @@
 //	arvid -max-insts 10000000          # per-request total instruction cap
 //	arvid -cache "" -no-traces         # stateless (everything simulates)
 //
+// Scaling out (see DESIGN.md's distributed execution section):
+//
+//	arvid -role worker -addr :8745                         # a worker node
+//	arvid -role coordinator \
+//	      -workers-list http://h1:8745,http://h2:8745      # fan sweeps out
+//	arvid -cache-peers http://h2:8745 -cache-push          # warm peer caches
+//
+// A coordinator decomposes /v1/matrix and /v1/study/* into per-cell jobs
+// keyed by the result cache's own content hashes, fans them out to the
+// workers with retries and backoff, and merges answers byte-identically
+// to a single-node run; -cache-peers lets any daemon serve local cache
+// misses from its peers' caches over GET/PUT /v1/cache/{key}.
+//
 //	curl localhost:8744/healthz
 //	curl localhost:8744/v1/bench
 //	curl -d '{"bench":"m88ksim","depth":20,"mode":"arvi-current"}' localhost:8744/v1/run
@@ -40,11 +53,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 func fail(err error) {
@@ -63,7 +79,23 @@ func main() {
 	maxInsts := flag.Int64("max-insts", server.DefaultMaxTotalInsts, "per-request cap on total instruction budget (per-cell budget x cells)")
 	defaultInsts := flag.Int64("default-insts", sim.DefaultMaxInsts, "per-cell instruction budget when a request omits max_insts")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request simulation deadline; past it the request gets 504 (0 = no timeout)")
+	role := flag.String("role", "solo", "daemon role: solo (compute everything locally), worker (a solo node a coordinator fans jobs to), or coordinator (distribute sweeps to -workers-list)")
+	workersList := flag.String("workers-list", "", "comma-separated worker base URLs for the coordinator role (more can join via POST /v1/workers)")
+	cachePeers := flag.String("cache-peers", "", "comma-separated peer daemon base URLs to serve local cache misses from (GET /v1/cache)")
+	cachePush := flag.Bool("cache-push", false, "also replicate freshly computed cache entries to -cache-peers (PUT /v1/cache)")
+	distRetries := flag.Int("dist-retries", 0, "extra workers a failed job is offered before local fallback (0 = default)")
+	distBackoff := flag.Duration("dist-backoff", 0, "delay before a job's first retry, doubling per retry (0 = default)")
+	distTimeout := flag.Duration("dist-timeout", 0, "per-job HTTP timeout for coordinator->worker calls (0 = default)")
 	flag.Parse()
+
+	if *role != "solo" && *role != "worker" && *role != "coordinator" {
+		fmt.Fprintf(os.Stderr, "arvid: -role %q out of range (need solo, worker or coordinator)\n", *role)
+		os.Exit(2)
+	}
+	if *role != "coordinator" && *workersList != "" {
+		fmt.Fprintf(os.Stderr, "arvid: -workers-list only applies to -role coordinator\n")
+		os.Exit(2)
+	}
 
 	if *maxInsts <= 0 {
 		fmt.Fprintf(os.Stderr, "arvid: -max-insts %d out of range (need >= 1)\n", *maxInsts)
@@ -80,6 +112,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if peers := splitList(*cachePeers); len(peers) > 0 {
+			c.SetPeers(storage.NewPeerKV(peers, nil), *cachePush)
+		}
 		eng.Cache = c
 	}
 	if !*noTraces {
@@ -90,12 +125,26 @@ func main() {
 		eng.Traces = ts
 	}
 
+	var coord *dist.Coordinator
+	if *role == "coordinator" {
+		coord = &dist.Coordinator{
+			Local:   eng,
+			Retries: *distRetries,
+			Backoff: *distBackoff,
+		}
+		if *distTimeout > 0 {
+			coord.Client = &http.Client{Timeout: *distTimeout}
+		}
+		coord.SetWorkers(splitList(*workersList))
+	}
+
 	h := server.New(server.Config{
 		Engine:         eng,
 		MaxInflight:    *maxInflight,
 		MaxTotalInsts:  *maxInsts,
 		DefaultInsts:   *defaultInsts,
 		RequestTimeout: *requestTimeout,
+		Coordinator:    coord,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -111,7 +160,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "arvid: serving on %s (cache %q, traces %q)\n", *addr, *cacheDir, traceLabel(*noTraces, *traceDir))
+	fmt.Fprintf(os.Stderr, "arvid: serving on %s as %s (cache %q, traces %q)\n", *addr, *role, *cacheDir, traceLabel(*noTraces, *traceDir))
 
 	select {
 	case err := <-errc:
@@ -132,6 +181,18 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+}
+
+// splitList splits a comma-separated URL list, dropping empty elements
+// (so a trailing comma or an unset flag is not a phantom peer).
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // traceLabel names the trace tier for the startup line.

@@ -1,0 +1,693 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/smt"
+	"repro/internal/workload"
+)
+
+// Tuning defaults; see the corresponding Coordinator fields.
+const (
+	// DefaultRetries is how many *additional* workers a failed job is
+	// offered before falling back to local compute.
+	DefaultRetries = 2
+	// DefaultBackoff is the base delay before a job's first retry; each
+	// further retry doubles it.
+	DefaultBackoff = 50 * time.Millisecond
+	// DefaultCooldown is how long a worker that just failed is
+	// deprioritised in placement rankings.
+	DefaultCooldown = 2 * time.Second
+	// maxResponse caps how much of a worker response the coordinator will
+	// read; a confused worker must not balloon coordinator memory. Study
+	// responses carry a full grid slice, so the cap is generous.
+	maxResponse = 8 << 20
+)
+
+// Coordinator fans per-cell jobs out to worker arvid daemons and merges
+// their answers. The zero value is not useful — at minimum register
+// workers with SetWorkers/AddWorker or provide a Local engine; a
+// Coordinator with neither fails every job.
+//
+// All fields are read-only after first use; the worker set itself may be
+// mutated concurrently through AddWorker.
+type Coordinator struct {
+	// Local, when non-nil, computes jobs whose remote attempts are all
+	// spent — the cluster can lose every worker and a sweep still
+	// completes, just slower. Nil means remote-only (a fully failed job
+	// reports its joined worker errors).
+	Local *sim.Engine
+	// Client issues worker requests; nil means a client with a 60-second
+	// timeout. Per-request contexts still apply, so a canceled sweep
+	// abandons in-flight calls immediately.
+	Client *http.Client
+	// Retries bounds the additional workers a failed job is offered
+	// (total remote attempts = Retries+1, clipped to the worker count).
+	// <= 0 means DefaultRetries.
+	Retries int
+	// Backoff is the delay before a job's first retry, doubling per
+	// further retry. <= 0 means DefaultBackoff.
+	Backoff time.Duration
+	// Cooldown is how long a failing worker is deprioritised (never
+	// excluded: a wrong health guess costs latency, not correctness).
+	// <= 0 means DefaultCooldown.
+	Cooldown time.Duration
+	// PerWorker bounds concurrent jobs in flight to one worker. It should
+	// not exceed the worker's -max-inflight, or bursts bounce off the
+	// worker's 429 guard and burn retries. <= 0 means GOMAXPROCS (half
+	// the worker default, leaving room for the worker's other clients).
+	PerWorker int
+	// MaxInflight bounds this coordinator's total concurrently dispatched
+	// jobs (and goroutine spawn, like sim.Engine's pool). <= 0 means
+	// 4×GOMAXPROCS.
+	MaxInflight int
+
+	// now is a test seam for health bookkeeping; nil means time.Now.
+	now func() time.Time
+
+	mu      sync.RWMutex
+	workers []*worker
+
+	remote  atomic.Int64 // jobs answered by a worker
+	retried atomic.Int64 // extra remote attempts after a failure
+	local   atomic.Int64 // jobs that fell back to the local engine
+}
+
+// worker tracks one registered worker daemon and its health.
+type worker struct {
+	base string // normalised base URL, no trailing slash
+	sem  chan struct{}
+
+	mu        sync.Mutex
+	failures  int64
+	downUntil time.Time
+}
+
+// fail records a failed call, starting (or extending) the cooldown.
+func (w *worker) fail(now time.Time, cooldown time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failures++
+	w.downUntil = now.Add(cooldown)
+}
+
+// ok records a successful call, ending any cooldown.
+func (w *worker) ok() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.downUntil = time.Time{}
+}
+
+// available reports whether the worker is outside its failure cooldown.
+func (w *worker) available(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !now.Before(w.downUntil)
+}
+
+func (w *worker) failureCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failures
+}
+
+// SetWorkers replaces the worker set with the given base URLs
+// (deduplicated, trailing slashes trimmed).
+func (c *Coordinator) SetWorkers(bases []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers = nil
+	for _, b := range bases {
+		c.addLocked(b)
+	}
+}
+
+// AddWorker registers one worker base URL; it reports whether the worker
+// was new. Safe to call while sweeps are in flight — jobs dispatched
+// after the call may land on the new worker.
+func (c *Coordinator) AddWorker(base string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked(base)
+}
+
+func (c *Coordinator) addLocked(base string) bool {
+	base = normalizeBase(base)
+	if base == "" {
+		return false
+	}
+	for _, w := range c.workers {
+		if w.base == base {
+			return false
+		}
+	}
+	per := c.PerWorker
+	if per <= 0 {
+		per = runtime.GOMAXPROCS(0)
+	}
+	c.workers = append(c.workers, &worker{base: base, sem: make(chan struct{}, per)})
+	return true
+}
+
+func normalizeBase(base string) string {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return base
+}
+
+// WorkerStatus is one worker's health snapshot, for /healthz.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Failures int64  `json:"failures"`
+	Down     bool   `json:"down"`
+}
+
+// Workers snapshots the registered workers in registration order.
+func (c *Coordinator) Workers() []WorkerStatus {
+	now := c.clock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]WorkerStatus, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerStatus{URL: w.base, Failures: w.failureCount(), Down: !w.available(now)}
+	}
+	return out
+}
+
+// RemoteJobs, RetriedJobs and LocalJobs report lifetime counters: jobs a
+// worker answered, extra remote attempts spent on failures, and jobs the
+// local engine computed after remote attempts were exhausted. The chaos
+// suite pins loss cost with these (a worker death mid-sweep must cost
+// only the lost cells' recompute).
+func (c *Coordinator) RemoteJobs() int64  { return c.remote.Load() }
+func (c *Coordinator) RetriedJobs() int64 { return c.retried.Load() }
+func (c *Coordinator) LocalJobs() int64   { return c.local.Load() }
+
+func (c *Coordinator) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return defaultClient
+}
+
+var defaultClient = &http.Client{Timeout: 60 * time.Second}
+
+// rank orders the workers for one job: rendezvous (highest-random-weight)
+// hashing over (worker, job key), with workers in failure cooldown
+// stably moved to the back. Rendezvous gives each key a stable worker
+// preference independent of registration order, so a cell keeps hitting
+// the worker whose cache holds it, and adding a worker only moves the
+// keys that now rank it first.
+func (c *Coordinator) rank(key string) []*worker {
+	c.mu.RLock()
+	ws := make([]*worker, len(c.workers))
+	copy(ws, c.workers)
+	c.mu.RUnlock()
+	scores := make(map[*worker]uint64, len(ws))
+	for _, w := range ws {
+		scores[w] = rendezvousScore(w.base, key)
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return scores[ws[i]] > scores[ws[j]] })
+	now := c.clock()
+	ordered := make([]*worker, 0, len(ws))
+	var cooling []*worker
+	for _, w := range ws {
+		if w.available(now) {
+			ordered = append(ordered, w)
+		} else {
+			cooling = append(cooling, w)
+		}
+	}
+	return append(ordered, cooling...)
+}
+
+// rendezvousScore hashes (worker, key) into the weight the ranking
+// maximises.
+func rendezvousScore(base, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(base))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// retries resolves the Retries default.
+func (c *Coordinator) retries() int {
+	if c.Retries <= 0 {
+		return DefaultRetries
+	}
+	return c.Retries
+}
+
+// sleepBackoff waits out the delay before retry number attempt (1-based),
+// doubling per attempt, unless ctx ends first.
+func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.Backoff
+	if d <= 0 {
+		d = DefaultBackoff
+	}
+	d <<= attempt - 1
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runJob drives one job through placement, bounded retries and the local
+// fallback. remote performs the job against one worker base URL; local
+// (nil when no fallback exists) computes it on the coordinator.
+func (c *Coordinator) runJob(ctx context.Context, key string, remote func(ctx context.Context, base string) error, local func(ctx context.Context) error) error {
+	order := c.rank(key)
+	attempts := c.retries() + 1
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	var errs []error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i > 0 {
+			c.retried.Add(1)
+			if err := c.sleepBackoff(ctx, i); err != nil {
+				return err
+			}
+		}
+		w := order[i]
+		err := c.withWorker(ctx, w, remote)
+		if err == nil {
+			w.ok()
+			c.remote.Add(1)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The failure is our own cancellation propagating, not the
+			// worker's; report it as such and spend no more attempts.
+			return ctx.Err()
+		}
+		w.fail(c.clock(), c.cooldown())
+		errs = append(errs, fmt.Errorf("worker %s: %w", w.base, err))
+	}
+	if local != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.local.Add(1)
+		if err := local(ctx); err != nil {
+			return errors.Join(append(errs, err)...)
+		}
+		return nil
+	}
+	if len(errs) == 0 {
+		return errors.New("dist: no workers registered and no local engine")
+	}
+	return errors.Join(errs...)
+}
+
+func (c *Coordinator) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return DefaultCooldown
+	}
+	return c.Cooldown
+}
+
+// withWorker runs one remote attempt under the worker's inflight bound
+// (so a burst of jobs cannot bounce off the worker's 429 guard).
+func (c *Coordinator) withWorker(ctx context.Context, w *worker, remote func(ctx context.Context, base string) error) error {
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-w.sem }()
+	return remote(ctx, w.base)
+}
+
+// pool executes n independent jobs with bounded concurrency and bounded
+// goroutine spawn, mirroring sim.Engine's pool: a slot is acquired before
+// each goroutine exists, canceled jobs run inline on the fast-fail path,
+// and pool never returns with a spawned goroutine still live.
+func (c *Coordinator) pool(ctx context.Context, n int, job func(i int)) {
+	inflight := c.MaxInflight
+	if inflight <= 0 {
+		inflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			job(i) // fast-fail path: records the cancellation error
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			job(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- wire helpers ---------------------------------------------------------
+
+// errorBody mirrors the server's uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// postJSON POSTs req to base+path and decodes a 200 response into out.
+// Any other status is surfaced as an error carrying the worker's own
+// message when it sent one.
+func (c *Coordinator) postJSON(ctx context.Context, base, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("encode request: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+	if err != nil {
+		return fmt.Errorf("read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error)
+		}
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// runRequest mirrors the server's /v1/run request body. The mode travels
+// as its report name (sim.ParseMode accepts both spellings), so the job
+// a worker validates is spelled exactly like the result it returns.
+type runRequest struct {
+	Bench         string `json:"bench"`
+	Depth         int    `json:"depth"`
+	Mode          string `json:"mode"`
+	MaxInsts      int64  `json:"max_insts"`
+	CutAtLoads    bool   `json:"cut_at_loads"`
+	ConfThreshold uint   `json:"conf_threshold"`
+}
+
+// runSpec computes one matrix cell: remotely via POST /v1/run with
+// bounded retries, locally as the last resort.
+func (c *Coordinator) runSpec(ctx context.Context, spec sim.Spec) (sim.Result, error) {
+	var out sim.Result
+	req := runRequest{
+		Bench: spec.Bench, Depth: spec.Depth, Mode: spec.Mode.String(),
+		MaxInsts: spec.MaxInsts, CutAtLoads: spec.CutAtLoads,
+		ConfThreshold: uint(spec.ConfThreshold),
+	}
+	err := c.runJob(ctx, sim.CacheKey(spec, spec.Config()),
+		func(ctx context.Context, base string) error {
+			var r sim.Result
+			if err := c.postJSON(ctx, base, "/v1/run", req, &r); err != nil {
+				return err
+			}
+			// A worker answering for the wrong cell is a protocol bug, not
+			// data; treat it as a failed attempt so a healthy worker (or the
+			// local engine) re-answers.
+			if r.Spec.Bench != spec.Bench || r.Spec.Depth != spec.Depth || r.Spec.Mode != spec.Mode {
+				return fmt.Errorf("answered for %s, asked for %s", r.Spec, spec)
+			}
+			out = r
+			return nil
+		},
+		c.localSpec(spec, &out))
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("dist: %s: %w", spec, err)
+	}
+	return out, nil
+}
+
+// localSpec builds the local-fallback closure for one spec, or nil
+// without a local engine.
+func (c *Coordinator) localSpec(spec sim.Spec, out *sim.Result) func(context.Context) error {
+	if c.Local == nil {
+		return nil
+	}
+	return func(ctx context.Context) error {
+		results, err := c.Local.Run(ctx, []sim.Spec{spec})
+		if err != nil {
+			return fmt.Errorf("local: %w", err)
+		}
+		*out = results[0]
+		return nil
+	}
+}
+
+// RunSpecs executes the specs as distributed jobs and returns the
+// completed results in spec order, mirroring sim.Engine.RunEach: done
+// (when non-nil) fires per spec as it settles, partial results survive
+// partial failure, and per-spec errors are joined.
+func (c *Coordinator) RunSpecs(ctx context.Context, specs []sim.Spec, done func(i int, r sim.Result, err error)) ([]sim.Result, error) {
+	results := make([]sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	c.pool(ctx, len(specs), func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("dist: %s: %w", specs[i], err)
+		} else {
+			results[i], errs[i] = c.runSpec(ctx, specs[i])
+		}
+		if done != nil {
+			done(i, results[i], errs[i])
+		}
+	})
+	finished := results[:0]
+	for i := range results {
+		if errs[i] == nil {
+			finished = append(finished, results[i])
+		}
+	}
+	return finished, errors.Join(errs...)
+}
+
+// Matrix runs the (bench × depth × mode) grid distributed and folds the
+// answers into a sim.Matrix. Rendering the returned matrix through the
+// same Records path as a local run is what makes distributed output
+// byte-identical to single-node output: cell identity (the cache key)
+// and iteration order are shared, only the executor differs.
+func (c *Coordinator) Matrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*sim.Matrix, error) {
+	res, err := c.RunSpecs(ctx, sim.MatrixSpecs(benches, depths, modes, maxInsts), nil)
+	mx := &sim.Matrix{MaxInsts: maxInsts}
+	for _, r := range res {
+		mx.Add(r)
+	}
+	return mx, err
+}
+
+// --- study jobs -----------------------------------------------------------
+
+// smtRequest and smtResponse mirror the server's /v1/study/smt bodies.
+type smtRequest struct {
+	Mixes     []string `json:"mixes"`
+	MaxCycles int64    `json:"max_cycles"`
+}
+
+type smtResponse struct {
+	Config smt.Config      `json:"config"`
+	Cells  []sim.SMTRecord `json:"cells"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// SMTGrid runs the SMT fetch-policy study distributed, one job per mix
+// (a mix's policy cells share its thread set; splitting finer would buy
+// little and cost the worker its per-mix program resolution). The
+// returned records concatenate the per-mix answers in request order —
+// exactly sim.SMTGrid.Records' mix-major iteration, so the merged slice
+// is byte-compatible with a single-node run.
+func (c *Coordinator) SMTGrid(ctx context.Context, mixes []workload.Mix, cfg smt.Config) ([]sim.SMTRecord, error) {
+	perMix := make([][]sim.SMTRecord, len(mixes))
+	errs := make([]error, len(mixes))
+	c.pool(ctx, len(mixes), func(i int) {
+		perMix[i], errs[i] = c.runSMTMix(ctx, mixes[i], cfg)
+	})
+	var out []sim.SMTRecord
+	for _, cells := range perMix {
+		out = append(out, cells...)
+	}
+	return out, errors.Join(errs...)
+}
+
+func (c *Coordinator) runSMTMix(ctx context.Context, mix workload.Mix, cfg smt.Config) ([]sim.SMTRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: smt %s: %w", mix.Name, err)
+	}
+	// The job key is the mix's first policy cell's study key: any of the
+	// mix's cells pins the full configuration, and one stable choice keeps
+	// the mix's placement (and so its cache locality) consistent.
+	key, err := sim.StudyKey(sim.SMTStudy{Mix: mix, Policy: sim.SMTPolicies[0], Config: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("dist: smt %s: %w", mix.Name, err)
+	}
+	var cells []sim.SMTRecord
+	err = c.runJob(ctx, key,
+		func(ctx context.Context, base string) error {
+			var resp smtResponse
+			req := smtRequest{Mixes: []string{mix.Name}, MaxCycles: cfg.MaxCycles}
+			if perr := c.postJSON(ctx, base, "/v1/study/smt", req, &resp); perr != nil {
+				return perr
+			}
+			if len(resp.Cells) != len(sim.SMTPolicies) {
+				return fmt.Errorf("answered %d cells for mix %s, want %d", len(resp.Cells), mix.Name, len(sim.SMTPolicies))
+			}
+			for _, cell := range resp.Cells {
+				if cell.Mix != mix.Name {
+					return fmt.Errorf("answered for mix %s, asked for %s", cell.Mix, mix.Name)
+				}
+			}
+			cells = resp.Cells
+			return nil
+		},
+		c.localSMT(mix, cfg, &cells))
+	if err != nil {
+		return nil, fmt.Errorf("dist: smt %s: %w", mix.Name, err)
+	}
+	return cells, nil
+}
+
+func (c *Coordinator) localSMT(mix workload.Mix, cfg smt.Config, out *[]sim.SMTRecord) func(context.Context) error {
+	if c.Local == nil {
+		return nil
+	}
+	return func(ctx context.Context) error {
+		g, err := c.Local.RunSMTGrid(ctx, []workload.Mix{mix}, sim.SMTPolicies, cfg)
+		if err != nil {
+			return fmt.Errorf("local: %w", err)
+		}
+		*out = g.Records()
+		return nil
+	}
+}
+
+// vpredRequest and vpredResponse mirror the server's /v1/study/vpred
+// bodies.
+type vpredRequest struct {
+	Benches      []string `json:"benches"`
+	Predictors   []string `json:"predictors"`
+	MaxInsts     int64    `json:"max_insts"`
+	DepThreshold int      `json:"dep_threshold"`
+}
+
+type vpredResponse struct {
+	Params sim.VPredParams   `json:"params"`
+	Cells  []sim.VPredRecord `json:"cells"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// VPredGrid runs the value-prediction study distributed, one job per
+// (bench × predictor) pair (its all/selective cells share the bench's
+// trace). Per-pair answers concatenate in request order — exactly
+// sim.VPredGrid.Records' bench-major iteration.
+func (c *Coordinator) VPredGrid(ctx context.Context, benches, predictors []string, params sim.VPredParams) ([]sim.VPredRecord, error) {
+	type pair struct{ bench, pred string }
+	var pairs []pair
+	for _, b := range benches {
+		for _, p := range predictors {
+			pairs = append(pairs, pair{b, p})
+		}
+	}
+	perPair := make([][]sim.VPredRecord, len(pairs))
+	errs := make([]error, len(pairs))
+	c.pool(ctx, len(pairs), func(i int) {
+		perPair[i], errs[i] = c.runVPredPair(ctx, pairs[i].bench, pairs[i].pred, params)
+	})
+	var out []sim.VPredRecord
+	for _, cells := range perPair {
+		out = append(out, cells...)
+	}
+	return out, errors.Join(errs...)
+}
+
+func (c *Coordinator) runVPredPair(ctx context.Context, bench, pred string, params sim.VPredParams) ([]sim.VPredRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: vpred %s/%s: %w", bench, pred, err)
+	}
+	key, err := sim.StudyKey(sim.VPredStudy{Bench: bench, Predictor: pred, Selective: false, Params: params})
+	if err != nil {
+		return nil, fmt.Errorf("dist: vpred %s/%s: %w", bench, pred, err)
+	}
+	var cells []sim.VPredRecord
+	err = c.runJob(ctx, key,
+		func(ctx context.Context, base string) error {
+			var resp vpredResponse
+			req := vpredRequest{
+				Benches: []string{bench}, Predictors: []string{pred},
+				MaxInsts: params.MaxInsts, DepThreshold: params.DepThreshold,
+			}
+			if perr := c.postJSON(ctx, base, "/v1/study/vpred", req, &resp); perr != nil {
+				return perr
+			}
+			if len(resp.Cells) != 2 {
+				return fmt.Errorf("answered %d cells for %s/%s, want 2", len(resp.Cells), bench, pred)
+			}
+			for _, cell := range resp.Cells {
+				if cell.Bench != bench || cell.Predictor != pred {
+					return fmt.Errorf("answered for %s/%s, asked for %s/%s", cell.Bench, cell.Predictor, bench, pred)
+				}
+			}
+			cells = resp.Cells
+			return nil
+		},
+		c.localVPred(bench, pred, params, &cells))
+	if err != nil {
+		return nil, fmt.Errorf("dist: vpred %s/%s: %w", bench, pred, err)
+	}
+	return cells, nil
+}
+
+func (c *Coordinator) localVPred(bench, pred string, params sim.VPredParams, out *[]sim.VPredRecord) func(context.Context) error {
+	if c.Local == nil {
+		return nil
+	}
+	return func(ctx context.Context) error {
+		g, err := c.Local.RunVPredGrid(ctx, []string{bench}, []string{pred}, params)
+		if err != nil {
+			return fmt.Errorf("local: %w", err)
+		}
+		*out = g.Records()
+		return nil
+	}
+}

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestCoordinator builds a coordinator over fake worker URLs with
+// fast retry tuning. No HTTP happens in this file: runJob takes the
+// remote attempt as a closure, so placement, retries, cooldown and
+// fallback are all testable in-process.
+func newTestCoordinator(bases ...string) *Coordinator {
+	c := &Coordinator{Backoff: time.Millisecond, Cooldown: time.Minute}
+	c.SetWorkers(bases)
+	return c
+}
+
+func rankedBases(c *Coordinator, key string) []string {
+	order := c.rank(key)
+	bases := make([]string, len(order))
+	for i, w := range order {
+		bases[i] = w.base
+	}
+	return bases
+}
+
+// TestRendezvousPlacementStableAndSpread pins the placement properties
+// the cache-locality story rests on: a key's worker order is a pure
+// function of (workers, key) — stable across calls and independent of
+// registration order — and different keys spread across all workers.
+func TestRendezvousPlacementStableAndSpread(t *testing.T) {
+	bases := []string{"http://w0", "http://w1", "http://w2"}
+	c := newTestCoordinator(bases...)
+	reversed := newTestCoordinator(bases[2], bases[1], bases[0])
+
+	first := make(map[string]int)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got := rankedBases(c, key)
+		if again := rankedBases(c, key); strings.Join(got, " ") != strings.Join(again, " ") {
+			t.Fatalf("rank(%q) unstable: %v then %v", key, got, again)
+		}
+		if other := rankedBases(reversed, key); strings.Join(got, " ") != strings.Join(other, " ") {
+			t.Fatalf("rank(%q) depends on registration order: %v vs %v", key, got, other)
+		}
+		first[got[0]]++
+	}
+	for _, b := range bases {
+		if first[b] == 0 {
+			t.Errorf("worker %s never ranked first in 100 keys; rendezvous is not spreading", b)
+		}
+	}
+}
+
+// TestRankDeprioritisesCoolingWorker pins the health policy: a failing
+// worker moves to the back of every ranking for the cooldown — never
+// out of it — and returns to its rendezvous position afterwards.
+func TestRankDeprioritisesCoolingWorker(t *testing.T) {
+	c := newTestCoordinator("http://w0", "http://w1", "http://w2")
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	// Find a key that prefers w0, then fail w0.
+	key := ""
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("key-%d", i)
+		if rankedBases(c, key)[0] == "http://w0" {
+			break
+		}
+	}
+	c.workers[0].fail(now, c.cooldown())
+
+	order := rankedBases(c, key)
+	if order[len(order)-1] != "http://w0" {
+		t.Errorf("cooling worker not moved to the back: %v", order)
+	}
+	if len(order) != 3 {
+		t.Errorf("cooling worker excluded from placement entirely: %v", order)
+	}
+	st := c.Workers()
+	if !st[0].Down || st[0].Failures != 1 {
+		t.Errorf("worker status after failure: %+v", st[0])
+	}
+
+	// Past the cooldown the worker is first again without any explicit
+	// recovery signal.
+	now = now.Add(c.cooldown() + time.Second)
+	if got := rankedBases(c, key)[0]; got != "http://w0" {
+		t.Errorf("worker still deprioritised after cooldown: first = %s", got)
+	}
+}
+
+// TestRunJobRetriesAcrossWorkersThenLocal walks one job through the full
+// failure ladder: every worker refuses, the local fallback answers, and
+// the counters account for each step.
+func TestRunJobRetriesAcrossWorkersThenLocal(t *testing.T) {
+	c := newTestCoordinator("http://w0", "http://w1")
+	var tried []string
+	err := c.runJob(context.Background(), "somekey",
+		func(_ context.Context, base string) error {
+			tried = append(tried, base)
+			return errors.New("boom")
+		},
+		func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("job with a working local fallback failed: %v", err)
+	}
+	if len(tried) != 2 || tried[0] == tried[1] {
+		t.Errorf("remote attempts %v, want one per distinct worker", tried)
+	}
+	if c.RetriedJobs() != 1 || c.LocalJobs() != 1 || c.RemoteJobs() != 0 {
+		t.Errorf("counters retried=%d local=%d remote=%d, want 1/1/0", c.RetriedJobs(), c.LocalJobs(), c.RemoteJobs())
+	}
+
+	// Without a local fallback the job reports every worker's error.
+	err = c.runJob(context.Background(), "somekey",
+		func(_ context.Context, base string) error { return fmt.Errorf("down: %s", base) },
+		nil)
+	if err == nil || !strings.Contains(err.Error(), "http://w0") || !strings.Contains(err.Error(), "http://w1") {
+		t.Errorf("joined error missing a worker: %v", err)
+	}
+}
+
+// TestRunJobNoWorkersNoLocal pins the useless-coordinator error.
+func TestRunJobNoWorkersNoLocal(t *testing.T) {
+	c := &Coordinator{}
+	err := c.runJob(context.Background(), "k", func(context.Context, string) error { return nil }, nil)
+	if err == nil || !strings.Contains(err.Error(), "no workers registered and no local engine") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestRunJobHonorsCancellation pins that a canceled sweep stops spending
+// attempts: the job reports the cancellation itself, not worker noise.
+func TestRunJobHonorsCancellation(t *testing.T) {
+	c := newTestCoordinator("http://w0", "http://w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := c.runJob(ctx, "k",
+		func(context.Context, string) error {
+			cancel() // the failure below is "our" cancellation propagating
+			return context.Canceled
+		},
+		func(context.Context) error { t.Error("local fallback ran after cancel"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if c.RetriedJobs() != 0 {
+		t.Errorf("canceled job recorded %d retries", c.RetriedJobs())
+	}
+}
+
+// TestWorkerRegistration pins SetWorkers/AddWorker hygiene: trailing
+// slashes normalise, duplicates and empties are dropped, AddWorker
+// reports newness.
+func TestWorkerRegistration(t *testing.T) {
+	c := &Coordinator{}
+	c.SetWorkers([]string{"http://w0/", "http://w0", "", "http://w1"})
+	st := c.Workers()
+	if len(st) != 2 || st[0].URL != "http://w0" || st[1].URL != "http://w1" {
+		t.Fatalf("workers after SetWorkers: %+v", st)
+	}
+	if c.AddWorker("http://w1/") {
+		t.Error("AddWorker reported an existing worker as new")
+	}
+	if !c.AddWorker("http://w2") {
+		t.Error("AddWorker reported a new worker as known")
+	}
+	if got := len(c.Workers()); got != 3 {
+		t.Errorf("worker count = %d, want 3", got)
+	}
+}

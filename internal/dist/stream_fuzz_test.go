@@ -1,0 +1,55 @@
+package dist
+
+// Fuzz over the streaming wire format: DecodeMatrixStream consumes bytes
+// straight off a network connection, so arbitrary input must never
+// panic, a truncated or corrupted stream must always report an error
+// (never pass as a short-but-complete result set), and anything the
+// encoder produces must round-trip.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func FuzzDecodeMatrixStream(f *testing.F) {
+	spec := sim.Spec{Bench: "li", Depth: 20, MaxInsts: 5000}
+	var valid bytes.Buffer
+	valid.Write(EncodeStreamLine(StreamLine{Result: &sim.Result{Spec: spec}}))
+	valid.Write(EncodeStreamLine(StreamLine{Done: &StreamTrailer{MaxInsts: 5000, Cells: 1}}))
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte(`{"done":{"max_insts":1,"cells":0}}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"result":{}}{"done":{}}`))
+	f.Add([]byte(strings.Repeat("x", 4096)))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		results, trailer, err := DecodeMatrixStream(bytes.NewReader(raw))
+		if err != nil {
+			if trailer != nil {
+				t.Fatalf("failed decode still returned a trailer: %+v", trailer)
+			}
+			return
+		}
+		if trailer == nil {
+			t.Fatal("clean decode without a trailer")
+		}
+		// Whatever decoded cleanly must re-encode to a stream that decodes
+		// to the same shape: the codec is closed over its own output.
+		var rt bytes.Buffer
+		for i := range results {
+			rt.Write(EncodeStreamLine(StreamLine{Result: &results[i]}))
+		}
+		rt.Write(EncodeStreamLine(StreamLine{Done: trailer}))
+		results2, trailer2, err := DecodeMatrixStream(&rt)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if len(results2) != len(results) || *trailer2 != *trailer {
+			t.Fatalf("round trip drifted: %d/%d cells, trailer %+v vs %+v", len(results), len(results2), trailer, trailer2)
+		}
+	})
+}

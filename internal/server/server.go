@@ -11,11 +11,14 @@
 //
 //	POST /v1/run            one (bench × depth × predictor) cell -> JSON result
 //	POST /v1/matrix         a branch-prediction grid -> JSON cells
+//	POST /v1/matrix?stream=1   the same grid as chunked JSON lines
 //	POST /v1/study/smt      the Section 3 SMT fetch-policy grid
 //	POST /v1/study/vpred    the Section 3 selective value-prediction grid
 //	GET  /v1/artifacts/{name}  a rendered paper artifact (text tables)
 //	GET  /v1/bench          the benchmark / mix / mode catalog
 //	GET  /healthz           liveness + engine counters
+//	GET/PUT /v1/cache/{key}    the cache-peer protocol (raw entries)
+//	GET/POST /v1/workers    coordinator worker registration
 //
 // Three properties keep the daemon well-behaved and its answers
 // trustworthy:
@@ -51,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/smt"
 	"repro/internal/workload"
@@ -84,6 +88,13 @@ type Config struct {
 	// the request fails with 504 (completed cells preserved under the
 	// partial-result contract). <= 0 means no timeout.
 	RequestTimeout time.Duration
+	// Coordinator, when non-nil, puts the daemon in the coordinator role:
+	// matrix and study sweeps are decomposed into per-cell jobs and
+	// fanned out to the coordinator's registered workers (falling back to
+	// Engine for cells no worker could answer), and /v1/workers accepts
+	// registrations. Single-cell /v1/run requests always execute locally
+	// — they *are* the unit of distribution. See internal/dist.
+	Coordinator *dist.Coordinator
 }
 
 // Server is the HTTP handler. Create it with New; the zero value is not
@@ -141,6 +152,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/study/smt", s.handleSMT)
 	s.mux.HandleFunc("POST /v1/study/vpred", s.handleVPred)
 	s.mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkersGet)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkersPost)
 	return s
 }
 
@@ -335,6 +350,15 @@ type storageHealth struct {
 	TraceTrips      int64 `json:"trace_trips"`
 }
 
+// distHealth is the coordinator-role section of /healthz: the worker
+// set's health and the job counters the chaos suite pins loss cost with.
+type distHealth struct {
+	Workers     []dist.WorkerStatus `json:"workers"`
+	RemoteJobs  int64               `json:"remote_jobs"`
+	RetriedJobs int64               `json:"retried_jobs"`
+	LocalJobs   int64               `json:"local_jobs"`
+}
+
 type healthResponse struct {
 	Status    string        `json:"status"`
 	Simulated int64         `json:"simulated"`
@@ -343,6 +367,9 @@ type healthResponse struct {
 	Coalesced int64         `json:"coalesced"`
 	Panics    int64         `json:"panics"`
 	Storage   storageHealth `json:"storage"`
+	// Dist is present only in the coordinator role, so solo and worker
+	// daemons keep their pre-distribution /healthz bytes.
+	Dist *distHealth `json:"dist,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -362,6 +389,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// operator should look at the disk.
 		status = "degraded"
 	}
+	var dh *distHealth
+	if c := s.cfg.Coordinator; c != nil {
+		dh = &distHealth{
+			Workers:     c.Workers(),
+			RemoteJobs:  c.RemoteJobs(),
+			RetriedJobs: c.RetriedJobs(),
+			LocalJobs:   c.LocalJobs(),
+		}
+	}
 	writeResponse(w, jsonResponse(http.StatusOK, healthResponse{
 		Status:    status,
 		Simulated: s.cfg.Engine.Simulated(),
@@ -370,6 +406,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalesced: s.Coalesced(),
 		Panics:    s.Panics(),
 		Storage:   st,
+		Dist:      dh,
 	}), false)
 }
 
@@ -548,16 +585,31 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	depths := req.Depths
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamMatrix(w, r, hashParts("stream", parts...), req.Benches, depths, modes, req.MaxInsts)
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	s.coalesce(w, hashParts("matrix", parts...), func() *response {
-		mx, err := s.cfg.Engine.RunMatrix(ctx, req.Benches, depths, modes, req.MaxInsts)
+		mx, err := s.runMatrix(ctx, req.Benches, depths, modes, req.MaxInsts)
 		body := matrixResponse{MaxInsts: req.MaxInsts, Cells: mx.Records(depths), Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.Record{}
 		}
 		return jsonResponse(errStatus(err), body)
 	})
+}
+
+// runMatrix runs the grid through the coordinator when this daemon has
+// one, locally otherwise. Both paths populate an identical sim.Matrix,
+// and the caller renders it through the same Records path either way —
+// that shared tail is the byte-identity contract's enforcement point.
+func (s *Server) runMatrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*sim.Matrix, error) {
+	if s.cfg.Coordinator != nil {
+		return s.cfg.Coordinator.Matrix(ctx, benches, depths, modes, maxInsts)
+	}
+	return s.cfg.Engine.RunMatrix(ctx, benches, depths, modes, maxInsts)
 }
 
 // --- POST /v1/study/{smt,vpred} -------------------------------------------
@@ -619,8 +671,16 @@ func (s *Server) handleSMT(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	s.coalesce(w, hashParts("smt", parts...), func() *response {
-		g, err := s.cfg.Engine.RunSMTGrid(ctx, mixes, sim.SMTPolicies, cfg)
-		body := smtResponse{Config: cfg, Cells: g.Records(), Error: errString(err, "")}
+		var cells []sim.SMTRecord
+		var err error
+		if s.cfg.Coordinator != nil {
+			cells, err = s.cfg.Coordinator.SMTGrid(ctx, mixes, cfg)
+		} else {
+			var g *sim.SMTGrid
+			g, err = s.cfg.Engine.RunSMTGrid(ctx, mixes, sim.SMTPolicies, cfg)
+			cells = g.Records()
+		}
+		body := smtResponse{Config: cfg, Cells: cells, Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.SMTRecord{}
 		}
@@ -697,8 +757,16 @@ func (s *Server) handleVPred(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	s.coalesce(w, hashParts("vpred", parts...), func() *response {
-		g, err := s.cfg.Engine.RunVPredGrid(ctx, req.Benches, req.Predictors, params)
-		body := vpredResponse{Params: params, Cells: g.Records(), Error: errString(err, "")}
+		var cells []sim.VPredRecord
+		var err error
+		if s.cfg.Coordinator != nil {
+			cells, err = s.cfg.Coordinator.VPredGrid(ctx, req.Benches, req.Predictors, params)
+		} else {
+			var g *sim.VPredGrid
+			g, err = s.cfg.Engine.RunVPredGrid(ctx, req.Benches, req.Predictors, params)
+			cells = g.Records()
+		}
+		body := vpredResponse{Params: params, Cells: cells, Error: errString(err, "")}
 		if body.Cells == nil {
 			body.Cells = []sim.VPredRecord{}
 		}

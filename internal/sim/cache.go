@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/storage"
@@ -28,17 +29,33 @@ const cacheVersion = 1
 // format drift) are treated as misses and removed, so a damaged cache
 // heals itself on the next run.
 //
-// Disk access goes through a storage.FS behind a circuit breaker: after
-// a run of consecutive disk faults the cache degrades to a memory-only
-// overlay instead of erroring every request, probing the disk on later
-// writes and flushing the overlay back once a probe succeeds. Entries
-// are keyed by content hash, so an overlay entry is exactly the bytes
-// the disk would have held — degraded mode changes durability, never
-// results.
+// Disk access goes through a storage.KV backend (storage.DirKV over a
+// storage.FS) behind a circuit breaker: after a run of consecutive disk
+// faults the cache degrades to a memory-only overlay instead of erroring
+// every request, probing the disk on later writes and flushing the
+// overlay back once a probe succeeds. Entries are keyed by content hash,
+// so an overlay entry is exactly the bytes the disk would have held —
+// degraded mode changes durability, never results.
+//
+// A cache may additionally be given a *peer* backend (SetPeers) — in a
+// worker cluster, the other daemons' caches reachable over the HTTP
+// cache-peer protocol. A local miss then asks the peers before
+// simulating, and a fetched entry is validated exactly like a local one
+// (envelope key, version, payload checksum) before it is trusted or
+// replicated to local disk, so a malformed or corrupt peer response
+// degrades to a miss — it can never poison the cache. The protocol is
+// documented in DESIGN.md's distributed execution section.
 type Cache struct {
-	dir string
-	fs  storage.FS
-	brk *storage.Breaker
+	dir   string
+	local *storage.DirKV
+	brk   *storage.Breaker
+
+	peersMu sync.RWMutex
+	peers   storage.KV // nil: no peer tier
+	push    bool       // replicate fresh entries to peers on Put
+
+	peerHits   atomic.Int64
+	peerPushes atomic.Int64
 
 	mu  sync.Mutex
 	mem map[string][]byte // overlay of entries the disk refused
@@ -57,17 +74,35 @@ func OpenCacheFS(dir string, fsys storage.FS, brk *storage.Breaker) (*Cache, err
 	if dir == "" {
 		return nil, fmt.Errorf("sim: empty cache directory")
 	}
-	if fsys == nil {
-		fsys = storage.OS{}
-	}
 	if brk == nil {
 		brk = storage.NewBreaker(0, 0)
 	}
-	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+	local, err := storage.NewDirKV(dir, fsys, ".json")
+	if err != nil {
 		return nil, fmt.Errorf("sim: open cache: %w", err)
 	}
-	return &Cache{dir: dir, fs: fsys, brk: brk, mem: make(map[string][]byte)}, nil
+	return &Cache{dir: dir, local: local, brk: brk, mem: make(map[string][]byte)}, nil
 }
+
+// SetPeers attaches a peer backend consulted on local misses (typically
+// a storage.PeerKV over the other workers' daemons). When push is true,
+// every freshly computed entry is additionally replicated to the peers,
+// best-effort, so a cluster warms proactively instead of on demand.
+// Call before serving; concurrent calls are safe.
+func (c *Cache) SetPeers(peers storage.KV, push bool) {
+	c.peersMu.Lock()
+	c.peers = peers
+	c.push = push
+	c.peersMu.Unlock()
+}
+
+// PeerHits reports how many entries were served from the peer tier over
+// the cache's lifetime.
+func (c *Cache) PeerHits() int64 { return c.peerHits.Load() }
+
+// PeerPushes reports how many fresh entries were successfully replicated
+// to the peer tier.
+func (c *Cache) PeerPushes() int64 { return c.peerPushes.Load() }
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
@@ -150,10 +185,6 @@ func statsSum(stats any) string {
 	return fmt.Sprintf("%x", sha256.Sum256(b))
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
-}
-
 // load fetches an entry's bytes: the degraded overlay first, then disk.
 // Disk is skipped entirely while the breaker is open (memory-only mode),
 // and a disk *fault* — any read error other than plain not-exist — feeds
@@ -168,7 +199,7 @@ func (c *Cache) load(key string) ([]byte, bool) {
 	if c.brk.Open() {
 		return nil, false
 	}
-	b, err := c.fs.ReadFile(c.path(key))
+	b, err := c.local.Get(key)
 	if err != nil {
 		if !storage.IsNotExist(err) {
 			c.brk.Failure()
@@ -178,6 +209,38 @@ func (c *Cache) load(key string) ([]byte, bool) {
 	return b, true
 }
 
+// fetchPeer asks the peer tier for an entry's bytes. Any peer failure —
+// unreachable, wrong status, oversized payload — is an ordinary miss:
+// peers accelerate, they never block.
+func (c *Cache) fetchPeer(key string) ([]byte, bool) {
+	c.peersMu.RLock()
+	peers := c.peers
+	c.peersMu.RUnlock()
+	if peers == nil {
+		return nil, false
+	}
+	b, err := peers.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// pushPeer replicates a freshly stored entry to the peer tier when push
+// replication is on. Best-effort by contract: the local tier is the
+// durable one, and a peer that missed the push simply fetches on demand.
+func (c *Cache) pushPeer(key string, b []byte) {
+	c.peersMu.RLock()
+	peers, push := c.peers, c.push
+	c.peersMu.RUnlock()
+	if peers == nil || !push {
+		return
+	}
+	if err := peers.Put(key, b); err == nil {
+		c.peerPushes.Add(1)
+	}
+}
+
 // discard drops a corrupt or stale entry from the overlay and (when the
 // disk is believed healthy) from disk, so the next Put rewrites it.
 func (c *Cache) discard(key string) {
@@ -185,30 +248,52 @@ func (c *Cache) discard(key string) {
 	delete(c.mem, key)
 	c.mu.Unlock()
 	if !c.brk.Open() {
-		_ = c.fs.Remove(c.path(key))
+		_ = c.local.Delete(key) // best-effort; a leftover entry re-heals on next read
 	}
 }
 
-// Get returns the cached stats for spec, if present and intact.
-func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
-	key := c.Key(spec)
-	b, ok := c.load(key)
-	if !ok {
-		return cpu.Stats{}, false
-	}
+// decodeEntry validates an entry's bytes against the key they claim to
+// answer: envelope shape, format version, self-described key, and the
+// payload checksum. It is the one gate every entry passes on its way to
+// a caller, whether the bytes came from local disk, the degraded
+// overlay, or a cache peer — which is why a malformed peer response can
+// never be served or replicated.
+func decodeEntry(key string, b []byte) (cpu.Stats, bool) {
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil || e.Version != cacheVersion || e.Key != key {
-		c.discard(key)
 		return cpu.Stats{}, false
 	}
 	// A bit-corrupted read can survive JSON parsing (a flipped byte inside
 	// a number or a field name still decodes); the checksum catches it so
 	// the entry heals instead of serving wrong statistics.
 	if e.Sum != statsSum(e.Stats) {
-		c.discard(key)
 		return cpu.Stats{}, false
 	}
 	return e.Stats, true
+}
+
+// Get returns the cached stats for spec, if present and intact — served
+// from the local tier first, then fetched (and validated, and replicated
+// locally) from the cache peers.
+func (c *Cache) Get(spec Spec) (cpu.Stats, bool) {
+	key := c.Key(spec)
+	if b, ok := c.load(key); ok {
+		if st, ok := decodeEntry(key, b); ok {
+			return st, true
+		}
+		c.discard(key)
+	}
+	if b, ok := c.fetchPeer(key); ok {
+		if st, ok := decodeEntry(key, b); ok {
+			// Replicate the validated bytes locally so the next hit is
+			// local; a store failure parks them in the overlay via the
+			// usual breaker path and is deliberately not surfaced here.
+			_ = c.store(key, b)
+			c.peerHits.Add(1)
+			return st, true
+		}
+	}
+	return cpu.Stats{}, false
 }
 
 // Put stores the stats for spec. The write is atomic (temp file + rename)
@@ -224,7 +309,13 @@ func (c *Cache) Put(spec Spec, st cpu.Stats) error {
 	if err != nil {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
-	return c.store(key, b)
+	err = c.store(key, b)
+	// Fresh computes (and only those — peer-fetched entries came from the
+	// cluster and are not echoed back) replicate to the peers when push
+	// mode is on, regardless of local durability: a broken local disk is
+	// exactly when the cluster copy matters most.
+	c.pushPeer(key, b)
+	return err
 }
 
 // store lands an entry's bytes, routing around a broken disk:
@@ -297,20 +388,11 @@ func (c *Cache) flush() {
 	}
 }
 
-// writeAtomic lands an entry's bytes under its key via temp file +
-// rename. The temp name is derived from the key, not randomized:
-// entries are content-hashed, so concurrent writers of the same key
-// write identical bytes and the last rename wins harmlessly. On any
-// failure the temp file is removed — an injected rename fault must not
-// leave *.tmp orphans in the cache directory.
+// writeAtomic lands an entry's bytes under its key through the local
+// backend's atomic temp+rename contract (see storage.DirKV.Put: no torn
+// files, no *.tmp orphans on failure).
 func (c *Cache) writeAtomic(key string, b []byte) error {
-	tmp := c.path(key) + ".tmp"
-	if err := c.fs.WriteFile(tmp, b, 0o644); err != nil {
-		_ = c.fs.Remove(tmp) // a half-written (ENOSPC) temp must not linger
-		return fmt.Errorf("sim: cache put: %w", err)
-	}
-	if err := c.fs.Rename(tmp, c.path(key)); err != nil {
-		_ = c.fs.Remove(tmp)
+	if err := c.local.Put(key, b); err != nil {
 		return fmt.Errorf("sim: cache put: %w", err)
 	}
 	return nil
@@ -342,30 +424,42 @@ func (c *Cache) GetStudy(s Study, out any) (bool, error) {
 	return c.getStudy(key, s.Kind(), out), nil
 }
 
-// getStudy is GetStudy with the key precomputed.
-func (c *Cache) getStudy(key, kind string, out any) bool {
-	b, ok := c.load(key)
-	if !ok {
-		return false
-	}
+// decodeStudyEntry is decodeEntry's study-record sibling: it validates a
+// study entry's bytes (envelope, version, key, kind, payload checksum)
+// and decodes the stats into out on success. Like decodeEntry it gates
+// every source of bytes — disk, overlay, and cache peers alike.
+func decodeStudyEntry(key, kind string, b []byte, out any) bool {
 	var e studyEntry
 	if err := json.Unmarshal(b, &e); err != nil ||
 		e.Version != cacheVersion || e.Key != key || e.Kind != kind {
-		c.discard(key)
 		return false
 	}
 	if err := json.Unmarshal(e.Stats, out); err != nil {
-		c.discard(key)
 		return false
 	}
 	// Checksum the decoded value's canonical encoding (not the raw field,
 	// whose whitespace the indented container reshapes): a bit-corrupted
 	// stat that still parses must heal, not be served.
-	if e.Sum != statsSum(out) {
+	return e.Sum == statsSum(out)
+}
+
+// getStudy is GetStudy with the key precomputed; like Get it falls back
+// to the validated peer tier on a local miss.
+func (c *Cache) getStudy(key, kind string, out any) bool {
+	if b, ok := c.load(key); ok {
+		if decodeStudyEntry(key, kind, b, out) {
+			return true
+		}
 		c.discard(key)
-		return false
 	}
-	return true
+	if b, ok := c.fetchPeer(key); ok {
+		if decodeStudyEntry(key, kind, b, out) {
+			_ = c.store(key, b) // replicate locally, best-effort (overlay on failure)
+			c.peerHits.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // PutStudy stores the study's stats with the same atomic-write guarantee
@@ -389,6 +483,46 @@ func (c *Cache) putStudy(key, kind string, id []byte, stats any) error {
 	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("sim: cache put %s: %w", kind, err)
+	}
+	err = c.store(key, b)
+	c.pushPeer(key, b) // fresh study computes replicate like Put's
+	return err
+}
+
+// Raw returns the stored entry bytes for a key — overlay first, then the
+// local backend — without interpreting them. It is the read side of the
+// HTTP cache-peer protocol: the requester validates what it fetched, so
+// serving raw bytes is safe by construction.
+func (c *Cache) Raw(key string) ([]byte, bool) {
+	return c.load(key)
+}
+
+// rawEnvelope is the part of an entry a peer-supplied payload must get
+// right before PutRaw will store it: the format version and the
+// self-described key. The payload checksum is deliberately not
+// re-verified here — it is computed over the *typed* canonical encoding,
+// which only the reader knows — so the read path (decodeEntry /
+// decodeStudyEntry) stays the final gate and a corrupt accepted entry
+// heals there instead of being served.
+type rawEnvelope struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+}
+
+// PutRaw validates and stores entry bytes received over the cache-peer
+// protocol. The bytes must be a JSON entry whose envelope matches the
+// key they were pushed under; anything else is rejected so a confused or
+// malicious peer cannot plant entries under foreign keys.
+func (c *Cache) PutRaw(key string, b []byte) error {
+	var env rawEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("sim: cache peer put: not an entry: %v", err)
+	}
+	if env.Version != cacheVersion {
+		return fmt.Errorf("sim: cache peer put: entry version %d, want %d", env.Version, cacheVersion)
+	}
+	if env.Key != key {
+		return fmt.Errorf("sim: cache peer put: entry describes key %.16s..., pushed under %.16s...", env.Key, key)
 	}
 	return c.store(key, b)
 }

@@ -240,27 +240,42 @@ func (e *Engine) pool(ctx context.Context, n int, job func(i int)) {
 // before ctx was canceled are returned, the rest contribute joined
 // context errors.
 func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	return e.RunEach(ctx, specs, nil)
+}
+
+// RunEach is Run with a completion hook: done (when non-nil) is invoked
+// once per spec as that spec settles, from the worker goroutine that ran
+// it, so callers can stream incremental cell results while the sweep is
+// still in flight. done receives the spec's index alongside the outcome;
+// a spec that failed reports its simErr and a zero Result. done must be
+// safe for concurrent use. The returned slice and joined error follow
+// Run's partial-result contract exactly.
+func (e *Engine) RunEach(ctx context.Context, specs []Spec, done func(i int, r Result, simErr, cacheErr error)) ([]Result, error) {
 	results := make([]Result, len(specs))
 	simErrs := make([]error, len(specs))
 	cacheErrs := make([]error, len(specs))
 	e.pool(ctx, len(specs), func(i int) {
 		results[i], simErrs[i], cacheErrs[i] = e.run(ctx, specs[i])
+		if done != nil {
+			done(i, results[i], simErrs[i], cacheErrs[i])
+		}
 	})
-	done := results[:0]
+	finished := results[:0]
 	for i := range results {
 		if simErrs[i] == nil {
-			done = append(done, results[i])
+			finished = append(finished, results[i])
 		}
 	}
-	return done, errors.Join(append(simErrs, cacheErrs...)...)
+	return finished, errors.Join(append(simErrs, cacheErrs...)...)
 }
 
-// RunMatrix runs every (bench × depth × mode) combination requested and
-// collects the completed cells into a Matrix. On partial failure the
-// matrix holds every completed cell and the error joins the per-cell
-// failures; renderers that go through Matrix.Lookup degrade gracefully.
-func (e *Engine) RunMatrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
-	var specs []Spec
+// MatrixSpecs enumerates the (bench × depth × mode) grid in the canonical
+// bench-major order RunMatrix simulates. It is the shared cell-extraction
+// step between the local runner and the distributed coordinator: both
+// must decompose a matrix request into exactly these specs, in exactly
+// this order, for their merged renderings to agree byte for byte.
+func MatrixSpecs(benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) []Spec {
+	specs := make([]Spec, 0, len(benches)*len(depths)*len(modes))
 	for _, b := range benches {
 		for _, d := range depths {
 			for _, md := range modes {
@@ -268,7 +283,15 @@ func (e *Engine) RunMatrix(ctx context.Context, benches []string, depths []int, 
 			}
 		}
 	}
-	res, err := e.Run(ctx, specs)
+	return specs
+}
+
+// RunMatrix runs every (bench × depth × mode) combination requested and
+// collects the completed cells into a Matrix. On partial failure the
+// matrix holds every completed cell and the error joins the per-cell
+// failures; renderers that go through Matrix.Lookup degrade gracefully.
+func (e *Engine) RunMatrix(ctx context.Context, benches []string, depths []int, modes []cpu.PredMode, maxInsts int64) (*Matrix, error) {
+	res, err := e.Run(ctx, MatrixSpecs(benches, depths, modes, maxInsts))
 	mx := &Matrix{m: make(map[matrixKey]cpu.Stats, len(res)), MaxInsts: maxInsts}
 	for _, r := range res {
 		mx.Add(r)

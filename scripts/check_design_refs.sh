@@ -79,13 +79,16 @@ cite "DESIGN\\.md.s incremental RSE maintenance section" \
 cite "DESIGN\\.md.s failure domains section" \
      '^## Failure domains & degraded modes' \
      'failure domains & degraded modes (cancellation points, circuit breakers, chaos suite)'
+cite "DESIGN\\.md.s distributed execution section" \
+     '^## Distributed execution' \
+     'distributed execution (coordinator/worker tier, cache peers, streaming)'
 
 # Pass 2: every *line* citing DESIGN.md must be accounted for by a known
 # topic (a citation may continue the sentence begun on the previous
 # line, so the preceding line is consulted too), so new citation styles
 # get a row in the table above instead of silently passing — even in a
 # file that already carries a recognised citation.
-known='per-experiment index|ablation A1|ablation A2|ablation discussed in DESIGN|DESIGN\.md: StalePhysical|substitution argument|documents our choice|wrong-path pollution|as the paper sizes it; see DESIGN|CutAtLoads selects the DDT chain ablation|static contracts section|flow-sensitive contracts section|incremental RSE maintenance section|failure domains section|DESIGN\.md references|resolve to a real section|resolves to an existing section|cited anchor|missing DESIGN\.md'
+known='per-experiment index|ablation A1|ablation A2|ablation discussed in DESIGN|DESIGN\.md: StalePhysical|substitution argument|documents our choice|wrong-path pollution|as the paper sizes it; see DESIGN|CutAtLoads selects the DDT chain ablation|static contracts section|flow-sensitive contracts section|incremental RSE maintenance section|failure domains section|distributed execution section|DESIGN\.md references|resolve to a real section|resolves to an existing section|cited anchor|missing DESIGN\.md'
 grep -rlE --include='*.go' --include='*.md' 'DESIGN\.md' . \
         --exclude-dir=.git --exclude=DESIGN.md 2>/dev/null |
 while IFS= read -r f; do

@@ -1,0 +1,87 @@
+#!/bin/sh
+# cluster_smoke.sh — boot a real cluster (one coordinator, two workers)
+# plus a solo daemon from the built arvid binary, sweep the same small
+# matrix through both paths, and assert the distributed response is
+# byte-identical to the single-node one. The in-process cluster suite
+# (internal/server's TestCluster*) covers the behaviour matrix; this
+# script proves the wiring holds for real processes over real sockets.
+#
+# Run from the repository root: scripts/cluster_smoke.sh
+set -eu
+
+tmp=$(mktemp -d)
+go build -o "$tmp/arvid" ./cmd/arvid
+
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2> /dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+start() { # start <name> <flags...>
+    name=$1
+    shift
+    "$tmp/arvid" "$@" 2> "$tmp/$name.log" &
+    pids="$pids $!"
+}
+
+wait_healthy() { # wait_healthy <port>
+    i=0
+    while [ "$i" -lt 50 ]; do
+        if curl -sf "http://127.0.0.1:$1/healthz" > /dev/null; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.2
+    done
+    echo "cluster_smoke: daemon on :$1 never became healthy" >&2
+    return 1
+}
+
+start solo -addr 127.0.0.1:8750 -cache "$tmp/solo-cache" -trace-dir "$tmp/solo-traces"
+start w1 -role worker -addr 127.0.0.1:8751 -cache "$tmp/w1-cache" -trace-dir "$tmp/w1-traces"
+start w2 -role worker -addr 127.0.0.1:8752 -cache "$tmp/w2-cache" -trace-dir "$tmp/w2-traces"
+start coord -role coordinator -addr 127.0.0.1:8753 \
+    -workers-list http://127.0.0.1:8751,http://127.0.0.1:8752 \
+    -cache "$tmp/coord-cache" -trace-dir "$tmp/coord-traces"
+for port in 8750 8751 8752 8753; do
+    wait_healthy "$port"
+done
+
+# A 16-cell grid: 2 benches x 2 depths x the full mode set.
+body='{"benches":["li","gcc"],"depths":[20,40],"max_insts":20000}'
+
+curl -sf -d "$body" http://127.0.0.1:8750/v1/matrix > "$tmp/single.json"
+curl -sf -d "$body" http://127.0.0.1:8753/v1/matrix > "$tmp/dist.json"
+cmp "$tmp/single.json" "$tmp/dist.json"
+echo "cluster_smoke: distributed matrix byte-identical to single-node"
+
+# Warm repeat: still byte-identical, now served from the workers' caches.
+curl -sf -d "$body" http://127.0.0.1:8753/v1/matrix > "$tmp/dist-warm.json"
+cmp "$tmp/single.json" "$tmp/dist-warm.json"
+
+# The coordinator really fanned out (its health reports remote jobs) and
+# never had to fall back to computing locally.
+curl -sf http://127.0.0.1:8753/healthz > "$tmp/health.json"
+if grep -q '"remote_jobs": 0,' "$tmp/health.json"; then
+    echo "cluster_smoke: coordinator reports zero remote jobs" >&2
+    cat "$tmp/health.json" >&2
+    exit 1
+fi
+if ! grep -q '"local_jobs": 0' "$tmp/health.json"; then
+    echo "cluster_smoke: coordinator fell back to local compute with healthy workers" >&2
+    cat "$tmp/health.json" >&2
+    exit 1
+fi
+
+# Streaming: 16 cell lines plus the mandatory trailer.
+curl -sf -d "$body" 'http://127.0.0.1:8753/v1/matrix?stream=1' > "$tmp/stream.ndjson"
+lines=$(wc -l < "$tmp/stream.ndjson")
+if [ "$lines" -ne 17 ]; then
+    echo "cluster_smoke: stream has $lines lines, want 17 (16 cells + trailer)" >&2
+    exit 1
+fi
+tail -n 1 "$tmp/stream.ndjson" | grep -q '"done"'
+
+echo "cluster_smoke: ok"
